@@ -1,0 +1,56 @@
+//! Micro-benchmarks for the toolchain substrate: assembly, encoding,
+//! decoding, and trace synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_energy::harvester;
+use nvp_isa::asm::assemble;
+use nvp_isa::Inst;
+use std::hint::black_box;
+
+fn big_source(lines: usize) -> String {
+    let mut src = String::from(".equ BASE, 0x100\n");
+    for i in 0..lines {
+        src.push_str(&format!("l{i}:\n    addi r1, r1, {}\n    sw r1, {}(r0)\n", i % 100, i % 64));
+    }
+    src.push_str("    halt\n");
+    src
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = big_source(500);
+    let mut group = c.benchmark_group("toolchain");
+    group.throughput(Throughput::Elements(1001));
+    group.bench_function("assemble_1k_insts", |b| {
+        b.iter(|| black_box(assemble(&src).unwrap()))
+    });
+
+    let program = assemble(&src).unwrap();
+    let words: Vec<u32> = program.code().to_vec();
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("decode_1k_insts", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(Inst::decode(w).unwrap());
+            }
+        })
+    });
+    group.bench_function("disassemble_1k_insts", |b| {
+        b.iter(|| black_box(program.disassemble()))
+    });
+    group.finish();
+}
+
+fn bench_trace_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traces");
+    group.sample_size(20);
+    group.bench_function("wrist_watch_10s", |b| {
+        b.iter(|| black_box(harvester::wrist_watch(1, 10.0)))
+    });
+    group.bench_function("rf_wifi_10s", |b| {
+        b.iter(|| black_box(harvester::rf_wifi(1, 10.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembler, bench_trace_synthesis);
+criterion_main!(benches);

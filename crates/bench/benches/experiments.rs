@@ -1,0 +1,74 @@
+//! One Criterion benchmark per table/figure of the reconstructed
+//! evaluation — running a bench target regenerates the corresponding
+//! experiment end-to-end (under the `quick` configuration so the whole
+//! suite stays tractable; use `cargo run -p nvp-experiments --bin repro`
+//! for the full-size tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_experiments::{
+    f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
+    f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
+    f8_frame_latency, f9_retention_relaxation, t1_chip_gallery, t2_energy_distribution,
+    t3_backup_strategies, ExpConfig,
+};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = ExpConfig::quick();
+    // Simulation-heavy experiments get an even smaller per-iteration
+    // configuration (one profile, 1 s traces) so Criterion's sampling
+    // stays tractable; correctness-critical full runs live in the tests
+    // and the `repro` binary.
+    let mut tiny = ExpConfig::quick();
+    tiny.trace_duration_s = 1.0;
+    tiny.profile_seeds = vec![1];
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("exp_t1_chip_gallery", |b| {
+        b.iter(|| black_box(t1_chip_gallery::table(&cfg)))
+    });
+    group.bench_function("exp_f1_power_profiles", |b| {
+        b.iter(|| black_box(f1_power_profiles::table(&cfg)))
+    });
+    group.bench_function("exp_f2_outage_stats", |b| {
+        b.iter(|| black_box(f2_outage_stats::table(&cfg)))
+    });
+    group.bench_function("exp_f3_forward_progress", |b| {
+        b.iter(|| black_box(f3_forward_progress::table(&tiny)))
+    });
+    group.bench_function("exp_f4_backup_overhead", |b| {
+        b.iter(|| black_box(f4_backup_overhead::table(&tiny)))
+    });
+    group.bench_function("exp_f5_capacitor_sweep", |b| {
+        b.iter(|| black_box(f5_capacitor_sweep::table(&tiny)))
+    });
+    group.bench_function("exp_f6_restore_sensitivity", |b| {
+        b.iter(|| black_box(f6_restore_sensitivity::table(&tiny)))
+    });
+    group.bench_function("exp_f7_tech_sweep", |b| {
+        b.iter(|| black_box(f7_tech_sweep::table(&tiny)))
+    });
+    group.bench_function("exp_t2_energy_distribution", |b| {
+        b.iter(|| black_box(t2_energy_distribution::table(&cfg)))
+    });
+    group.bench_function("exp_f8_frame_latency", |b| {
+        b.iter(|| black_box(f8_frame_latency::table(&tiny)))
+    });
+    group.bench_function("exp_t3_backup_strategies", |b| {
+        b.iter(|| black_box(t3_backup_strategies::table(&tiny)))
+    });
+    group.bench_function("exp_f9_retention_relaxation", |b| {
+        b.iter(|| black_box(f9_retention_relaxation::table(&tiny)))
+    });
+    group.bench_function("exp_f10_policy_sweep", |b| {
+        b.iter(|| black_box(f10_policy_sweep::table(&tiny)))
+    });
+    group.bench_function("exp_f11_clock_scaling", |b| {
+        b.iter(|| black_box(f11_clock_scaling::table(&tiny)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks for the execution substrates: raw NV16 instruction
+//! throughput, the system-level intermittent loop, kernel execution, and
+//! the per-operation cost of the three backup styles (the T3 ablation at
+//! the model level).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_core::{BackupModel, BackupPolicy, IntermittentSystem, SystemConfig};
+use nvp_device::NvmTechnology;
+use nvp_energy::{harvester, PowerTrace};
+use nvp_isa::asm::assemble;
+use nvp_sim::Machine;
+use nvp_workloads::{GrayImage, KernelKind};
+use std::hint::black_box;
+
+fn bench_machine_throughput(c: &mut Criterion) {
+    let program = assemble("start: addi r1, r1, 1\n xor r2, r2, r1\n j start").unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("machine_100k_insts", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program).unwrap();
+            m.run(100_000).unwrap();
+            black_box(m.counters().cycles)
+        })
+    });
+    group.finish();
+}
+
+fn bench_system_loop(c: &mut Criterion) {
+    let program = assemble("start: addi r1, r1, 1\n sw r1, 0(r0)\n j start").unwrap();
+    let trace = harvester::wrist_watch(1, 1.0);
+    let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+    let mut group = c.benchmark_group("system");
+    group.sample_size(20);
+    group.bench_function("nvp_1s_wearable_trace", |b| {
+        b.iter(|| {
+            let mut sys = IntermittentSystem::new(
+                &program,
+                SystemConfig::default(),
+                backup,
+                BackupPolicy::demand(),
+            )
+            .unwrap();
+            black_box(sys.run(&trace).unwrap())
+        })
+    });
+    let strong = PowerTrace::constant(1e-4, 2e-3, 0.2);
+    group.bench_function("nvp_200ms_continuous", |b| {
+        b.iter(|| {
+            let mut sys = IntermittentSystem::new(
+                &program,
+                SystemConfig::default(),
+                backup,
+                BackupPolicy::demand(),
+            )
+            .unwrap();
+            black_box(sys.run(&strong).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let frame = GrayImage::synthetic(7, 16, 16);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for kind in [KernelKind::Sobel, KernelKind::Median, KernelKind::Fft16, KernelKind::Dct8] {
+        let inst = kind.build(&frame).unwrap();
+        group.bench_function(format!("{kind}_16x16_to_completion"), |b| {
+            b.iter(|| black_box(inst.run_to_completion().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backup_styles(c: &mut Criterion) {
+    // Ablation: per-operation model construction + one simulated second
+    // for each backup style.
+    let program = assemble("start: addi r1, r1, 1\n sw r1, 0(r0)\n j start").unwrap();
+    let trace = harvester::wrist_watch(2, 0.5);
+    let mut group = c.benchmark_group("backup_styles");
+    group.sample_size(15);
+    let styles: [(&str, BackupModel); 3] = [
+        ("distributed", BackupModel::distributed(NvmTechnology::Feram, 2048)),
+        ("centralized", BackupModel::centralized(NvmTechnology::Feram, 2048)),
+        ("software", BackupModel::software(NvmTechnology::Feram, 2048, 2048, 1e6)),
+    ];
+    for (name, model) in styles {
+        group.bench_function(format!("ablation_{name}"), |b| {
+            b.iter(|| {
+                let mut sys = IntermittentSystem::new(
+                    &program,
+                    SystemConfig::default(),
+                    model,
+                    BackupPolicy::demand(),
+                )
+                .unwrap();
+                black_box(sys.run(&trace).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_machine_throughput,
+    bench_system_loop,
+    bench_kernels,
+    bench_backup_styles
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark-only crate: see `benches/` for the Criterion targets that
+//! regenerate every table and figure of the reconstructed evaluation
+//! (`benches/experiments.rs`) and the micro-benchmarks for the simulator
+//! and assembler substrates.

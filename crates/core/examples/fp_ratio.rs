@@ -1,0 +1,45 @@
+//! Quick calibration check: NVP vs wait-compute forward progress on the
+//! five wearable traces (published band: 2.2x-5x).
+
+use nvp_core::{
+    measure_task, BackupModel, BackupPolicy, IntermittentSystem, SystemConfig, WaitComputeConfig,
+    WaitComputeSystem,
+};
+use nvp_device::NvmTechnology;
+use nvp_energy::harvester;
+use nvp_isa::asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Frame-scale task: ~40k instructions.
+    let program = assemble("li r2, 20000\nloop: addi r1, r1, 1\nbne r1, r2, loop\nhalt")?;
+    let cost = measure_task(&program, &SystemConfig::default(), 10_000_000)?;
+    println!(
+        "task: {} instr, {:.1} ms, {:.2} uJ",
+        cost.instructions,
+        cost.time_s(1e6) * 1e3,
+        cost.energy_j * 1e6
+    );
+    for seed in 1..=5 {
+        let trace = harvester::wrist_watch(seed, 10.0);
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let mut nvp =
+            IntermittentSystem::new(&program, SystemConfig::default(), backup, BackupPolicy::demand())?;
+        let nr = nvp.run(&trace)?;
+        let mut wait =
+            WaitComputeSystem::new(&program, WaitComputeConfig::default().sized_for(&cost, 1.3))?;
+        let wr = wait.run(&trace)?;
+        println!(
+            "seed {seed}: avg {:5.1} uW | NVP fp {:8} (on {:4.1}%, bk/min {:6.0}, share {:4.1}%) | wait fp {:8} (tasks {:3}, rb {:2}) | ratio {:.2}",
+            trace.average_w() * 1e6,
+            nr.forward_progress(),
+            nr.on_fraction() * 100.0,
+            nr.backups_per_minute(),
+            nr.backup_energy_share() * 100.0,
+            wr.forward_progress(),
+            wr.tasks_completed,
+            wr.rollbacks,
+            nr.forward_progress() as f64 / wr.forward_progress().max(1) as f64
+        );
+    }
+    Ok(())
+}

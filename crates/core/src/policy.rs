@@ -1,0 +1,161 @@
+//! Backup-trigger policies and operating thresholds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::BackupModel;
+
+/// When the platform decides to perform a backup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackupPolicy {
+    /// Demand backup (hardware NVPs): back up when stored energy falls to
+    /// `margin ×` the backup cost. `margin` > 1 reserves headroom; values
+    /// near 1 are greedy and risk losing the checkpoint.
+    OnDemand {
+        /// Reserve multiplier over the backup energy (≥ 0).
+        margin: f64,
+    },
+    /// Periodic checkpointing (Mementos-class): back up every
+    /// `interval_s` of active execution, regardless of energy.
+    Periodic {
+        /// Active-time between checkpoints, seconds.
+        interval_s: f64,
+    },
+    /// Both: periodic checkpoints *and* a demand backup at the energy
+    /// floor (Hibernus++-class).
+    Hybrid {
+        /// Active-time between checkpoints, seconds.
+        interval_s: f64,
+        /// Reserve multiplier over the backup energy.
+        margin: f64,
+    },
+}
+
+impl BackupPolicy {
+    /// The default hardware-NVP policy: demand backup with 1.5× reserve.
+    #[must_use]
+    pub fn demand() -> Self {
+        BackupPolicy::OnDemand { margin: 1.5 }
+    }
+
+    /// Energy floor at which a demand backup triggers, joules
+    /// (0 for purely periodic policies).
+    #[must_use]
+    pub fn reserve_j(&self, backup: &BackupModel) -> f64 {
+        match *self {
+            BackupPolicy::OnDemand { margin } | BackupPolicy::Hybrid { margin, .. } => {
+                margin * backup.backup_energy_j
+            }
+            BackupPolicy::Periodic { .. } => 0.0,
+        }
+    }
+
+    /// Periodic interval, if any.
+    #[must_use]
+    pub fn interval_s(&self) -> Option<f64> {
+        match *self {
+            BackupPolicy::Periodic { interval_s } | BackupPolicy::Hybrid { interval_s, .. } => {
+                Some(interval_s)
+            }
+            BackupPolicy::OnDemand { .. } => None,
+        }
+    }
+}
+
+/// Operating thresholds derived from a backup model and policy.
+///
+/// * the platform leaves the off state once stored energy reaches
+///   `start_j` (enough to restore, do useful work, and still afford the
+///   next backup),
+/// * a demand backup triggers when energy falls to `backup_reserve_j`.
+///
+/// # Example
+///
+/// ```
+/// use nvp_core::{BackupModel, BackupPolicy, Thresholds};
+/// use nvp_device::NvmTechnology;
+///
+/// let model = BackupModel::distributed(NvmTechnology::Feram, 2048);
+/// let th = Thresholds::derive(&model, &BackupPolicy::demand(), 500e-9);
+/// assert!(th.start_j > th.backup_reserve_j);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Stored energy required to begin (or resume) execution, joules.
+    pub start_j: f64,
+    /// Stored-energy floor that triggers a demand backup, joules.
+    pub backup_reserve_j: f64,
+}
+
+impl Thresholds {
+    /// Derives thresholds: the reserve comes from the policy, and the
+    /// start level adds the restore cost plus `work_headroom_j` of
+    /// useful-work budget so the platform does not thrash on/off.
+    #[must_use]
+    pub fn derive(backup: &BackupModel, policy: &BackupPolicy, work_headroom_j: f64) -> Self {
+        let reserve = policy.reserve_j(backup).max(backup.backup_energy_j);
+        Thresholds {
+            start_j: reserve + backup.restore_energy_j + work_headroom_j,
+            backup_reserve_j: reserve,
+        }
+    }
+
+    /// Returns a copy with the start threshold raised to at least `min_j`.
+    #[must_use]
+    pub fn with_min_start(mut self, min_j: f64) -> Self {
+        self.start_j = self.start_j.max(min_j);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_device::NvmTechnology;
+
+    fn model() -> BackupModel {
+        BackupModel::distributed(NvmTechnology::Feram, 2048)
+    }
+
+    #[test]
+    fn demand_reserve_scales_with_margin() {
+        let m = model();
+        let tight = BackupPolicy::OnDemand { margin: 1.0 };
+        let safe = BackupPolicy::OnDemand { margin: 2.0 };
+        assert!(safe.reserve_j(&m) > tight.reserve_j(&m));
+        assert!((tight.reserve_j(&m) - m.backup_energy_j).abs() < 1e-15);
+    }
+
+    #[test]
+    fn periodic_has_no_energy_floor() {
+        let m = model();
+        assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.reserve_j(&m), 0.0);
+        assert_eq!(
+            BackupPolicy::Periodic { interval_s: 0.01 }.interval_s(),
+            Some(0.01)
+        );
+        assert_eq!(BackupPolicy::demand().interval_s(), None);
+    }
+
+    #[test]
+    fn thresholds_ordering() {
+        let m = model();
+        let th = Thresholds::derive(&m, &BackupPolicy::demand(), 1e-6);
+        assert!(th.start_j > th.backup_reserve_j + m.restore_energy_j * 0.99);
+        assert!(th.backup_reserve_j >= m.backup_energy_j);
+    }
+
+    #[test]
+    fn reserve_never_below_backup_cost() {
+        let m = model();
+        // A sub-unity margin must still reserve at least one backup.
+        let th = Thresholds::derive(&m, &BackupPolicy::OnDemand { margin: 0.1 }, 0.0);
+        assert!(th.backup_reserve_j >= m.backup_energy_j);
+    }
+
+    #[test]
+    fn min_start_clamp() {
+        let m = model();
+        let th = Thresholds::derive(&m, &BackupPolicy::demand(), 0.0).with_min_start(1.0);
+        assert_eq!(th.start_j, 1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Nonvolatile memory technology menu.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The nonvolatile memory technologies NVP silicon has been built from.
+///
+/// Each maps to a default [`NvmParams`] operating point representative of
+/// the published chips the DATE'17 survey covers: FeRAM-based MCUs/NVPs
+/// (Zwerg ISSCC'11, Khanna JSSC'14, Wang ESSCIRC'12, Su TCAS-I'17),
+/// ReRAM-based NVPs (Liu ISSCC'16), MRAM-based NVPs (Senni JETC'16), and
+/// PCM as a forward-looking candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvmTechnology {
+    /// Ferroelectric RAM: fast, low-energy writes; destructive reads;
+    /// effectively unlimited endurance for backup duty.
+    Feram,
+    /// Resistive RAM: compact crossbar arrays; moderate write energy;
+    /// limited endurance.
+    Reram,
+    /// Spin-transfer-torque MRAM: tunable retention (see
+    /// [`crate::sttram`]), very high endurance.
+    SttMram,
+    /// Phase-change memory: high write energy and latency, included as a
+    /// forward-looking comparison point.
+    Pcm,
+}
+
+impl NvmTechnology {
+    /// All technologies, in reporting order.
+    pub const ALL: [NvmTechnology; 4] = [
+        NvmTechnology::Feram,
+        NvmTechnology::Reram,
+        NvmTechnology::SttMram,
+        NvmTechnology::Pcm,
+    ];
+
+    /// Returns the default device operating point for this technology.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nvp_device::NvmTechnology;
+    ///
+    /// let p = NvmTechnology::Feram.params();
+    /// assert!(p.write_energy_per_bit_j < 1e-11);
+    /// ```
+    #[must_use]
+    pub fn params(self) -> NvmParams {
+        match self {
+            NvmTechnology::Feram => NvmParams {
+                tech: self,
+                write_energy_per_bit_j: 1.5e-12,
+                read_energy_per_bit_j: 1.2e-12, // destructive read + write-back
+                write_latency_s: 50e-9,
+                read_latency_s: 50e-9,
+                retention_s: 3.15e8, // 10 years
+                endurance_cycles: 1e14,
+                standby_leakage_w_per_bit: 0.0,
+            },
+            NvmTechnology::Reram => NvmParams {
+                tech: self,
+                write_energy_per_bit_j: 4.0e-12,
+                read_energy_per_bit_j: 0.4e-12,
+                write_latency_s: 100e-9,
+                read_latency_s: 20e-9,
+                retention_s: 3.15e8,
+                endurance_cycles: 1e8,
+                standby_leakage_w_per_bit: 0.0,
+            },
+            NvmTechnology::SttMram => NvmParams {
+                tech: self,
+                write_energy_per_bit_j: 2.5e-12,
+                read_energy_per_bit_j: 0.3e-12,
+                write_latency_s: 10e-9,
+                read_latency_s: 5e-9,
+                retention_s: 3.15e8,
+                endurance_cycles: 1e15,
+                standby_leakage_w_per_bit: 0.0,
+            },
+            NvmTechnology::Pcm => NvmParams {
+                tech: self,
+                write_energy_per_bit_j: 15.0e-12,
+                read_energy_per_bit_j: 1.0e-12,
+                write_latency_s: 150e-9,
+                read_latency_s: 50e-9,
+                retention_s: 3.15e8,
+                endurance_cycles: 1e8,
+                standby_leakage_w_per_bit: 0.0,
+            },
+        }
+    }
+
+    /// Short display name (e.g. `"STT-MRAM"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NvmTechnology::Feram => "FeRAM",
+            NvmTechnology::Reram => "ReRAM",
+            NvmTechnology::SttMram => "STT-MRAM",
+            NvmTechnology::Pcm => "PCM",
+        }
+    }
+}
+
+impl fmt::Display for NvmTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete NVM operating point.
+///
+/// All fields are public so architecture studies can sweep them; use
+/// [`NvmTechnology::params`] for calibrated defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvmParams {
+    /// The underlying technology.
+    pub tech: NvmTechnology,
+    /// Energy to write one bit, in joules.
+    pub write_energy_per_bit_j: f64,
+    /// Energy to read one bit, in joules.
+    pub read_energy_per_bit_j: f64,
+    /// Write pulse latency, in seconds (per parallel write operation).
+    pub write_latency_s: f64,
+    /// Read latency, in seconds.
+    pub read_latency_s: f64,
+    /// Nominal retention time at the default write energy, in seconds.
+    pub retention_s: f64,
+    /// Write endurance in cycles.
+    pub endurance_cycles: f64,
+    /// Standby leakage per bit, in watts (≈0 for true NVM).
+    pub standby_leakage_w_per_bit: f64,
+}
+
+impl NvmParams {
+    /// Energy to write `bits` bits, in joules.
+    #[must_use]
+    pub fn write_energy_j(&self, bits: u64) -> f64 {
+        self.write_energy_per_bit_j * bits as f64
+    }
+
+    /// Energy to read `bits` bits, in joules.
+    #[must_use]
+    pub fn read_energy_j(&self, bits: u64) -> f64 {
+        self.read_energy_per_bit_j * bits as f64
+    }
+
+    /// Returns a copy with write energy scaled by `factor` (used by
+    /// retention-relaxed backup modes; see [`crate::RelaxPolicy`]).
+    #[must_use]
+    pub fn with_write_energy_scaled(mut self, factor: f64) -> Self {
+        self.write_energy_per_bit_j *= factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_techs_have_positive_params() {
+        for tech in NvmTechnology::ALL {
+            let p = tech.params();
+            assert!(p.write_energy_per_bit_j > 0.0, "{tech}");
+            assert!(p.read_energy_per_bit_j > 0.0, "{tech}");
+            assert!(p.write_latency_s > 0.0, "{tech}");
+            assert!(p.read_latency_s > 0.0, "{tech}");
+            assert!(p.endurance_cycles > 0.0, "{tech}");
+        }
+    }
+
+    #[test]
+    fn relative_ordering_matches_literature() {
+        let feram = NvmTechnology::Feram.params();
+        let reram = NvmTechnology::Reram.params();
+        let stt = NvmTechnology::SttMram.params();
+        let pcm = NvmTechnology::Pcm.params();
+        // FeRAM has the cheapest writes; PCM the dearest.
+        assert!(feram.write_energy_per_bit_j < reram.write_energy_per_bit_j);
+        assert!(reram.write_energy_per_bit_j < pcm.write_energy_per_bit_j);
+        // STT-MRAM endurance dominates ReRAM/PCM by many decades.
+        assert!(stt.endurance_cycles > 1e6 * reram.endurance_cycles.min(pcm.endurance_cycles));
+        // Reads are cheaper than writes everywhere.
+        for tech in NvmTechnology::ALL {
+            let p = tech.params();
+            assert!(p.read_energy_per_bit_j <= p.write_energy_per_bit_j, "{tech}");
+        }
+    }
+
+    #[test]
+    fn bulk_energy_scales_linearly() {
+        let p = NvmTechnology::SttMram.params();
+        assert!((p.write_energy_j(1000) - 1000.0 * p.write_energy_per_bit_j).abs() < 1e-18);
+        let half = p.with_write_energy_scaled(0.5);
+        assert!((half.write_energy_j(2) - p.write_energy_j(1)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = NvmTechnology::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

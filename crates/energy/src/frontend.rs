@@ -1,0 +1,258 @@
+//! Power-provisioning front end: rectifier and storage capacitor.
+
+use serde::{Deserialize, Serialize};
+
+/// AC-DC rectifier / power-conditioning efficiency model.
+///
+/// Conversion efficiency collapses at very low input power (diode drops
+/// and controller overhead dominate), peaks in the hundreds-of-µW band a
+/// wrist harvester actually delivers, and sags slightly at high power.
+/// This is the loss mechanism that penalizes "charge a big capacitor
+/// first" schemes: energy moved into and out of storage pays the
+/// conversion tax twice.
+///
+/// # Example
+///
+/// ```
+/// use nvp_energy::Rectifier;
+///
+/// let r = Rectifier::default();
+/// assert!(r.efficiency(1e-6) < 0.5, "tiny inputs convert poorly");
+/// assert!(r.efficiency(300e-6) > 0.7, "mid-band is efficient");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rectifier {
+    /// Peak conversion efficiency (0–1).
+    pub peak_efficiency: f64,
+    /// Input power at which efficiency reaches half its peak, watts.
+    pub knee_w: f64,
+    /// Fractional efficiency droop per decade above the knee.
+    pub high_power_droop: f64,
+}
+
+impl Default for Rectifier {
+    fn default() -> Self {
+        Rectifier { peak_efficiency: 0.82, knee_w: 8e-6, high_power_droop: 0.02 }
+    }
+}
+
+impl Rectifier {
+    /// Conversion efficiency at the given input power (0–1).
+    #[must_use]
+    pub fn efficiency(&self, input_w: f64) -> f64 {
+        if input_w <= 0.0 {
+            return 0.0;
+        }
+        // Saturating rise past the knee…
+        let rise = input_w / (input_w + self.knee_w);
+        // …with a gentle droop at high power.
+        let decades_above = (input_w / (self.knee_w * 10.0)).max(1.0).log10();
+        let droop = 1.0 - self.high_power_droop * decades_above;
+        (self.peak_efficiency * rise * droop).clamp(0.0, 1.0)
+    }
+
+    /// Output (DC) power delivered for a given harvested input power.
+    #[must_use]
+    pub fn output_w(&self, input_w: f64) -> f64 {
+        input_w * self.efficiency(input_w)
+    }
+}
+
+/// An energy-storage capacitor tracked in the energy domain.
+///
+/// Capacity is `½·C·V²` at the rated voltage; leakage is exponential
+/// self-discharge with time constant `leak_tau_s` (≈ `R_leak·C`). Small
+/// on-chip backup capacitors have τ of hours; large supercapacitor ESDs
+/// have τ of minutes-to-hours *and* waste charge every cycle — the core
+/// energy trade-off between NVP and wait-then-compute platforms.
+///
+/// # Example
+///
+/// ```
+/// use nvp_energy::Capacitor;
+///
+/// let mut cap = Capacitor::new(100e-9, 3.3, 3600.0); // 100 nF on-chip
+/// let max = cap.max_energy_j();
+/// cap.charge_j(2.0 * max); // overcharge clamps at capacity
+/// assert!((cap.energy_j() - max).abs() < 1e-15);
+/// assert!(cap.draw_j(max * 0.5));
+/// assert!(!cap.draw_j(max), "cannot draw more than stored");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capacitor {
+    capacitance_f: f64,
+    rated_voltage_v: f64,
+    leak_tau_s: f64,
+    energy_j: f64,
+    wasted_j: f64,
+}
+
+impl Capacitor {
+    /// Creates an empty capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    #[must_use]
+    pub fn new(capacitance_f: f64, rated_voltage_v: f64, leak_tau_s: f64) -> Self {
+        assert!(capacitance_f > 0.0, "capacitance must be positive");
+        assert!(rated_voltage_v > 0.0, "voltage must be positive");
+        assert!(leak_tau_s > 0.0, "leakage time constant must be positive");
+        Capacitor { capacitance_f, rated_voltage_v, leak_tau_s, energy_j: 0.0, wasted_j: 0.0 }
+    }
+
+    /// Capacitance in farads.
+    #[must_use]
+    pub fn capacitance_f(&self) -> f64 {
+        self.capacitance_f
+    }
+
+    /// Maximum storable energy, `½CV²`, joules.
+    #[must_use]
+    pub fn max_energy_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.rated_voltage_v * self.rated_voltage_v
+    }
+
+    /// Currently stored energy, joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Present terminal voltage implied by the stored energy.
+    #[must_use]
+    pub fn voltage_v(&self) -> f64 {
+        (2.0 * self.energy_j / self.capacitance_f).sqrt()
+    }
+
+    /// Energy lost so far to leakage and overcharge spill, joules.
+    #[must_use]
+    pub fn wasted_j(&self) -> f64 {
+        self.wasted_j
+    }
+
+    /// Adds harvested energy; overflow beyond capacity is spilled (and
+    /// accounted as waste). Returns the energy actually stored.
+    pub fn charge_j(&mut self, joules: f64) -> f64 {
+        debug_assert!(joules >= 0.0);
+        let room = self.max_energy_j() - self.energy_j;
+        let stored = joules.min(room);
+        self.energy_j += stored;
+        self.wasted_j += joules - stored;
+        stored
+    }
+
+    /// Draws `joules` if available; returns `false` (and leaves the store
+    /// untouched) if there is not enough energy.
+    #[must_use = "a failed draw means a power emergency"]
+    pub fn draw_j(&mut self, joules: f64) -> bool {
+        if joules <= self.energy_j {
+            self.energy_j -= joules;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Draws up to `joules`, returning what was actually obtained
+    /// (brown-out semantics).
+    pub fn draw_up_to_j(&mut self, joules: f64) -> f64 {
+        let got = joules.min(self.energy_j);
+        self.energy_j -= got;
+        got
+    }
+
+    /// Applies self-discharge over `dt_s` seconds.
+    pub fn leak(&mut self, dt_s: f64) {
+        let kept = (-dt_s / self.leak_tau_s).exp();
+        let lost = self.energy_j * (1.0 - kept);
+        self.energy_j -= lost;
+        self.wasted_j += lost;
+    }
+
+    /// Empties the capacitor (deep discharge during a long outage).
+    pub fn deplete(&mut self) {
+        self.energy_j = 0.0;
+    }
+
+    /// Fraction of capacity currently filled (0–1).
+    #[must_use]
+    pub fn fill_fraction(&self) -> f64 {
+        self.energy_j / self.max_energy_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectifier_curve_shape() {
+        let r = Rectifier::default();
+        assert_eq!(r.efficiency(0.0), 0.0);
+        let e_small = r.efficiency(2e-6);
+        let e_mid = r.efficiency(200e-6);
+        assert!(e_small < e_mid, "{e_small} vs {e_mid}");
+        assert!(e_mid <= r.peak_efficiency);
+        // Monotone non-increasing far above the knee is allowed but mild.
+        let e_high = r.efficiency(2e-3);
+        assert!(e_high > 0.6 * r.peak_efficiency);
+        // Output power is monotone in input power across the range.
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let p = 1e-6 * f64::from(i) * f64::from(i);
+            let out = r.output_w(p);
+            assert!(out >= prev, "output power must be monotone");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn capacitor_energy_conservation() {
+        let mut cap = Capacitor::new(10e-6, 3.3, 100.0);
+        let stored = cap.charge_j(10e-6);
+        assert!((stored - 10e-6).abs() < 1e-18);
+        assert!(cap.draw_j(4e-6));
+        assert!((cap.energy_j() - 6e-6).abs() < 1e-15);
+        assert!(!cap.draw_j(7e-6), "insufficient draw must fail");
+        assert!((cap.energy_j() - 6e-6).abs() < 1e-15, "failed draw must not change state");
+        let got = cap.draw_up_to_j(100.0);
+        assert!((got - 6e-6).abs() < 1e-15);
+        assert_eq!(cap.energy_j(), 0.0);
+    }
+
+    #[test]
+    fn overcharge_spills_to_waste() {
+        let mut cap = Capacitor::new(1e-9, 1.0, 100.0);
+        let max = cap.max_energy_j();
+        cap.charge_j(10.0 * max);
+        assert!((cap.energy_j() - max).abs() < 1e-18);
+        assert!((cap.wasted_j() - 9.0 * max).abs() < 1e-15);
+        assert!((cap.fill_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_is_exponential() {
+        let mut cap = Capacitor::new(100e-6, 3.3, 10.0);
+        cap.charge_j(cap.max_energy_j());
+        let e0 = cap.energy_j();
+        cap.leak(10.0); // one time constant
+        assert!((cap.energy_j() / e0 - (-1.0_f64).exp()).abs() < 1e-9);
+        assert!(cap.wasted_j() > 0.0);
+    }
+
+    #[test]
+    fn voltage_tracks_energy() {
+        let mut cap = Capacitor::new(1e-6, 2.0, 100.0);
+        cap.charge_j(cap.max_energy_j());
+        assert!((cap.voltage_v() - 2.0).abs() < 1e-9);
+        let _ = cap.draw_j(cap.energy_j() * 0.75);
+        assert!((cap.voltage_v() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_rejected() {
+        let _ = Capacitor::new(0.0, 3.3, 1.0);
+    }
+}

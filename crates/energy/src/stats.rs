@@ -1,0 +1,200 @@
+//! Outage-duration and power-emergency statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PowerTrace;
+
+/// A simple fixed-bin histogram over outage durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower edge of each bin, seconds.
+    pub bin_edges_s: Vec<f64>,
+    /// Outage count per bin (`counts.len() == bin_edges_s.len()`); the
+    /// final bin is open-ended.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` over `n` equal-width bins spanning
+    /// `[0, max(values)]`.
+    #[must_use]
+    pub fn of(values: &[f64], n: usize) -> Histogram {
+        let n = n.max(1);
+        let max = values.iter().copied().fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+        let width = max / n as f64;
+        let mut counts = vec![0u64; n];
+        for &v in values {
+            let bin = ((v / width) as usize).min(n - 1);
+            counts[bin] += 1;
+        }
+        Histogram {
+            bin_edges_s: (0..n).map(|i| i as f64 * width).collect(),
+            counts,
+        }
+    }
+
+    /// Total number of counted values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Statistics of sub-threshold intervals ("power emergencies") in a trace.
+///
+/// An *emergency* begins on a falling edge through the threshold; its
+/// *outage duration* runs until power recovers. This reproduces the
+/// outage-duration/frequency analysis (figure F2) whose published envelope
+/// is 1000–2000 emergencies per 10 s on wrist-harvester traces at 33 µW.
+///
+/// # Example
+///
+/// ```
+/// use nvp_energy::{OutageStats, PowerTrace};
+///
+/// let t = PowerTrace::from_segments(1e-4, &[
+///     (100e-6, 0.010), (0.0, 0.003), (50e-6, 0.005), (10e-6, 0.002),
+/// ]);
+/// let s = OutageStats::analyze(&t, 33e-6);
+/// assert_eq!(s.emergency_count, 2);
+/// assert!((s.longest_outage_s - 0.003).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutageStats {
+    /// Threshold used, watts.
+    pub threshold_w: f64,
+    /// Number of falling-edge crossings (power emergencies).
+    pub emergency_count: u64,
+    /// Every outage duration, seconds, in order of occurrence.
+    pub outage_durations_s: Vec<f64>,
+    /// Longest single outage, seconds.
+    pub longest_outage_s: f64,
+    /// Mean outage duration, seconds (0 if none).
+    pub mean_outage_s: f64,
+    /// Fraction of trace time spent at or above the threshold.
+    pub above_threshold_fraction: f64,
+}
+
+impl OutageStats {
+    /// Analyzes a trace against an operating-power threshold.
+    #[must_use]
+    pub fn analyze(trace: &PowerTrace, threshold_w: f64) -> OutageStats {
+        let dt = trace.dt_s();
+        let mut outages = Vec::new();
+        let mut current: Option<u64> = None;
+        let mut above_samples: u64 = 0;
+        for &p in trace.samples() {
+            if p >= threshold_w {
+                above_samples += 1;
+                if let Some(n) = current.take() {
+                    outages.push(n as f64 * dt);
+                }
+            } else {
+                current = Some(current.unwrap_or(0) + 1);
+            }
+        }
+        if let Some(n) = current {
+            outages.push(n as f64 * dt);
+        }
+        // Only count *emergencies* — falling edges. A trace that starts
+        // below threshold has an initial outage but no falling edge.
+        let starts_low = trace.samples().first().is_some_and(|&p| p < threshold_w);
+        let emergency_count = outages.len() as u64 - u64::from(starts_low && !outages.is_empty());
+        let longest = outages.iter().copied().fold(0.0, f64::max);
+        let mean = if outages.is_empty() {
+            0.0
+        } else {
+            outages.iter().sum::<f64>() / outages.len() as f64
+        };
+        let above_fraction = if trace.is_empty() {
+            0.0
+        } else {
+            above_samples as f64 / trace.len() as f64
+        };
+        OutageStats {
+            threshold_w,
+            emergency_count,
+            outage_durations_s: outages,
+            longest_outage_s: longest,
+            mean_outage_s: mean,
+            above_threshold_fraction: above_fraction,
+        }
+    }
+
+    /// Emergencies normalized to a 10-second window (the survey's unit).
+    #[must_use]
+    pub fn emergencies_per_10s(&self, trace_duration_s: f64) -> f64 {
+        if trace_duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.emergency_count as f64 * 10.0 / trace_duration_s
+    }
+
+    /// Histogram of outage durations over `n` bins.
+    #[must_use]
+    pub fn histogram(&self, n: usize) -> Histogram {
+        Histogram::of(&self.outage_durations_s, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_edges_not_initial_low() {
+        // Starts low: the initial outage is not an emergency.
+        let t = PowerTrace::from_segments(1e-3, &[(0.0, 0.01), (1e-3, 0.01), (0.0, 0.01)]);
+        let s = OutageStats::analyze(&t, 33e-6);
+        assert_eq!(s.emergency_count, 1);
+        assert_eq!(s.outage_durations_s.len(), 2);
+    }
+
+    #[test]
+    fn all_above_no_outage() {
+        let t = PowerTrace::constant(1e-4, 1e-3, 0.1);
+        let s = OutageStats::analyze(&t, 33e-6);
+        assert_eq!(s.emergency_count, 0);
+        assert!(s.outage_durations_s.is_empty());
+        assert_eq!(s.above_threshold_fraction, 1.0);
+        assert_eq!(s.mean_outage_s, 0.0);
+    }
+
+    #[test]
+    fn all_below_is_one_long_outage() {
+        let t = PowerTrace::constant(1e-4, 1e-6, 0.1);
+        let s = OutageStats::analyze(&t, 33e-6);
+        assert_eq!(s.emergency_count, 0, "no falling edge");
+        assert_eq!(s.outage_durations_s.len(), 1);
+        assert!((s.longest_outage_s - 0.1).abs() < 1e-9);
+        assert_eq!(s.above_threshold_fraction, 0.0);
+    }
+
+    #[test]
+    fn per_10s_normalization() {
+        let t = PowerTrace::from_segments(
+            1e-4,
+            &[(1e-3, 0.1), (0.0, 0.1), (1e-3, 0.1), (0.0, 0.1), (1e-3, 0.1)],
+        );
+        let s = OutageStats::analyze(&t, 33e-6);
+        assert_eq!(s.emergency_count, 2);
+        assert!((s.emergencies_per_10s(t.duration_s()) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_sum() {
+        let values = [0.001, 0.002, 0.010, 0.020, 0.020];
+        let h = Histogram::of(&values, 4);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts.len(), 4);
+        assert_eq!(h.bin_edges_s.len(), 4);
+        // Max value lands in the last bin.
+        assert!(h.counts[3] >= 2);
+    }
+
+    #[test]
+    fn histogram_of_empty() {
+        let h = Histogram::of(&[], 8);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Sampled harvested-power traces.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when parsing a CSV trace fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    line: usize,
+    msg: String,
+}
+
+impl TraceError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        TraceError { line, msg: msg.into() }
+    }
+
+    /// 1-based line of the offending record.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A harvested-power trace: input power in watts, sampled every `dt_s`.
+///
+/// # Example
+///
+/// ```
+/// use nvp_energy::PowerTrace;
+///
+/// let t = PowerTrace::from_samples(1e-4, vec![10e-6, 20e-6, 0.0, 40e-6]);
+/// assert_eq!(t.len(), 4);
+/// assert!((t.duration_s() - 4e-4).abs() < 1e-12);
+/// assert!((t.average_w() - 17.5e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    dt_s: f64,
+    samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Creates a trace from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive or any sample is negative/NaN.
+    #[must_use]
+    pub fn from_samples(dt_s: f64, samples: Vec<f64>) -> Self {
+        assert!(dt_s > 0.0, "sample period must be positive");
+        assert!(
+            samples.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "power samples must be finite and non-negative"
+        );
+        PowerTrace { dt_s, samples }
+    }
+
+    /// Creates a constant-power trace of the given duration.
+    #[must_use]
+    pub fn constant(dt_s: f64, power_w: f64, duration_s: f64) -> Self {
+        let n = (duration_s / dt_s).round() as usize;
+        Self::from_samples(dt_s, vec![power_w; n])
+    }
+
+    /// Builds a trace from `(power_w, duration_s)` segments.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nvp_energy::PowerTrace;
+    /// let t = PowerTrace::from_segments(1e-3, &[(100e-6, 0.01), (0.0, 0.005)]);
+    /// assert_eq!(t.len(), 15);
+    /// ```
+    #[must_use]
+    pub fn from_segments(dt_s: f64, segments: &[(f64, f64)]) -> Self {
+        let mut samples = Vec::new();
+        for &(power, duration) in segments {
+            let n = (duration / dt_s).round() as usize;
+            samples.extend(std::iter::repeat_n(power, n));
+        }
+        Self::from_samples(dt_s, samples)
+    }
+
+    /// The sampling period in seconds.
+    #[must_use]
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the trace has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.dt_s * self.samples.len() as f64
+    }
+
+    /// The raw samples, watts.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Power at sample index `i`, or 0 beyond the end.
+    #[must_use]
+    pub fn power_at(&self, i: usize) -> f64 {
+        self.samples.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Mean power over the whole trace, watts.
+    #[must_use]
+    pub fn average_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak power, watts.
+    #[must_use]
+    pub fn peak_w(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total harvested energy over the trace, joules (before conversion
+    /// losses).
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.dt_s
+    }
+
+    /// Serializes as two-column CSV (`time_s,power_w`) with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.samples.len() * 16 + 16);
+        out.push_str("time_s,power_w\n");
+        for (i, p) in self.samples.iter().enumerate() {
+            use fmt::Write;
+            writeln!(out, "{:.6},{:.9}", i as f64 * self.dt_s, p).expect("write to String");
+        }
+        out
+    }
+
+    /// Parses the CSV produced by [`to_csv`](Self::to_csv).
+    ///
+    /// The sample period is inferred from the first two timestamps; a
+    /// single-sample trace uses `dt_s = 1e-4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on malformed rows or negative power.
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut times = Vec::new();
+        let mut powers = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || (i == 0 && line.starts_with("time")) {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let t: f64 = cols
+                .next()
+                .ok_or_else(|| TraceError::new(i + 1, "missing time column"))?
+                .trim()
+                .parse()
+                .map_err(|e| TraceError::new(i + 1, format!("bad time: {e}")))?;
+            let p: f64 = cols
+                .next()
+                .ok_or_else(|| TraceError::new(i + 1, "missing power column"))?
+                .trim()
+                .parse()
+                .map_err(|e| TraceError::new(i + 1, format!("bad power: {e}")))?;
+            if !p.is_finite() || p < 0.0 {
+                return Err(TraceError::new(i + 1, format!("invalid power {p}")));
+            }
+            times.push(t);
+            powers.push(p);
+        }
+        if powers.is_empty() {
+            return Err(TraceError::new(1, "no samples"));
+        }
+        let dt = if times.len() >= 2 { (times[1] - times[0]).abs() } else { 1e-4 };
+        if dt <= 0.0 {
+            return Err(TraceError::new(2, "non-increasing timestamps"));
+        }
+        Ok(PowerTrace { dt_s: dt, samples: powers })
+    }
+
+    /// Returns a sub-trace covering `[start_s, start_s + duration_s)`.
+    #[must_use]
+    pub fn slice(&self, start_s: f64, duration_s: f64) -> PowerTrace {
+        let from = ((start_s / self.dt_s).round() as usize).min(self.samples.len());
+        let to = (((start_s + duration_s) / self.dt_s).round() as usize).min(self.samples.len());
+        PowerTrace { dt_s: self.dt_s, samples: self.samples[from..to].to_vec() }
+    }
+
+    /// Returns the trace with every sample scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PowerTrace {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        PowerTrace {
+            dt_s: self.dt_s,
+            samples: self.samples.iter().map(|p| p * factor).collect(),
+        }
+    }
+
+    /// Returns this trace followed by `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample periods differ.
+    #[must_use]
+    pub fn concat(&self, other: &PowerTrace) -> PowerTrace {
+        assert!(
+            (self.dt_s - other.dt_s).abs() < 1e-15,
+            "cannot concatenate traces with different sample periods"
+        );
+        let mut samples = self.samples.clone();
+        samples.extend_from_slice(&other.samples);
+        PowerTrace { dt_s: self.dt_s, samples }
+    }
+
+    /// Returns the trace repeated `n` times back to back (e.g. looping a
+    /// 10 s measurement into a minutes-long scenario).
+    #[must_use]
+    pub fn repeated(&self, n: usize) -> PowerTrace {
+        let mut samples = Vec::with_capacity(self.samples.len() * n);
+        for _ in 0..n {
+            samples.extend_from_slice(&self.samples);
+        }
+        PowerTrace { dt_s: self.dt_s, samples }
+    }
+
+    /// Returns the trace with a constant power `offset_w` added to every
+    /// sample (e.g. modelling a secondary always-on source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset would make any sample negative.
+    #[must_use]
+    pub fn with_offset(&self, offset_w: f64) -> PowerTrace {
+        let samples: Vec<f64> = self.samples.iter().map(|p| p + offset_w).collect();
+        assert!(
+            samples.iter().all(|p| *p >= 0.0),
+            "offset must not make power negative"
+        );
+        PowerTrace { dt_s: self.dt_s, samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_and_metrics() {
+        let t = PowerTrace::from_segments(1e-4, &[(100e-6, 0.01), (0.0, 0.01)]);
+        assert_eq!(t.len(), 200);
+        assert!((t.average_w() - 50e-6).abs() < 1e-12);
+        assert!((t.peak_w() - 100e-6).abs() < 1e-15);
+        assert!((t.total_energy_j() - 100e-6 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = PowerTrace::from_samples(1e-4, vec![1e-6, 2e-6, 0.0, 1.5e-3]);
+        let parsed = PowerTrace::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        assert!((parsed.dt_s() - t.dt_s()).abs() < 1e-12);
+        for (a, b) in parsed.samples().iter().zip(t.samples()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(PowerTrace::from_csv("").is_err());
+        assert!(PowerTrace::from_csv("time_s,power_w\n0.0,abc").is_err());
+        assert!(PowerTrace::from_csv("0.0,-1.0").is_err());
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let t = PowerTrace::from_segments(1e-3, &[(1.0, 0.01), (2.0, 0.01)]);
+        let s = t.slice(0.008, 0.004);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.samples(), &[1.0, 1.0, 2.0, 2.0]);
+        // Out-of-range slice clamps.
+        assert_eq!(t.slice(1.0, 1.0).len(), 0);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let t = PowerTrace::from_samples(1e-4, vec![1e-6, 3e-6]);
+        let s = t.scaled(2.0);
+        assert_eq!(s.samples(), &[2e-6, 6e-6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_panics() {
+        let _ = PowerTrace::from_samples(1e-4, vec![1e-6]).scaled(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_sample_panics() {
+        let _ = PowerTrace::from_samples(1e-4, vec![-1.0]);
+    }
+}

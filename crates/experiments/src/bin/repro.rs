@@ -1,0 +1,41 @@
+//! Regenerates every table/figure of the reconstructed evaluation.
+//!
+//! Usage: `cargo run --release -p nvp-experiments --bin repro [out_dir] [--quick]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nvp_experiments::{run_all, ExpConfig};
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut cfg = ExpConfig::default();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            cfg = ExpConfig::quick();
+        } else {
+            out_dir = PathBuf::from(arg);
+        }
+    }
+    eprintln!(
+        "regenerating evaluation ({}s traces, {} profiles, {}x{} frames) into {} ...",
+        cfg.trace_duration_s,
+        cfg.profile_seeds.len(),
+        cfg.frame_w,
+        cfg.frame_h,
+        out_dir.display()
+    );
+    match run_all(&cfg, &out_dir) {
+        Ok(artifacts) => {
+            for t in &artifacts.tables {
+                println!("{}", t.to_markdown());
+            }
+            eprintln!("wrote {} files to {}", artifacts.files.len(), out_dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared helpers: standard platforms, kernels, and run plumbing.
+
+use nvp_core::{
+    measure_task, BackupModel, BackupPolicy, IntermittentSystem, RunReport, SystemConfig,
+    TaskCost, WaitComputeConfig, WaitComputeSystem,
+};
+use nvp_device::NvmTechnology;
+use nvp_energy::{harvester, PowerTrace};
+use nvp_workloads::{GrayImage, KernelInstance, KernelKind};
+
+use crate::ExpConfig;
+
+/// Volatile state bits of the NV16 core (registers + PC + pipeline FFs),
+/// matching the published chips' ~2 kbit backup payloads.
+pub(crate) const STATE_BITS: u64 = 2048;
+
+/// The standard frame for image kernels.
+pub(crate) fn frame(cfg: &ExpConfig) -> GrayImage {
+    GrayImage::synthetic(cfg.frame_seed, cfg.frame_w, cfg.frame_h)
+}
+
+/// Builds a kernel instance on the standard frame.
+pub(crate) fn kernel(cfg: &ExpConfig, kind: KernelKind) -> KernelInstance {
+    kind.build(&frame(cfg)).expect("kernel builds on standard frame")
+}
+
+/// The standard wearable trace for a profile seed.
+pub(crate) fn watch_trace(cfg: &ExpConfig, seed: u64) -> PowerTrace {
+    harvester::wrist_watch(seed, cfg.trace_duration_s)
+}
+
+/// The reference hardware-NVP backup model (distributed FeRAM NVFFs).
+pub(crate) fn standard_backup() -> BackupModel {
+    BackupModel::distributed(NvmTechnology::Feram, STATE_BITS)
+}
+
+/// System configuration sized for a kernel's memory needs.
+pub(crate) fn system_config_for(inst: &KernelInstance) -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.dmem_words = cfg.dmem_words.max(inst.min_dmem_words());
+    cfg
+}
+
+/// System configuration for a kernel on an NVP whose *data memory* is
+/// built from the given technology: loads/stores pay that technology's
+/// per-bit energies instead of the generic defaults.
+pub(crate) fn system_config_for_tech(
+    inst: &KernelInstance,
+    tech: nvp_device::NvmTechnology,
+) -> SystemConfig {
+    let p = tech.params();
+    let mut cfg = system_config_for(inst);
+    cfg.energy_model = cfg
+        .energy_model
+        .with_mem_write_extra(p.write_energy_j(16))
+        .with_mem_read_extra(p.read_energy_j(16));
+    cfg
+}
+
+/// Unconstrained task cost of a kernel.
+pub(crate) fn task_cost(inst: &KernelInstance) -> TaskCost {
+    measure_task(inst.program(), &system_config_for(inst), 500_000_000)
+        .expect("kernel terminates under continuous power")
+}
+
+/// Runs the hardware NVP over a trace.
+pub(crate) fn run_nvp(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
+    run_nvp_with(inst, trace, system_config_for(inst), standard_backup(), BackupPolicy::demand())
+}
+
+/// Runs an NVP variant with explicit configuration.
+pub(crate) fn run_nvp_with(
+    inst: &KernelInstance,
+    trace: &PowerTrace,
+    sys: SystemConfig,
+    backup: BackupModel,
+    policy: BackupPolicy,
+) -> RunReport {
+    let mut system = IntermittentSystem::new(inst.program(), sys, backup, policy)
+        .expect("platform builds");
+    system.run(trace).expect("workload does not fault")
+}
+
+/// Runs the wait-then-compute baseline, ESD sized for the kernel's task.
+pub(crate) fn run_wait(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
+    let cost = task_cost(inst);
+    let mut cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+    cfg.dmem_words = cfg.dmem_words.max(inst.min_dmem_words());
+    let mut system = WaitComputeSystem::new(inst.program(), cfg).expect("platform builds");
+    system.run(trace).expect("workload does not fault")
+}
+
+/// Runs the software-checkpointing baseline (Hibernus-class: volatile
+/// SRAM MCU, CPU-copied checkpoints into FeRAM at a voltage trigger).
+pub(crate) fn run_software_ckpt(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
+    let mut sys = system_config_for(inst);
+    sys.dmem_nonvolatile = false;
+    let ram_words = inst.min_dmem_words() as u64;
+    let backup = BackupModel::software(NvmTechnology::Feram, STATE_BITS, ram_words, sys.clock_hz);
+    run_nvp_with(inst, trace, sys, backup, BackupPolicy::OnDemand { margin: 1.3 })
+}
+
+/// Seconds per completed frame, or `None` if no frame completed.
+pub(crate) fn seconds_per_frame(report: &RunReport) -> Option<f64> {
+    (report.tasks_completed > 0).then(|| report.duration_s / report.tasks_completed as f64)
+}

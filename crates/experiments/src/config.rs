@@ -1,0 +1,62 @@
+//! Experiment configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared parameters for the experiment suite.
+///
+/// [`ExpConfig::default`] runs the full evaluation (10 s traces, five
+/// profiles, 32×32 frames); [`ExpConfig::quick`] is a reduced
+/// configuration for tests and smoke runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Simulated trace length per run, seconds.
+    pub trace_duration_s: f64,
+    /// Seeds of the wearable "watch" profiles to evaluate.
+    pub profile_seeds: Vec<u64>,
+    /// Seed for the synthetic sensor frame.
+    pub frame_seed: u64,
+    /// Frame width, pixels.
+    pub frame_w: usize,
+    /// Frame height, pixels.
+    pub frame_h: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            trace_duration_s: 10.0,
+            profile_seeds: vec![1, 2, 3, 4, 5],
+            frame_seed: 7,
+            frame_w: 32,
+            frame_h: 32,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Reduced configuration for fast test runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExpConfig {
+            trace_duration_s: 2.0,
+            profile_seeds: vec![1, 2],
+            frame_seed: 7,
+            frame_w: 16,
+            frame_h: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        let full = ExpConfig::default();
+        let quick = ExpConfig::quick();
+        assert!(quick.trace_duration_s < full.trace_duration_s);
+        assert!(quick.profile_seeds.len() < full.profile_seeds.len());
+        assert!(quick.frame_w * quick.frame_h < full.frame_w * full.frame_h);
+    }
+}

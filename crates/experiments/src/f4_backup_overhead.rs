@@ -1,0 +1,91 @@
+//! **F4 — backup overheads on wearable traces.**
+//!
+//! Published calibration targets: 1400–1700 backups per minute, consuming
+//! 20–33 % of income energy. This experiment reports the framework's
+//! measured values per profile.
+
+use nvp_workloads::KernelKind;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{kernel, run_nvp, watch_trace};
+use crate::report::fmt;
+use crate::{ExpConfig, Table};
+
+/// Per-profile backup-overhead measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Profile seed.
+    pub profile: u64,
+    /// Backups per minute.
+    pub backups_per_minute: f64,
+    /// Restores per minute.
+    pub restores_per_minute: f64,
+    /// Share of converted income energy spent on backup + restore.
+    pub backup_energy_share: f64,
+    /// Rollbacks (should be zero under the demand policy).
+    pub rollbacks: u64,
+}
+
+/// Measures backup overheads with the sobel workload.
+#[must_use]
+pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
+    let inst = kernel(cfg, KernelKind::Sobel);
+    cfg.profile_seeds
+        .iter()
+        .map(|&seed| {
+            let trace = watch_trace(cfg, seed);
+            let r = run_nvp(&inst, &trace);
+            Row {
+                profile: seed,
+                backups_per_minute: r.backups_per_minute(),
+                restores_per_minute: r.restores as f64 * 60.0 / r.duration_s,
+                backup_energy_share: r.backup_energy_share(),
+                rollbacks: r.rollbacks,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+#[must_use]
+pub fn table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "F4",
+        "Backup overheads (published: 1400-1700 backups/min, 20-33% of income energy)",
+        &["profile", "backups_per_min", "restores_per_min", "backup_energy_share", "rollbacks"],
+    );
+    for r in rows(cfg) {
+        t.push_row(vec![
+            r.profile.to_string(),
+            fmt(r.backups_per_minute, 0),
+            fmt(r.restores_per_minute, 0),
+            fmt(r.backup_energy_share, 3),
+            r.rollbacks.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_in_calibrated_band() {
+        for r in rows(&ExpConfig::default()) {
+            assert!(
+                (400.0..4000.0).contains(&r.backups_per_minute),
+                "profile {}: {} backups/min",
+                r.profile,
+                r.backups_per_minute
+            );
+            assert!(
+                (0.05..0.45).contains(&r.backup_energy_share),
+                "profile {}: share {}",
+                r.profile,
+                r.backup_energy_share
+            );
+            assert_eq!(r.rollbacks, 0, "demand policy must not roll back");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! **F5 — storage-capacitor sizing sweep.**
+//!
+//! The architecture-exploration result (HPCA'15 class): an NVP needs only
+//! enough storage to cover restore + one backup + a little useful work —
+//! below that it cannot start at all; above it, extra capacitance buys
+//! ride-through for short outages with diminishing returns, while the
+//! wait-compute platform needs orders of magnitude more storage before it
+//! works at all.
+
+use nvp_core::{SystemConfig, WaitComputeConfig, WaitComputeSystem};
+use nvp_workloads::KernelKind;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{kernel, run_nvp_with, standard_backup, system_config_for, watch_trace};
+use crate::report::fmt;
+use crate::{ExpConfig, Table};
+
+/// Swept capacitances, farads.
+pub const CAPACITANCES_F: [f64; 9] =
+    [47e-9, 100e-9, 220e-9, 470e-9, 1e-6, 2.2e-6, 10e-6, 47e-6, 220e-6];
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Storage capacitance, µF.
+    pub cap_uf: f64,
+    /// NVP forward progress with this buffer size.
+    pub nvp_fp: u64,
+    /// Wait-compute forward progress with this ESD size.
+    pub wait_fp: u64,
+}
+
+/// Sweeps storage size for both platforms on the first profile.
+#[must_use]
+pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let trace = watch_trace(cfg, cfg.profile_seeds[0]);
+    let cost = crate::common::task_cost(&inst);
+    CAPACITANCES_F
+        .iter()
+        .map(|&c| {
+            let sys: SystemConfig = system_config_for(&inst).with_capacitance(c);
+            let nvp = run_nvp_with(&inst, &trace, sys, standard_backup(), nvp_core::BackupPolicy::demand());
+            // Wait-compute with the same storage size; the start threshold
+            // stays task-sized but is capped at 90 % of the ESD capacity
+            // (an undersized ESD forces early, risky starts).
+            let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+            wcfg.capacitance_f = c;
+            wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+            let capacity = 0.5 * c * wcfg.cap_voltage_v * wcfg.cap_voltage_v;
+            wcfg.start_energy_j = wcfg.start_energy_j.min(0.9 * capacity);
+            let mut wait = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
+            let wait_report = wait.run(&trace).expect("workload does not fault");
+            Row { cap_uf: c * 1e6, nvp_fp: nvp.forward_progress(), wait_fp: wait_report.forward_progress() }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+#[must_use]
+pub fn table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "F5",
+        "Forward progress vs storage capacitance (NVP buffer vs wait-compute ESD)",
+        &["cap_uf", "nvp_fp", "wait_fp"],
+    );
+    for r in rows(cfg) {
+        t.push_row(vec![fmt(r.cap_uf, 3), r.nvp_fp.to_string(), r.wait_fp.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_buffer_cannot_start_nvp() {
+        let rows = rows(&ExpConfig::quick());
+        // 47 nF at 3.3 V stores ~0.26 µJ — below the NVP start threshold.
+        assert_eq!(rows[0].nvp_fp, 0, "47 nF must be unviable");
+        // Micro-farad-class buffers work.
+        let viable = rows.iter().find(|r| (r.cap_uf - 2.2).abs() < 1e-9).unwrap();
+        assert!(viable.nvp_fp > 0);
+    }
+
+    #[test]
+    fn nvp_needs_less_storage_than_wait() {
+        let rows = rows(&ExpConfig::quick());
+        let min_nvp = rows.iter().find(|r| r.nvp_fp > 0).map(|r| r.cap_uf);
+        let min_wait = rows.iter().find(|r| r.wait_fp > 0).map(|r| r.cap_uf);
+        match (min_nvp, min_wait) {
+            (Some(n), Some(w)) => assert!(n <= w, "nvp {n} µF vs wait {w} µF"),
+            (Some(_), None) => {} // wait never works in the quick window
+            other => panic!("unexpected viability pattern {other:?}"),
+        }
+    }
+}

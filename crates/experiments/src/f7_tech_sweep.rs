@@ -1,0 +1,117 @@
+//! **F7 — NVM technology × harvester class.**
+//!
+//! Which backup technology suits which ambient source: forward progress
+//! for all four NVM technologies (distributed backup) across the four
+//! source classes, plus the endurance verdict at each source's backup
+//! rate.
+
+use nvp_core::{BackupModel, BackupPolicy};
+use nvp_device::{EnduranceMeter, NvmTechnology};
+use nvp_energy::harvester::SourceKind;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{kernel, run_nvp_with, system_config_for_tech, STATE_BITS};
+use crate::report::fmt;
+use crate::{ExpConfig, Table};
+use nvp_workloads::KernelKind;
+
+/// One technology × source measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// NVM technology.
+    pub tech: String,
+    /// Harvester class.
+    pub source: String,
+    /// Forward progress.
+    pub fp: u64,
+    /// Backups per minute.
+    pub backups_per_min: f64,
+    /// Projected lifetime at this backup rate, years (∞-safe as f64).
+    pub lifetime_years: f64,
+}
+
+/// Runs the full technology × source grid.
+#[must_use]
+pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let mut out = Vec::new();
+    for tech in NvmTechnology::ALL {
+        // Both the backup path *and* the NVM data memory use `tech`.
+        let sys = system_config_for_tech(&inst, tech);
+        let backup = BackupModel::distributed(tech, STATE_BITS);
+        for source in SourceKind::ALL {
+            let trace = source.generate(cfg.profile_seeds[0], cfg.trace_duration_s);
+            let r = run_nvp_with(&inst, &trace, sys, backup, BackupPolicy::demand());
+            let rate = r.backups as f64 / r.duration_s.max(1e-9);
+            let meter = EnduranceMeter::new(tech.params());
+            out.push(Row {
+                tech: tech.to_string(),
+                source: source.to_string(),
+                fp: r.forward_progress(),
+                backups_per_min: r.backups_per_minute(),
+                lifetime_years: meter.lifetime_years(rate),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the grid.
+#[must_use]
+pub fn table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "F7",
+        "Forward progress and endurance by NVM technology and harvester class",
+        &["tech", "source", "fp", "backups_per_min", "lifetime_years"],
+    );
+    for r in rows(cfg) {
+        let life = if r.lifetime_years.is_finite() && r.lifetime_years < 1e6 {
+            fmt(r.lifetime_years, 1)
+        } else {
+            ">1e6".to_owned()
+        };
+        t.push_row(vec![
+            r.tech,
+            r.source,
+            r.fp.to_string(),
+            fmt(r.backups_per_min, 0),
+            life,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_complete_and_ordered() {
+        let rows = rows(&ExpConfig::quick());
+        assert_eq!(rows.len(), 16);
+        // Solar (strong source) beats thermal (weak) for every tech.
+        for tech in NvmTechnology::ALL {
+            let f = |src: &str| {
+                rows.iter()
+                    .find(|r| r.tech == tech.to_string() && r.source == src)
+                    .unwrap()
+                    .fp
+            };
+            assert!(
+                f("solar-indoor") > f("thermal-body"),
+                "{tech}: solar {} vs thermal {}",
+                f("solar-indoor"),
+                f("thermal-body")
+            );
+        }
+    }
+
+    #[test]
+    fn feram_cheap_writes_beat_pcm() {
+        let rows = rows(&ExpConfig::quick());
+        let fp = |tech: &str| -> u64 {
+            rows.iter().filter(|r| r.tech == tech).map(|r| r.fp).sum()
+        };
+        assert!(fp("FeRAM") >= fp("PCM"), "FeRAM {} vs PCM {}", fp("FeRAM"), fp("PCM"));
+    }
+}

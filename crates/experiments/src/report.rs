@@ -1,0 +1,148 @@
+//! Table rendering (Markdown + CSV).
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment result: an identified, titled grid of cells.
+///
+/// # Example
+///
+/// ```
+/// use nvp_experiments::Table;
+///
+/// let mut t = Table::new("T0", "demo", &["a", "b"]);
+/// t.push_row(vec!["1".into(), "2".into()]);
+/// assert!(t.to_markdown().contains("| 1 | 2 |"));
+/// assert_eq!(t.to_csv().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    id: String,
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The experiment identifier (e.g. `"F3"`).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Human-readable title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavoured Markdown (title, header, rows).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows, comma-separated; cells containing
+    /// commas are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub(crate) fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a ratio like `2.31x`.
+pub(crate) fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_structure() {
+        let mut t = Table::new("F1", "power", &["x", "y"]);
+        t.push_row(vec!["0".into(), "1".into()]);
+        t.push_row(vec!["1".into(), "4".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### F1 — power"));
+        assert_eq!(md.matches('|').count(), 3 * 4);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("X", "x", &["a"]);
+        t.push_row(vec!["1,2".into()]);
+        assert!(t.to_csv().contains("\"1,2\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("X", "x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_ratio(2.345), "2.35x");
+    }
+}

@@ -1,0 +1,121 @@
+//! **T3 — backup-strategy comparison.**
+//!
+//! The architecture-level choice the survey dwells on: distributed
+//! (parallel NV flip-flops) vs. centralized (word-serial copy to an NVM
+//! array) vs. software checkpointing, per technology — op costs plus
+//! end-to-end forward progress on a wearable trace.
+
+use nvp_core::{BackupModel, BackupPolicy, BackupStyle};
+use nvp_device::NvmTechnology;
+use nvp_workloads::KernelKind;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{kernel, run_nvp_with, system_config_for, watch_trace, STATE_BITS};
+use crate::report::fmt;
+use crate::{ExpConfig, Table};
+
+/// One technology × style measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// NVM technology.
+    pub tech: String,
+    /// Backup style.
+    pub style: String,
+    /// Backup time, µs.
+    pub backup_us: f64,
+    /// Backup energy, nJ.
+    pub backup_nj: f64,
+    /// Restore time, µs.
+    pub restore_us: f64,
+    /// Forward progress on the first wearable profile.
+    pub fp: u64,
+}
+
+fn model_for(style: BackupStyle, tech: NvmTechnology, ram_words: u64) -> BackupModel {
+    match style {
+        BackupStyle::Distributed => BackupModel::distributed(tech, STATE_BITS),
+        BackupStyle::Centralized => BackupModel::centralized(tech, STATE_BITS),
+        BackupStyle::Software => BackupModel::software(tech, STATE_BITS, ram_words, 1e6),
+    }
+}
+
+/// Runs the style × technology grid (FeRAM and STT-MRAM — the two
+/// technologies real NVPs and FRAM MCUs use).
+#[must_use]
+pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let trace = watch_trace(cfg, cfg.profile_seeds[0]);
+    let ram_words = inst.min_dmem_words() as u64;
+    let mut out = Vec::new();
+    for tech in [NvmTechnology::Feram, NvmTechnology::SttMram] {
+        for style in [BackupStyle::Distributed, BackupStyle::Centralized, BackupStyle::Software] {
+            let model = model_for(style, tech, ram_words);
+            let mut sys = system_config_for(&inst);
+            if style == BackupStyle::Software {
+                sys.dmem_nonvolatile = false;
+            }
+            let policy = match style {
+                BackupStyle::Software => BackupPolicy::OnDemand { margin: 1.3 },
+                _ => BackupPolicy::demand(),
+            };
+            let r = run_nvp_with(&inst, &trace, sys, model, policy);
+            out.push(Row {
+                tech: tech.to_string(),
+                style: style.to_string(),
+                backup_us: model.backup_time_s * 1e6,
+                backup_nj: model.backup_energy_j * 1e9,
+                restore_us: model.restore_time_s * 1e6,
+                fp: r.forward_progress(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the grid.
+#[must_use]
+pub fn table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "T3",
+        "Backup strategies: distributed NVFF vs centralized copy vs software checkpointing",
+        &["tech", "style", "backup_us", "backup_nj", "restore_us", "fp"],
+    );
+    for r in rows(cfg) {
+        t.push_row(vec![
+            r.tech,
+            r.style,
+            fmt(r.backup_us, 2),
+            fmt(r.backup_nj, 1),
+            fmt(r.restore_us, 2),
+            r.fp.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_dominates() {
+        let rows = rows(&ExpConfig::quick());
+        assert_eq!(rows.len(), 6);
+        for tech in ["FeRAM", "STT-MRAM"] {
+            let fp = |style: &str| {
+                rows.iter().find(|r| r.tech == tech && r.style == style).unwrap().fp
+            };
+            let t = |style: &str| {
+                rows.iter().find(|r| r.tech == tech && r.style == style).unwrap().backup_us
+            };
+            assert!(t("distributed") < t("centralized"), "{tech}");
+            assert!(t("centralized") < t("software"), "{tech}");
+            assert!(
+                fp("distributed") >= fp("software"),
+                "{tech}: distributed {} vs software {}",
+                fp("distributed"),
+                fp("software")
+            );
+        }
+    }
+}

@@ -1,0 +1,919 @@
+//! Two-pass assembler for the NV16 text syntax.
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! ; comments run from `;` to end of line
+//! .equ  WIDTH, 16          ; named constant (no forward references)
+//! .entry main              ; entry point (defaults to address 0)
+//!
+//! main:                    ; labels bind to the current address
+//!     li   r1, buf         ; symbols usable wherever immediates are
+//!     lw   r2, 0(r1)       ; load word, signed offset
+//!     addi r2, r2, WIDTH-1
+//!     sw   r2, 1(r1)
+//!     beq  r2, r0, done    ; branch targets are labels (or raw offsets)
+//!     j    main            ; pseudo: jal r0, main
+//! done:
+//!     halt
+//!
+//! .data 0x100              ; switch to data mode at word address 0x100
+//! buf:  .word 1, 2, 3      ; initialized words
+//! tmp:  .space 8           ; 8 zero words
+//! ```
+//!
+//! ## Pseudo-instructions
+//!
+//! | Pseudo | Expansion |
+//! |--------|-----------|
+//! | `j label` | `jal r0, label` |
+//! | `call label` | `jal r14, label` |
+//! | `ret` | `jalr r0, r14, 0` |
+//! | `mov rd, rs` | `add rd, rs, r0` |
+//! | `not rd, rs` | `xori rd, rs, 0xFFFF` |
+//! | `neg rd, rs` | `sub rd, r0, rs` |
+//! | `beqz rs, l` / `bnez rs, l` | `beq/bne rs, r0, l` |
+//! | `bgt rs1, rs2, l` / `ble rs1, rs2, l` | `blt/bge rs2, rs1, l` |
+//! | `bgtu` / `bleu` | unsigned variants of the above |
+//!
+//! Branch/jump operands that are plain integer literals are taken verbatim
+//! (a raw signed offset for branches, an absolute address for jumps); any
+//! operand containing a symbol is resolved as an absolute address, and for
+//! branches converted to a relative offset automatically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{DataSegment, Inst, Program, Reg};
+
+/// Error produced by [`assemble`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    msg: String,
+}
+
+impl AsmError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        AsmError { line, msg: msg.into() }
+    }
+
+    /// 1-based line number of the offending source line.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A cleaned source line with its original number.
+struct Line<'a> {
+    num: usize,
+    text: &'a str,
+}
+
+fn clean_lines(src: &str) -> Vec<Line<'_>> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, raw)| {
+            let no_comment = match raw.find(';') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let text = no_comment.trim();
+            (!text.is_empty()).then_some(Line { num: i + 1, text })
+        })
+        .collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Returns `true` if the expression is a pure integer literal (no symbols).
+fn is_literal(expr: &str) -> bool {
+    parse_number(expr.trim()).is_some()
+}
+
+/// Evaluates `term (('+'|'-') term)*` where a term is a number or symbol.
+fn eval_expr(expr: &str, symbols: &BTreeMap<String, u32>, line: usize) -> Result<i64> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return Err(AsmError::new(line, "empty expression"));
+    }
+    let mut total: i64 = 0;
+    let mut sign: i64 = 1;
+    let mut term = String::new();
+    let flush = |term: &mut String, sign: i64, total: &mut i64| -> Result<()> {
+        let t = term.trim();
+        if t.is_empty() {
+            return Err(AsmError::new(line, format!("malformed expression `{expr}`")));
+        }
+        let value = if let Some(n) = parse_number(t) {
+            n
+        } else if is_ident(t) {
+            i64::from(*symbols.get(t).ok_or_else(|| {
+                AsmError::new(line, format!("undefined symbol `{t}` in `{expr}`"))
+            })?)
+        } else {
+            return Err(AsmError::new(line, format!("malformed term `{t}` in `{expr}`")));
+        };
+        *total += sign * value;
+        term.clear();
+        Ok(())
+    };
+    for (i, c) in expr.chars().enumerate() {
+        match c {
+            '+' | '-' if i > 0 && !term.trim().is_empty() => {
+                flush(&mut term, sign, &mut total)?;
+                sign = if c == '+' { 1 } else { -1 };
+            }
+            _ => term.push(c),
+        }
+    }
+    flush(&mut term, sign, &mut total)?;
+    Ok(total)
+}
+
+fn to_u16(value: i64, what: &str, line: usize) -> Result<u16> {
+    if (-(1 << 15)..(1 << 16)).contains(&value) {
+        Ok((value as i32 & 0xFFFF) as u16)
+    } else {
+        Err(AsmError::new(line, format!("{what} {value} does not fit in 16 bits")))
+    }
+}
+
+fn to_i16(value: i64, what: &str, line: usize) -> Result<i16> {
+    i16::try_from(value)
+        .or_else(|_| {
+            // Accept 0x8000..=0xFFFF written as unsigned.
+            if (0x8000..0x1_0000).contains(&value) {
+                Ok(value as u16 as i16)
+            } else {
+                Err(())
+            }
+        })
+        .map_err(|()| AsmError::new(line, format!("{what} {value} does not fit in 16 bits")))
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg> {
+    tok.trim()
+        .parse::<Reg>()
+        .map_err(|e| AsmError::new(line, e.to_string()))
+}
+
+/// Splits `offset(reg)` into its parts; the offset may be empty (= 0).
+fn parse_mem_operand(s: &str, line: usize) -> Result<(String, Reg)> {
+    let s = s.trim();
+    let open = s
+        .rfind('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected `offset(reg)`, found `{s}`")))?;
+    let close = s
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| AsmError::new(line, format!("unbalanced parentheses in `{s}`")))?;
+    let reg = parse_reg(&s[open + 1..close], line)?;
+    let off = s[..open].trim();
+    let off = if off.is_empty() { "0".to_owned() } else { off.to_owned() };
+    Ok((off, reg))
+}
+
+struct Stmt<'a> {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<&'a str>,
+}
+
+fn parse_stmt<'a>(line_num: usize, text: &'a str) -> Stmt<'a> {
+    let (mnemonic, rest) = match text.find(|c: char| c.is_whitespace()) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    Stmt { line: line_num, mnemonic: mnemonic.to_ascii_lowercase(), operands }
+}
+
+/// How many code words a statement occupies (all instructions are 1 word).
+fn stmt_is_inst(mnemonic: &str) -> bool {
+    !mnemonic.starts_with('.')
+}
+
+/// Assembles NV16 source text into an executable [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with a 1-based line number) on syntax errors,
+/// undefined or duplicate symbols, out-of-range immediates or branch
+/// displacements, and malformed directives.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = nvp_isa::asm::assemble("li r1, 7\nout 0, r1\nhalt")?;
+/// assert_eq!(p.code().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(src: &str) -> Result<Program> {
+    let lines = clean_lines(src);
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+
+    // ---- Pass 1: addresses for every label; evaluate `.equ`. ----
+    {
+        let mut section = Section::Text;
+        let mut code_addr: u32 = 0;
+        let mut data_addr: u32 = 0;
+        for line in &lines {
+            let mut text = line.text;
+            while let Some(colon) = find_label(text) {
+                let name = text[..colon].trim();
+                if !is_ident(name) {
+                    return Err(AsmError::new(line.num, format!("invalid label `{name}`")));
+                }
+                let value = match section {
+                    Section::Text => code_addr,
+                    Section::Data => data_addr,
+                };
+                if symbols.insert(name.to_owned(), value).is_some() {
+                    return Err(AsmError::new(line.num, format!("duplicate symbol `{name}`")));
+                }
+                text = text[colon + 1..].trim();
+            }
+            if text.is_empty() {
+                continue;
+            }
+            let stmt = parse_stmt(line.num, text);
+            match stmt.mnemonic.as_str() {
+                ".equ" => {
+                    if stmt.operands.len() != 2 {
+                        return Err(AsmError::new(line.num, ".equ needs `name, value`"));
+                    }
+                    let name = stmt.operands[0];
+                    if !is_ident(name) {
+                        return Err(AsmError::new(line.num, format!("invalid name `{name}`")));
+                    }
+                    let value = eval_expr(stmt.operands[1], &symbols, line.num)?;
+                    let value = u32::try_from(value).map_err(|_| {
+                        AsmError::new(line.num, format!(".equ value {value} is negative"))
+                    })?;
+                    if symbols.insert(name.to_owned(), value).is_some() {
+                        return Err(AsmError::new(line.num, format!("duplicate symbol `{name}`")));
+                    }
+                }
+                ".entry" => {}
+                ".text" => section = Section::Text,
+                ".data" => {
+                    section = Section::Data;
+                    if let Some(addr) = stmt.operands.first() {
+                        data_addr =
+                            u32::from(to_u16(eval_expr(addr, &symbols, line.num)?, ".data address", line.num)?);
+                    }
+                }
+                ".org" => {
+                    let target = eval_expr(
+                        stmt.operands
+                            .first()
+                            .ok_or_else(|| AsmError::new(line.num, ".org needs an address"))?,
+                        &symbols,
+                        line.num,
+                    )?;
+                    let target = u32::try_from(target)
+                        .map_err(|_| AsmError::new(line.num, ".org address is negative"))?;
+                    if target < code_addr {
+                        return Err(AsmError::new(line.num, ".org cannot move backwards"));
+                    }
+                    code_addr = target;
+                }
+                ".word" => {
+                    if section != Section::Data {
+                        return Err(AsmError::new(line.num, ".word outside .data section"));
+                    }
+                    data_addr += stmt.operands.len() as u32;
+                }
+                ".space" => {
+                    if section != Section::Data {
+                        return Err(AsmError::new(line.num, ".space outside .data section"));
+                    }
+                    let n = eval_expr(
+                        stmt.operands
+                            .first()
+                            .ok_or_else(|| AsmError::new(line.num, ".space needs a size"))?,
+                        &symbols,
+                        line.num,
+                    )?;
+                    let n = u32::try_from(n)
+                        .map_err(|_| AsmError::new(line.num, ".space size is negative"))?;
+                    data_addr += n;
+                }
+                m if m.starts_with('.') => {
+                    return Err(AsmError::new(line.num, format!("unknown directive `{m}`")));
+                }
+                _ => {
+                    if section != Section::Text {
+                        return Err(AsmError::new(line.num, "instruction inside .data section"));
+                    }
+                    code_addr += 1;
+                }
+            }
+        }
+    }
+
+    // ---- Pass 2: encode. ----
+    let mut program = Program::new();
+    let mut code: Vec<u32> = Vec::new();
+    let mut segments: Vec<DataSegment> = Vec::new();
+    let mut data_addr: u32 = 0;
+    let mut entry: Option<u32> = None;
+
+    for line in &lines {
+        let mut text = line.text;
+        while let Some(colon) = find_label(text) {
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let stmt = parse_stmt(line.num, text);
+        match stmt.mnemonic.as_str() {
+            ".equ" | ".text" => {}
+            ".entry" => {
+                let target = eval_expr(
+                    stmt.operands
+                        .first()
+                        .ok_or_else(|| AsmError::new(line.num, ".entry needs a target"))?,
+                    &symbols,
+                    line.num,
+                )?;
+                entry = Some(u32::try_from(target).map_err(|_| {
+                    AsmError::new(line.num, ".entry target is negative")
+                })?);
+            }
+            ".data" => {
+                if let Some(addr) = stmt.operands.first() {
+                    data_addr =
+                        u32::from(to_u16(eval_expr(addr, &symbols, line.num)?, ".data address", line.num)?);
+                }
+                segments.push(DataSegment::new(data_addr as u16, Vec::new()));
+            }
+            ".org" => {
+                let target = eval_expr(stmt.operands.first().expect("checked in pass 1"), &symbols, line.num)?;
+                while (code.len() as u32) < target as u32 {
+                    code.push(Inst::Nop.encode());
+                }
+            }
+            ".word" => {
+                let seg = ensure_segment(&mut segments, data_addr);
+                for operand in &stmt.operands {
+                    let v = to_u16(eval_expr(operand, &symbols, line.num)?, ".word value", line.num)?;
+                    seg.words.push(v);
+                    data_addr += 1;
+                }
+            }
+            ".space" => {
+                let n = eval_expr(stmt.operands.first().expect("checked in pass 1"), &symbols, line.num)?;
+                let seg = ensure_segment(&mut segments, data_addr);
+                seg.words.extend(std::iter::repeat_n(0u16, n as usize));
+                data_addr += n as u32;
+            }
+            _ if stmt_is_inst(&stmt.mnemonic) => {
+                let pc = code.len() as u32;
+                let inst = encode_stmt(&stmt, pc, &symbols)?;
+                code.push(inst.encode());
+            }
+            other => return Err(AsmError::new(line.num, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    for inst_word in code {
+        // Reuse Program::push via decode to keep a single authoritative path.
+        program.push(Inst::decode(inst_word).expect("assembler emits valid words"));
+    }
+    for seg in segments.into_iter().filter(|s| !s.words.is_empty()) {
+        program.add_data(seg.addr, &seg.words);
+    }
+    for (name, value) in symbols {
+        program.define_symbol(name, value);
+    }
+    if let Some(e) = entry {
+        program.set_entry(e);
+    }
+    Ok(program)
+}
+
+/// Finds the colon terminating a leading label, if any.
+///
+/// Only treats `ident:` at the start of the line as a label (so `.equ`
+/// operands etc. are never misparsed).
+fn find_label(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    is_ident(text[..colon].trim()).then_some(colon)
+}
+
+fn ensure_segment(segments: &mut Vec<DataSegment>, addr: u32) -> &mut DataSegment {
+    if segments.is_empty() {
+        segments.push(DataSegment::new(addr as u16, Vec::new()));
+    }
+    segments.last_mut().expect("just ensured non-empty")
+}
+
+fn want_operands(stmt: &Stmt<'_>, n: usize) -> Result<()> {
+    if stmt.operands.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            stmt.line,
+            format!("`{}` expects {} operand(s), found {}", stmt.mnemonic, n, stmt.operands.len()),
+        ))
+    }
+}
+
+/// Resolves a branch target: plain literals are raw offsets, symbolic
+/// expressions are absolute addresses converted to `target - (pc + 1)`.
+fn branch_offset(expr: &str, pc: u32, symbols: &BTreeMap<String, u32>, line: usize) -> Result<i16> {
+    if is_literal(expr) {
+        to_i16(eval_expr(expr, symbols, line)?, "branch offset", line)
+    } else {
+        let target = eval_expr(expr, symbols, line)?;
+        let rel = target - i64::from(pc) - 1;
+        i16::try_from(rel)
+            .map_err(|_| AsmError::new(line, format!("branch displacement {rel} out of range")))
+    }
+}
+
+fn jump_target(expr: &str, symbols: &BTreeMap<String, u32>, line: usize) -> Result<u32> {
+    let target = eval_expr(expr, symbols, line)?;
+    if (0..=i64::from(crate::inst::MAX_JAL_TARGET)).contains(&target) {
+        Ok(target as u32)
+    } else {
+        Err(AsmError::new(line, format!("jump target {target} out of range")))
+    }
+}
+
+fn encode_stmt(stmt: &Stmt<'_>, pc: u32, symbols: &BTreeMap<String, u32>) -> Result<Inst> {
+    let line = stmt.line;
+    let reg = |i: usize| parse_reg(stmt.operands[i], line);
+    let imm_u16 = |i: usize| -> Result<u16> {
+        to_u16(eval_expr(stmt.operands[i], symbols, line)?, "immediate", line)
+    };
+    let imm_i16 = |i: usize| -> Result<i16> {
+        to_i16(eval_expr(stmt.operands[i], symbols, line)?, "immediate", line)
+    };
+    let shamt = |i: usize| -> Result<u8> {
+        let v = eval_expr(stmt.operands[i], symbols, line)?;
+        if (0..16).contains(&v) {
+            Ok(v as u8)
+        } else {
+            Err(AsmError::new(line, format!("shift amount {v} must be in 0..16")))
+        }
+    };
+
+    macro_rules! rrr {
+        ($variant:ident) => {{
+            want_operands(stmt, 3)?;
+            Inst::$variant { rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? }
+        }};
+    }
+    macro_rules! branch {
+        ($variant:ident) => {{
+            want_operands(stmt, 3)?;
+            Inst::$variant {
+                rs1: reg(0)?,
+                rs2: reg(1)?,
+                offset: branch_offset(stmt.operands[2], pc, symbols, line)?,
+            }
+        }};
+    }
+    macro_rules! branch_swapped {
+        ($variant:ident) => {{
+            want_operands(stmt, 3)?;
+            Inst::$variant {
+                rs1: reg(1)?,
+                rs2: reg(0)?,
+                offset: branch_offset(stmt.operands[2], pc, symbols, line)?,
+            }
+        }};
+    }
+
+    Ok(match stmt.mnemonic.as_str() {
+        "add" => rrr!(Add),
+        "sub" => rrr!(Sub),
+        "and" => rrr!(And),
+        "or" => rrr!(Or),
+        "xor" => rrr!(Xor),
+        "sll" => rrr!(Sll),
+        "srl" => rrr!(Srl),
+        "sra" => rrr!(Sra),
+        "mul" => rrr!(Mul),
+        "mulh" => rrr!(Mulh),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "divu" => rrr!(Divu),
+        "remu" => rrr!(Remu),
+        "addi" => {
+            want_operands(stmt, 3)?;
+            Inst::Addi { rd: reg(0)?, rs1: reg(1)?, imm: imm_i16(2)? }
+        }
+        "andi" => {
+            want_operands(stmt, 3)?;
+            Inst::Andi { rd: reg(0)?, rs1: reg(1)?, imm: imm_u16(2)? }
+        }
+        "ori" => {
+            want_operands(stmt, 3)?;
+            Inst::Ori { rd: reg(0)?, rs1: reg(1)?, imm: imm_u16(2)? }
+        }
+        "xori" => {
+            want_operands(stmt, 3)?;
+            Inst::Xori { rd: reg(0)?, rs1: reg(1)?, imm: imm_u16(2)? }
+        }
+        "slli" => {
+            want_operands(stmt, 3)?;
+            Inst::Slli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? }
+        }
+        "srli" => {
+            want_operands(stmt, 3)?;
+            Inst::Srli { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? }
+        }
+        "srai" => {
+            want_operands(stmt, 3)?;
+            Inst::Srai { rd: reg(0)?, rs1: reg(1)?, shamt: shamt(2)? }
+        }
+        "slti" => {
+            want_operands(stmt, 3)?;
+            Inst::Slti { rd: reg(0)?, rs1: reg(1)?, imm: imm_i16(2)? }
+        }
+        "li" => {
+            want_operands(stmt, 2)?;
+            Inst::Li { rd: reg(0)?, imm: imm_u16(1)? }
+        }
+        "lw" => {
+            want_operands(stmt, 2)?;
+            let (off, base) = parse_mem_operand(stmt.operands[1], line)?;
+            Inst::Lw {
+                rd: reg(0)?,
+                rs1: base,
+                offset: to_i16(eval_expr(&off, symbols, line)?, "load offset", line)?,
+            }
+        }
+        "sw" => {
+            want_operands(stmt, 2)?;
+            let (off, base) = parse_mem_operand(stmt.operands[1], line)?;
+            Inst::Sw {
+                rs2: reg(0)?,
+                rs1: base,
+                offset: to_i16(eval_expr(&off, symbols, line)?, "store offset", line)?,
+            }
+        }
+        "beq" => branch!(Beq),
+        "bne" => branch!(Bne),
+        "blt" => branch!(Blt),
+        "bge" => branch!(Bge),
+        "bltu" => branch!(Bltu),
+        "bgeu" => branch!(Bgeu),
+        "bgt" => branch_swapped!(Blt),
+        "ble" => branch_swapped!(Bge),
+        "bgtu" => branch_swapped!(Bltu),
+        "bleu" => branch_swapped!(Bgeu),
+        "beqz" => {
+            want_operands(stmt, 2)?;
+            Inst::Beq {
+                rs1: reg(0)?,
+                rs2: Reg::R0,
+                offset: branch_offset(stmt.operands[1], pc, symbols, line)?,
+            }
+        }
+        "bnez" => {
+            want_operands(stmt, 2)?;
+            Inst::Bne {
+                rs1: reg(0)?,
+                rs2: Reg::R0,
+                offset: branch_offset(stmt.operands[1], pc, symbols, line)?,
+            }
+        }
+        "jal" => {
+            want_operands(stmt, 2)?;
+            Inst::Jal { rd: reg(0)?, target: jump_target(stmt.operands[1], symbols, line)? }
+        }
+        "jalr" => {
+            want_operands(stmt, 3)?;
+            Inst::Jalr { rd: reg(0)?, rs1: reg(1)?, offset: imm_i16(2)? }
+        }
+        "j" => {
+            want_operands(stmt, 1)?;
+            Inst::Jal { rd: Reg::R0, target: jump_target(stmt.operands[0], symbols, line)? }
+        }
+        "call" => {
+            want_operands(stmt, 1)?;
+            Inst::Jal { rd: crate::LINK_REG, target: jump_target(stmt.operands[0], symbols, line)? }
+        }
+        "ret" => {
+            want_operands(stmt, 0)?;
+            Inst::Jalr { rd: Reg::R0, rs1: crate::LINK_REG, offset: 0 }
+        }
+        "mov" => {
+            want_operands(stmt, 2)?;
+            Inst::Add { rd: reg(0)?, rs1: reg(1)?, rs2: Reg::R0 }
+        }
+        "not" => {
+            want_operands(stmt, 2)?;
+            Inst::Xori { rd: reg(0)?, rs1: reg(1)?, imm: 0xFFFF }
+        }
+        "neg" => {
+            want_operands(stmt, 2)?;
+            Inst::Sub { rd: reg(0)?, rs1: Reg::R0, rs2: reg(1)? }
+        }
+        "nop" => {
+            want_operands(stmt, 0)?;
+            Inst::Nop
+        }
+        "halt" => {
+            want_operands(stmt, 0)?;
+            Inst::Halt
+        }
+        "ckpt" => {
+            want_operands(stmt, 0)?;
+            Inst::Ckpt
+        }
+        "out" => {
+            want_operands(stmt, 2)?;
+            let port = eval_expr(stmt.operands[0], symbols, line)?;
+            if !(0..16).contains(&port) {
+                return Err(AsmError::new(line, format!("port {port} must be in 0..16")));
+            }
+            Inst::Out { port: port as u8, rs1: reg(1)? }
+        }
+        "in" => {
+            want_operands(stmt, 2)?;
+            let port = eval_expr(stmt.operands[1], symbols, line)?;
+            if !(0..16).contains(&port) {
+                return Err(AsmError::new(line, format!("port {port} must be in 0..16")));
+            }
+            Inst::In { rd: reg(0)?, port: port as u8 }
+        }
+        other => return Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program() {
+        let p = assemble(
+            r"
+            li r1, 10
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.code().len(), 6);
+        assert_eq!(p.symbol("loop"), Some(2));
+        let branch = Inst::decode(p.code()[4]).unwrap();
+        assert_eq!(branch, Inst::Bne { rs1: Reg::R1, rs2: Reg::R0, offset: -3 });
+    }
+
+    #[test]
+    fn data_section_and_symbols() {
+        let p = assemble(
+            r"
+            li r1, buf
+            lw r2, 1(r1)
+            halt
+        .data 0x40
+        buf: .word 10, 20, 30
+        tail: .word 0xFFFF
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.symbol("buf"), Some(0x40));
+        assert_eq!(p.symbol("tail"), Some(0x43));
+        assert_eq!(p.data_segments().len(), 1);
+        assert_eq!(p.data_segments()[0].addr, 0x40);
+        assert_eq!(p.data_segments()[0].words, vec![10, 20, 30, 0xFFFF]);
+        assert_eq!(Inst::decode(p.code()[0]).unwrap(), Inst::Li { rd: Reg::R1, imm: 0x40 });
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble(
+            r"
+            .equ SIZE, 8
+            .equ BASE, 0x100
+            li r1, BASE+SIZE-1
+            halt
+            .data BASE
+            arr: .space SIZE
+            .word SIZE
+        ",
+        )
+        .unwrap();
+        assert_eq!(Inst::decode(p.code()[0]).unwrap(), Inst::Li { rd: Reg::R1, imm: 0x107 });
+        assert_eq!(p.data_segments()[0].words.len(), 9);
+        assert_eq!(p.data_segments()[0].words[8], 8);
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble(
+            r"
+        main:
+            call fn
+            j main
+        fn:
+            mov r1, r2
+            not r3, r4
+            neg r5, r6
+            beqz r1, main
+            ret
+        ",
+        )
+        .unwrap();
+        let insts: Vec<Inst> = p.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        assert_eq!(insts[0], Inst::Jal { rd: Reg::R14, target: 2 });
+        assert_eq!(insts[1], Inst::Jal { rd: Reg::R0, target: 0 });
+        assert_eq!(insts[2], Inst::Add { rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R0 });
+        assert_eq!(insts[3], Inst::Xori { rd: Reg::R3, rs1: Reg::R4, imm: 0xFFFF });
+        assert_eq!(insts[4], Inst::Sub { rd: Reg::R5, rs1: Reg::R0, rs2: Reg::R6 });
+        assert_eq!(insts[5], Inst::Beq { rs1: Reg::R1, rs2: Reg::R0, offset: -6 });
+        assert_eq!(insts[6], Inst::Jalr { rd: Reg::R0, rs1: Reg::R14, offset: 0 });
+    }
+
+    #[test]
+    fn swapped_branches() {
+        let p = assemble("x: bgt r1, r2, x\n ble r3, r4, x\nhalt").unwrap();
+        let insts: Vec<Inst> = p.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        assert_eq!(insts[0], Inst::Blt { rs1: Reg::R2, rs2: Reg::R1, offset: -1 });
+        assert_eq!(insts[1], Inst::Bge { rs1: Reg::R4, rs2: Reg::R3, offset: -2 });
+    }
+
+    #[test]
+    fn entry_directive() {
+        let p = assemble(".entry main\nnop\nmain: halt").unwrap();
+        assert_eq!(p.entry(), 1);
+    }
+
+    #[test]
+    fn org_pads_with_nops() {
+        let p = assemble("nop\n.org 4\nhalt").unwrap();
+        assert_eq!(p.code().len(), 5);
+        assert_eq!(Inst::decode(p.code()[3]).unwrap(), Inst::Nop);
+        assert_eq!(Inst::decode(p.code()[4]).unwrap(), Inst::Halt);
+    }
+
+    #[test]
+    fn error_undefined_symbol() {
+        let err = assemble("li r1, nothing\nhalt").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.message().contains("nothing"));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let err = assemble("a: nop\na: halt").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn error_bad_register() {
+        assert!(assemble("add r1, r2, r99").is_err());
+    }
+
+    #[test]
+    fn error_branch_out_of_range() {
+        // A branch to a label 40000 instructions away cannot encode.
+        let mut src = String::from("far: nop\n.org 40000\n");
+        src.push_str("beq r0, r0, far\nhalt");
+        let err = assemble(&src).unwrap_err();
+        assert!(err.message().contains("displacement"));
+    }
+
+    #[test]
+    fn error_operand_count() {
+        let err = assemble("add r1, r2").unwrap_err();
+        assert!(err.message().contains("expects 3"));
+    }
+
+    #[test]
+    fn error_instruction_in_data() {
+        let err = assemble(".data 0\nadd r1, r2, r3").unwrap_err();
+        assert!(err.message().contains(".data"));
+    }
+
+    #[test]
+    fn error_word_in_text() {
+        let err = assemble(".word 1").unwrap_err();
+        assert!(err.message().contains(".data"));
+    }
+
+    #[test]
+    fn negative_immediates_and_hex() {
+        let p = assemble("addi r1, r0, -32768\nandi r2, r1, 0xFF00\nhalt").unwrap();
+        let insts: Vec<Inst> = p.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        assert_eq!(insts[0], Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: -32768 });
+        assert_eq!(insts[1], Inst::Andi { rd: Reg::R2, rs1: Reg::R1, imm: 0xFF00 });
+    }
+
+    #[test]
+    fn unsigned_imm_as_signed_slot() {
+        // 0xFFFF as an addi immediate should wrap to -1, not error.
+        let p = assemble("addi r1, r0, 0xFFFF\nhalt").unwrap();
+        assert_eq!(
+            Inst::decode(p.code()[0]).unwrap(),
+            Inst::Addi { rd: Reg::R1, rs1: Reg::R0, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn mem_operand_variants() {
+        let p = assemble(
+            r"
+            .equ OFS, 3
+            lw r1, (r2)
+            lw r1, -2(r2)
+            sw r1, OFS(r2)
+            halt",
+        )
+        .unwrap();
+        let insts: Vec<Inst> = p.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        assert_eq!(insts[0], Inst::Lw { rd: Reg::R1, rs1: Reg::R2, offset: 0 });
+        assert_eq!(insts[1], Inst::Lw { rd: Reg::R1, rs1: Reg::R2, offset: -2 });
+        assert_eq!(insts[2], Inst::Sw { rs2: Reg::R1, rs1: Reg::R2, offset: 3 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; leading comment\n\n   \nnop ; trailing\nhalt").unwrap();
+        assert_eq!(p.code().len(), 2);
+    }
+
+    #[test]
+    fn multiple_data_segments() {
+        let p = assemble(
+            ".data 0\n.word 1\n.data 0x80\n.word 2, 3\nhalt",
+        );
+        // `halt` after .data must fail (instruction in data section).
+        assert!(p.is_err());
+        let p = assemble(".text\nhalt\n.data 0\n.word 1\n.data 0x80\n.word 2, 3").unwrap();
+        assert_eq!(p.data_segments().len(), 2);
+        assert_eq!(p.data_segments()[1].addr, 0x80);
+        assert_eq!(p.data_segments()[1].words, vec![2, 3]);
+    }
+
+    #[test]
+    fn in_out_ports() {
+        let p = assemble("in r1, 3\nout 15, r1\nhalt").unwrap();
+        let insts: Vec<Inst> = p.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        assert_eq!(insts[0], Inst::In { rd: Reg::R1, port: 3 });
+        assert_eq!(insts[1], Inst::Out { port: 15, rs1: Reg::R1 });
+        assert!(assemble("out 16, r1").is_err());
+    }
+}

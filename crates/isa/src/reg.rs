@@ -1,0 +1,191 @@
+//! General-purpose register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the sixteen NV16 general-purpose registers.
+///
+/// `Reg::R0` is hardwired to zero: reads return `0` and writes are
+/// discarded by the simulator, RISC-style. `r14` is the conventional link
+/// register (see [`crate::LINK_REG`]) and `r15` the conventional stack
+/// pointer; neither convention is enforced by hardware.
+///
+/// # Example
+///
+/// ```
+/// use nvp_isa::Reg;
+///
+/// let r: Reg = "r7".parse().unwrap();
+/// assert_eq!(r, Reg::R7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Returns the register's index in `0..16`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index.
+    ///
+    /// Returns `None` if `index >= 16`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nvp_isa::Reg;
+    /// assert_eq!(Reg::from_index(3), Some(Reg::R3));
+    /// assert_eq!(Reg::from_index(16), None);
+    /// ```
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Reg::ALL.get(index).copied()
+    }
+
+    /// Returns `true` for `r0`, the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+
+    pub(crate) fn field(self) -> u32 {
+        self as u32
+    }
+
+    pub(crate) fn from_field(field: u32) -> Reg {
+        Reg::ALL[(field & 0xF) as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError {
+    text: String,
+}
+
+impl RegParseError {
+    /// The text that failed to parse.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Reg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let err = || RegParseError { text: s.to_owned() };
+        match lower.as_str() {
+            "zero" => return Ok(Reg::R0),
+            "ra" => return Ok(Reg::R14),
+            "sp" => return Ok(Reg::R15),
+            _ => {}
+        }
+        let digits = lower.strip_prefix('r').ok_or_else(err)?;
+        let index: usize = digits.parse().map_err(|_| err())?;
+        Reg::from_index(index).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::R0);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::R14);
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::R15);
+        assert_eq!("R12".parse::<Reg>().unwrap(), Reg::R12);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+        assert!("r-1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_matches_parse() {
+        for r in Reg::ALL {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+}

@@ -1,0 +1,740 @@
+//! The NV16 machine: architectural state, execution, accounting.
+
+use std::fmt;
+
+use nvp_isa::{DecodeError, Inst, Program, Reg};
+use serde::{Deserialize, Serialize};
+
+use crate::{CycleModel, EnergyModel, InstClass, DEFAULT_DMEM_WORDS};
+
+/// The volatile architectural state an NVP must back up: the register file
+/// and the program counter.
+///
+/// [`ArchState::BITS`] is the raw payload size used by backup-cost models;
+/// platform models add their own pipeline/SFR overhead on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct ArchState {
+    /// Register file contents (`r0` slot is always zero).
+    pub regs: [u16; 16],
+    /// Program counter (word address).
+    pub pc: u32,
+}
+
+impl ArchState {
+    /// Number of state bits in the snapshot payload (16×16-bit registers +
+    /// a 32-bit program counter).
+    pub const BITS: u32 = 16 * 16 + 32;
+}
+
+
+/// Per-run performance and energy counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Core energy consumed, in joules.
+    pub energy_j: f64,
+    /// Executed-instruction counts per [`InstClass`] (indexed by
+    /// [`InstClass::index`]).
+    pub class_counts: [u64; 9],
+    /// Taken conditional branches.
+    pub branches_taken: u64,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Counters {
+            instructions: 0,
+            cycles: 0,
+            energy_j: 0.0,
+            class_counts: [0; 9],
+            branches_taken: 0,
+        }
+    }
+}
+
+impl Counters {
+    /// Count of executed instructions in the given class.
+    #[must_use]
+    pub fn count(&self, class: InstClass) -> u64 {
+        self.class_counts[class.index()]
+    }
+}
+
+/// The outcome of executing a single instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Step {
+    /// Cycles charged.
+    pub cycles: u32,
+    /// Energy charged, in joules.
+    pub energy_j: f64,
+    /// `true` if the instruction was `halt` (or the machine was already
+    /// halted, in which case `cycles == 0`).
+    pub halted: bool,
+    /// `true` if the instruction was `ckpt` (software checkpoint hint).
+    pub checkpoint: bool,
+    /// Class of the executed instruction.
+    pub class: InstClass,
+}
+
+/// Errors raised by program loading or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program counter left the code image.
+    PcOutOfRange {
+        /// Offending word address.
+        pc: u32,
+    },
+    /// A load/store addressed beyond installed data memory.
+    MemOutOfRange {
+        /// Offending data word address.
+        addr: u16,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// A code word failed to decode (hand-built images only).
+    Decode {
+        /// Word address of the undecodable word.
+        pc: u32,
+        /// Underlying decode failure.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            SimError::MemOutOfRange { addr, pc } => {
+                write!(f, "data address {addr:#06x} out of range at pc {pc}")
+            }
+            SimError::Decode { pc, source } => write!(f, "at pc {pc}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic NV16 machine instance.
+///
+/// The machine separates *volatile* state (registers + PC, lost on a power
+/// failure unless backed up) from *data memory*, whose volatility is a
+/// platform property: NVPs keep main memory in NVM, while the conventional
+/// baselines lose SRAM contents. Platform models in `nvp-core` call
+/// [`snapshot`](Machine::snapshot) / [`restore`](Machine::restore) /
+/// [`reset_volatile`](Machine::reset_volatile) to implement their policies.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    insts: Vec<Inst>,
+    regs: [u16; 16],
+    pc: u32,
+    entry: u32,
+    halted: bool,
+    dmem: Vec<u16>,
+    inputs: [u16; 16],
+    out_log: Vec<(u8, u16)>,
+    counters: Counters,
+    cycle_model: CycleModel,
+    energy_model: EnergyModel,
+}
+
+impl Machine {
+    /// Creates a machine with default memory size and cost models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] if the image contains an undecodable
+    /// word and [`SimError::MemOutOfRange`] if a data segment exceeds the
+    /// installed data memory.
+    pub fn new(program: &Program) -> Result<Machine, SimError> {
+        Machine::with_config(
+            program,
+            DEFAULT_DMEM_WORDS,
+            CycleModel::default(),
+            EnergyModel::default(),
+        )
+    }
+
+    /// Creates a machine with explicit memory size and cost models.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::new`].
+    pub fn with_config(
+        program: &Program,
+        dmem_words: usize,
+        cycle_model: CycleModel,
+        energy_model: EnergyModel,
+    ) -> Result<Machine, SimError> {
+        let mut insts = Vec::with_capacity(program.code().len());
+        for (pc, &word) in program.code().iter().enumerate() {
+            insts.push(
+                Inst::decode(word).map_err(|source| SimError::Decode { pc: pc as u32, source })?,
+            );
+        }
+        let mut dmem = vec![0u16; dmem_words];
+        for seg in program.data_segments() {
+            let start = usize::from(seg.addr);
+            let end = start + seg.words.len();
+            if end > dmem.len() {
+                return Err(SimError::MemOutOfRange {
+                    addr: (end - 1).min(u16::MAX as usize) as u16,
+                    pc: 0,
+                });
+            }
+            dmem[start..end].copy_from_slice(&seg.words);
+        }
+        Ok(Machine {
+            insts,
+            regs: [0; 16],
+            pc: program.entry(),
+            entry: program.entry(),
+            halted: false,
+            dmem,
+            inputs: [0; 16],
+            out_log: Vec::new(),
+            counters: Counters::default(),
+            cycle_model,
+            energy_model,
+        })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// A halted machine returns a zero-cost [`Step`] with `halted == true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PcOutOfRange`] or [`SimError::MemOutOfRange`]
+    /// on wild control flow or memory accesses.
+    pub fn step(&mut self) -> Result<Step, SimError> {
+        if self.halted {
+            return Ok(Step {
+                cycles: 0,
+                energy_j: 0.0,
+                halted: true,
+                checkpoint: false,
+                class: InstClass::System,
+            });
+        }
+        let pc = self.pc;
+        let inst = *self
+            .insts
+            .get(pc as usize)
+            .ok_or(SimError::PcOutOfRange { pc })?;
+        let class = InstClass::of(&inst);
+        let mut taken = false;
+        let mut checkpoint = false;
+        let mut next_pc = pc + 1;
+
+        use Inst::*;
+        match inst {
+            Add { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1).wrapping_add(self.rd(rs2))),
+            Sub { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1).wrapping_sub(self.rd(rs2))),
+            And { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) & self.rd(rs2)),
+            Or { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) | self.rd(rs2)),
+            Xor { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) ^ self.rd(rs2)),
+            Sll { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) << (self.rd(rs2) & 0xF)),
+            Srl { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) >> (self.rd(rs2) & 0xF)),
+            Sra { rd, rs1, rs2 } => {
+                self.wr(rd, ((self.rd(rs1) as i16) >> (self.rd(rs2) & 0xF)) as u16);
+            }
+            Mul { rd, rs1, rs2 } => {
+                let p = i32::from(self.rd(rs1) as i16) * i32::from(self.rd(rs2) as i16);
+                self.wr(rd, p as u16);
+            }
+            Mulh { rd, rs1, rs2 } => {
+                let p = i32::from(self.rd(rs1) as i16) * i32::from(self.rd(rs2) as i16);
+                self.wr(rd, (p >> 16) as u16);
+            }
+            Slt { rd, rs1, rs2 } => {
+                self.wr(rd, u16::from((self.rd(rs1) as i16) < (self.rd(rs2) as i16)));
+            }
+            Sltu { rd, rs1, rs2 } => self.wr(rd, u16::from(self.rd(rs1) < self.rd(rs2))),
+            Divu { rd, rs1, rs2 } => {
+                let q = self.rd(rs1).checked_div(self.rd(rs2)).unwrap_or(0xFFFF);
+                self.wr(rd, q);
+            }
+            Remu { rd, rs1, rs2 } => {
+                let d = self.rd(rs2);
+                self.wr(rd, if d == 0 { self.rd(rs1) } else { self.rd(rs1) % d });
+            }
+            Addi { rd, rs1, imm } => self.wr(rd, self.rd(rs1).wrapping_add(imm as u16)),
+            Andi { rd, rs1, imm } => self.wr(rd, self.rd(rs1) & imm),
+            Ori { rd, rs1, imm } => self.wr(rd, self.rd(rs1) | imm),
+            Xori { rd, rs1, imm } => self.wr(rd, self.rd(rs1) ^ imm),
+            Slli { rd, rs1, shamt } => self.wr(rd, self.rd(rs1) << shamt),
+            Srli { rd, rs1, shamt } => self.wr(rd, self.rd(rs1) >> shamt),
+            Srai { rd, rs1, shamt } => self.wr(rd, ((self.rd(rs1) as i16) >> shamt) as u16),
+            Slti { rd, rs1, imm } => self.wr(rd, u16::from((self.rd(rs1) as i16) < imm)),
+            Li { rd, imm } => self.wr(rd, imm),
+            Lw { rd, rs1, offset } => {
+                let addr = self.rd(rs1).wrapping_add(offset as u16);
+                let value = self.read_word(addr).ok_or(SimError::MemOutOfRange { addr, pc })?;
+                self.wr(rd, value);
+            }
+            Sw { rs2, rs1, offset } => {
+                let addr = self.rd(rs1).wrapping_add(offset as u16);
+                let value = self.rd(rs2);
+                if usize::from(addr) >= self.dmem.len() {
+                    return Err(SimError::MemOutOfRange { addr, pc });
+                }
+                self.dmem[usize::from(addr)] = value;
+            }
+            Beq { rs1, rs2, offset } => {
+                taken = self.rd(rs1) == self.rd(rs2);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Bne { rs1, rs2, offset } => {
+                taken = self.rd(rs1) != self.rd(rs2);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Blt { rs1, rs2, offset } => {
+                taken = (self.rd(rs1) as i16) < (self.rd(rs2) as i16);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Bge { rs1, rs2, offset } => {
+                taken = (self.rd(rs1) as i16) >= (self.rd(rs2) as i16);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Bltu { rs1, rs2, offset } => {
+                taken = self.rd(rs1) < self.rd(rs2);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Bgeu { rs1, rs2, offset } => {
+                taken = self.rd(rs1) >= self.rd(rs2);
+                if taken {
+                    next_pc = branch_target(pc, offset);
+                }
+            }
+            Jal { rd, target } => {
+                self.wr(rd, (pc + 1) as u16);
+                next_pc = target;
+            }
+            Jalr { rd, rs1, offset } => {
+                let target = u32::from(self.rd(rs1).wrapping_add(offset as u16));
+                self.wr(rd, (pc + 1) as u16);
+                next_pc = target;
+            }
+            Nop => {}
+            Halt => self.halted = true,
+            Ckpt => checkpoint = true,
+            Out { port, rs1 } => self.out_log.push((port, self.rd(rs1))),
+            In { rd, port } => self.wr(rd, self.inputs[usize::from(port & 0xF)]),
+        }
+
+        let cycles = self.cycle_model.cycles(class, taken);
+        let energy = self.energy_model.energy(class, cycles);
+        self.counters.instructions += 1;
+        self.counters.cycles += u64::from(cycles);
+        self.counters.energy_j += energy;
+        self.counters.class_counts[class.index()] += 1;
+        if taken {
+            self.counters.branches_taken += 1;
+        }
+        if !self.halted {
+            self.pc = next_pc;
+        }
+        Ok(Step { cycles, energy_j: energy, halted: self.halted, checkpoint, class })
+    }
+
+    /// Runs up to `max_insts` instructions or until `halt`.
+    ///
+    /// Returns the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution fault (see [`Machine::step`]).
+    pub fn run(&mut self, max_insts: u64) -> Result<u64, SimError> {
+        let mut executed = 0;
+        while executed < max_insts && !self.halted {
+            self.step()?;
+            executed += 1;
+        }
+        Ok(executed)
+    }
+
+    #[inline]
+    fn rd(&self, r: Reg) -> u16 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    #[inline]
+    fn wr(&mut self, r: Reg, value: u16) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// `true` once `halt` has executed.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a register (r0 reads as zero).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u16 {
+        self.rd(r)
+    }
+
+    /// Writes a register (writes to r0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u16) {
+        self.wr(r, value);
+    }
+
+    /// Reads a data-memory word, if within installed memory.
+    #[must_use]
+    pub fn read_word(&self, addr: u16) -> Option<u16> {
+        self.dmem.get(usize::from(addr)).copied()
+    }
+
+    /// Writes a data-memory word. Returns `false` if out of range.
+    pub fn write_word(&mut self, addr: u16, value: u16) -> bool {
+        match self.dmem.get_mut(usize::from(addr)) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Full data memory contents.
+    #[must_use]
+    pub fn dmem(&self) -> &[u16] {
+        &self.dmem
+    }
+
+    /// Mutable data memory (for platform models and test harnesses).
+    pub fn dmem_mut(&mut self) -> &mut [u16] {
+        &mut self.dmem
+    }
+
+    /// Latches an input-port value for subsequent `in` instructions.
+    pub fn set_input(&mut self, port: u8, value: u16) {
+        self.inputs[usize::from(port & 0xF)] = value;
+    }
+
+    /// All `(port, value)` pairs emitted by `out`, in program order.
+    #[must_use]
+    pub fn out_log(&self) -> &[(u8, u16)] {
+        &self.out_log
+    }
+
+    /// Clears the output log (e.g. between frames).
+    pub fn clear_out_log(&mut self) {
+        self.out_log.clear();
+    }
+
+    /// The performance/energy counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Resets the performance/energy counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+    }
+
+    /// Captures the volatile architectural state (registers + PC).
+    #[must_use]
+    pub fn snapshot(&self) -> ArchState {
+        ArchState { regs: self.regs, pc: self.pc }
+    }
+
+    /// Restores a previously captured architectural state and clears the
+    /// halted flag (a restore resumes execution).
+    pub fn restore(&mut self, state: &ArchState) {
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.halted = false;
+    }
+
+    /// Models a power loss on a platform *without* state retention: the
+    /// register file is cleared and the PC returns to the entry point.
+    /// Data memory is left untouched — callers model its volatility.
+    pub fn reset_volatile(&mut self) {
+        self.regs = [0; 16];
+        self.pc = self.entry;
+        self.halted = false;
+    }
+
+    /// Clears all of data memory (volatile-SRAM power loss).
+    pub fn clear_dmem(&mut self) {
+        self.dmem.fill(0);
+    }
+
+    /// Number of instructions in the loaded image.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+/// Target of a taken branch at `pc` with signed word `offset`.
+///
+/// A displacement below address 0 saturates to an out-of-range address so
+/// the next fetch faults with [`SimError::PcOutOfRange`] instead of
+/// wrapping silently.
+#[inline]
+fn branch_target(pc: u32, offset: i16) -> u32 {
+    let target = i64::from(pc) + 1 + i64::from(offset);
+    u32::try_from(target).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::asm::assemble;
+
+    fn run_src(src: &str) -> Machine {
+        let p = assemble(src).expect("assembles");
+        let mut m = Machine::new(&p).expect("loads");
+        m.run(1_000_000).expect("runs");
+        assert!(m.halted(), "program halted");
+        m
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let m = run_src("li r1, 0xFFFF\naddi r2, r1, 1\nli r3, 0x8000\nsub r4, r0, r3\nhalt");
+        assert_eq!(m.reg(Reg::R2), 0);
+        assert_eq!(m.reg(Reg::R4), 0x8000);
+    }
+
+    #[test]
+    fn signed_ops() {
+        let m = run_src(
+            "li r1, 0xFFFE   ; -2
+             li r2, 3
+             mul r3, r1, r2   ; -6
+             mulh r4, r1, r2  ; high half of -6 = 0xFFFF
+             slt r5, r1, r2   ; -2 < 3
+             sltu r6, r1, r2  ; 0xFFFE < 3 unsigned? no
+             srai r7, r1, 1   ; -1
+             halt",
+        );
+        assert_eq!(m.reg(Reg::R3) as i16, -6);
+        assert_eq!(m.reg(Reg::R4), 0xFFFF);
+        assert_eq!(m.reg(Reg::R5), 1);
+        assert_eq!(m.reg(Reg::R6), 0);
+        assert_eq!(m.reg(Reg::R7) as i16, -1);
+    }
+
+    #[test]
+    fn division_semantics() {
+        let m = run_src(
+            "li r1, 17\nli r2, 5\ndivu r3, r1, r2\nremu r4, r1, r2\n\
+             divu r5, r1, r0\nremu r6, r1, r0\nhalt",
+        );
+        assert_eq!(m.reg(Reg::R3), 3);
+        assert_eq!(m.reg(Reg::R4), 2);
+        assert_eq!(m.reg(Reg::R5), 0xFFFF, "divide by zero yields all-ones");
+        assert_eq!(m.reg(Reg::R6), 17, "remainder by zero yields dividend");
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let m = run_src("li r0, 99\nadd r1, r0, r0\nhalt");
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert_eq!(m.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn loop_sums_memory() {
+        let m = run_src(
+            "
+            li r1, buf
+            li r2, 4        ; count
+            li r3, 0        ; acc
+        loop:
+            lw r4, 0(r1)
+            add r3, r3, r4
+            addi r1, r1, 1
+            addi r2, r2, -1
+            bnez r2, loop
+            sw r3, 0(r0)    ; result at address 0
+            halt
+        .data 0x100
+        buf: .word 10, 20, 30, 40
+        ",
+        );
+        assert_eq!(m.read_word(0), Some(100));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let m = run_src(
+            "
+            li r1, 5
+            call double
+            mov r3, r1
+            halt
+        double:
+            add r1, r1, r1
+            ret
+        ",
+        );
+        assert_eq!(m.reg(Reg::R3), 10);
+    }
+
+    #[test]
+    fn io_ports() {
+        let p = assemble("in r1, 2\naddi r1, r1, 1\nout 7, r1\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.set_input(2, 41);
+        m.run(10).unwrap();
+        assert_eq!(m.out_log(), &[(7, 42)]);
+    }
+
+    #[test]
+    fn ckpt_reports_checkpoint() {
+        let p = assemble("ckpt\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        let s = m.step().unwrap();
+        assert!(s.checkpoint);
+        let s = m.step().unwrap();
+        assert!(s.halted && !s.checkpoint);
+    }
+
+    #[test]
+    fn halted_machine_steps_free() {
+        let p = assemble("halt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.step().unwrap();
+        let before = *m.counters();
+        let s = m.step().unwrap();
+        assert!(s.halted);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(m.counters().instructions, before.instructions);
+    }
+
+    #[test]
+    fn pc_out_of_range_faults() {
+        let p = assemble("nop").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.step().unwrap();
+        assert_eq!(m.step(), Err(SimError::PcOutOfRange { pc: 1 }));
+    }
+
+    #[test]
+    fn mem_out_of_range_faults() {
+        let p = assemble("li r1, 0x7FFF\nlw r2, 1(r1)\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap(); // default 8192 words
+        let err = m.run(10).unwrap_err();
+        assert!(matches!(err, SimError::MemOutOfRange { .. }));
+    }
+
+    #[test]
+    fn data_segment_too_big_rejected() {
+        let p = assemble(".text\nhalt\n.data 0x1FFF\n.word 1, 2").unwrap();
+        assert!(matches!(
+            Machine::with_config(&p, 0x2000, CycleModel::default(), EnergyModel::default()),
+            Err(SimError::MemOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = run_src("li r1, 2\nli r2, 3\nmul r3, r1, r2\nlw r4, 0(r0)\nsw r4, 1(r0)\nhalt");
+        let c = m.counters();
+        assert_eq!(c.instructions, 6);
+        assert_eq!(c.count(InstClass::Alu), 2);
+        assert_eq!(c.count(InstClass::Mul), 1);
+        assert_eq!(c.count(InstClass::Load), 1);
+        assert_eq!(c.count(InstClass::Store), 1);
+        assert_eq!(c.count(InstClass::System), 1);
+        assert!(c.cycles >= c.instructions);
+        assert!(c.energy_j > 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let p = assemble("li r1, 1\nli r2, 2\nli r3, 3\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.step().unwrap();
+        m.step().unwrap();
+        let snap = m.snapshot();
+        m.run(10).unwrap();
+        assert!(m.halted());
+        m.restore(&snap);
+        assert!(!m.halted());
+        assert_eq!(m.pc(), snap.pc);
+        assert_eq!(m.reg(Reg::R1), 1);
+        assert_eq!(m.reg(Reg::R3), 0, "r3 not yet written at snapshot time");
+        m.run(10).unwrap();
+        assert_eq!(m.reg(Reg::R3), 3);
+    }
+
+    #[test]
+    fn reset_volatile_returns_to_entry() {
+        let p = assemble(".entry main\nnop\nmain: li r1, 7\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.run(10).unwrap();
+        assert_eq!(m.reg(Reg::R1), 7);
+        m.reset_volatile();
+        assert_eq!(m.pc(), 1);
+        assert_eq!(m.reg(Reg::R1), 0);
+        assert!(!m.halted());
+    }
+
+    #[test]
+    fn taken_branch_costs_more() {
+        let p = assemble("beq r0, r0, 1\nnop\nhalt").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        let taken = m.step().unwrap();
+        let cm = CycleModel::default();
+        assert_eq!(taken.cycles, cm.branch_taken);
+        assert_eq!(m.pc(), 2);
+        assert_eq!(m.counters().branches_taken, 1);
+    }
+
+    #[test]
+    fn negative_branch_below_zero_faults() {
+        let p = assemble("beq r0, r0, -5").unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.step().unwrap();
+        assert!(matches!(m.step(), Err(SimError::PcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn deterministic_energy() {
+        let src = "li r1, 100\nx: addi r1, r1, -1\nbnez r1, x\nhalt";
+        let a = run_src(src);
+        let b = run_src(src);
+        assert_eq!(a.counters().energy_j.to_bits(), b.counters().energy_j.to_bits());
+        assert_eq!(a.counters().cycles, b.counters().cycles);
+    }
+}

@@ -1,0 +1,151 @@
+//! Synthetic grayscale sensor frames.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale frame, row-major.
+///
+/// Frames stand in for the buffered sensor captures the NVP literature's
+/// image-processing platforms (battery-free cameras and similar) produce.
+/// [`GrayImage::synthetic`] generates deterministic frames with enough
+/// structure (gradients, blobs, edges, noise) to exercise filter kernels
+/// meaningfully.
+///
+/// # Example
+///
+/// ```
+/// use nvp_workloads::GrayImage;
+///
+/// let a = GrayImage::synthetic(1, 32, 32);
+/// let b = GrayImage::synthetic(1, 32, 32);
+/// assert_eq!(a, b, "same seed, same frame");
+/// assert_eq!(a.pixels().len(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a frame from raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or either dimension is 0.
+    #[must_use]
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        GrayImage { width, height, pixels }
+    }
+
+    /// Generates a deterministic synthetic frame: a diagonal illumination
+    /// gradient, a few bright elliptical blobs, a dark bar, and mild
+    /// sensor noise.
+    #[must_use]
+    pub fn synthetic(seed: u64, width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut pixels = vec![0u8; width * height];
+        // Blob parameters.
+        let n_blobs = 2 + (rng.random::<u32>() % 3) as usize;
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..n_blobs)
+            .map(|_| {
+                (
+                    rng.random::<f64>() * width as f64,
+                    rng.random::<f64>() * height as f64,
+                    (2.0 + rng.random::<f64>() * (width as f64 / 4.0)).max(1.5),
+                    80.0 + rng.random::<f64>() * 120.0,
+                )
+            })
+            .collect();
+        let bar_y = (rng.random::<u32>() as usize) % height;
+        let bar_h = (height / 8).max(1);
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = 40.0 + 120.0 * (x + y) as f64 / (width + height) as f64;
+                for &(bx, by, r, amp) in &blobs {
+                    let d2 = (x as f64 - bx).powi(2) + (y as f64 - by).powi(2);
+                    v += amp * (-d2 / (2.0 * r * r)).exp();
+                }
+                if y >= bar_y && y < bar_y + bar_h {
+                    v *= 0.35;
+                }
+                v += (rng.random::<f64>() - 0.5) * 12.0;
+                pixels[y * width + x] = v.clamp(0.0, 255.0) as u8;
+            }
+        }
+        GrayImage { width, height, pixels }
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pixels, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// The frame as data-memory words (one pixel per 16-bit word).
+    #[must_use]
+    pub fn to_words(&self) -> Vec<u16> {
+        self.pixels.iter().map(|&p| u16::from(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_varied() {
+        let a = GrayImage::synthetic(3, 24, 24);
+        let b = GrayImage::synthetic(3, 24, 24);
+        let c = GrayImage::synthetic(4, 24, 24);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Real structure: spread of values, not constant.
+        let min = a.pixels().iter().min().unwrap();
+        let max = a.pixels().iter().max().unwrap();
+        assert!(max - min > 60, "dynamic range {min}..{max}");
+    }
+
+    #[test]
+    fn accessors() {
+        let img = GrayImage::from_pixels(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.at(1, 2), 6);
+        assert_eq!(img.to_words(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn bad_pixel_count() {
+        let _ = GrayImage::from_pixels(2, 2, vec![0; 3]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Neighborhood-dissimilarity corner detector (susan.corners proxy): a
+//! pixel is a corner candidate when at least 5 of its 8 neighbors differ
+//! from it by more than a brightness threshold.
+
+use nvp_isa::asm::assemble;
+
+use super::{abs_trick, Layout};
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+/// Brightness-difference threshold.
+pub(super) const DIFF_T: i16 = 30;
+/// Dissimilar-neighbor count that marks a corner.
+pub(super) const COUNT_T: u16 = 5;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0u16; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let c = i16::from(img.at(x, y));
+            let mut count = 0u16;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let n = i16::from(img.at((x as i32 + dx) as usize, (y as i32 + dy) as usize));
+                    if abs_trick(n.wrapping_sub(c)) > DIFF_T {
+                        count += 1;
+                    }
+                }
+            }
+            out[y * w + x] = if count >= COUNT_T { 255 } else { 0 };
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, img.width() * img.height(), 0);
+    // One unrolled compare per neighbor, each with its own skip label.
+    let neighbor = |idx: usize, offset: &str| {
+        format!(
+            "\
+    lw   r7, {offset}(r3)
+    sub  r7, r7, r5
+    srai r8, r7, 15
+    xor  r7, r7, r8
+    sub  r7, r7, r8
+    li   r8, {t}
+    ble  r7, r8, skip{idx}
+    addi r6, r6, 1
+skip{idx}:",
+            t = DIFF_T
+        )
+    };
+    let offsets = ["0-W-1", "0-W", "0-W+1", "0-1", "1", "W-1", "W", "W+1"];
+    let body: String = offsets
+        .iter()
+        .enumerate()
+        .map(|(i, off)| neighbor(i, off))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let src = format!(
+        r"
+.equ W, {w}
+.equ H, {h}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, 1              ; y
+yloop:
+    li   r4, W
+    mul  r3, r1, r4
+    addi r9, r3, OUT+1
+    addi r3, r3, IN+1
+    li   r2, 1              ; x
+xloop:
+    lw   r5, 0(r3)          ; centre
+    li   r6, 0              ; dissimilar count
+{body}
+    li   r7, 0
+    li   r8, {count_t}
+    blt  r6, r8, weak
+    li   r7, 255
+weak:
+    sw   r7, 0(r9)
+    addi r3, r3, 1
+    addi r9, r9, 1
+    addi r2, r2, 1
+    li   r8, W-1
+    bne  r2, r8, xloop
+    addi r1, r1, 1
+    li   r8, H-1
+    bne  r1, r8, yloop
+    halt
+",
+        w = lay.w,
+        h = lay.h,
+        inp = lay.input,
+        out = lay.out,
+        count_t = COUNT_T,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Corners,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Corners, 12, 16, 16);
+        check_kernel(KernelKind::Corners, 13, 16, 16);
+    }
+
+    #[test]
+    fn isolated_spot_is_a_corner() {
+        let mut pixels = vec![20u8; 64];
+        pixels[3 * 8 + 3] = 250;
+        let img = GrayImage::from_pixels(8, 8, pixels);
+        let out = reference(&img);
+        assert_eq!(out[3 * 8 + 3], 255, "an isolated bright pixel differs from all 8 neighbors");
+    }
+
+    #[test]
+    fn flat_field_has_no_corners() {
+        let img = GrayImage::from_pixels(8, 8, vec![77; 64]);
+        assert!(reference(&img).iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,102 @@
+//! CRC-16/CCITT (poly 0x1021, init 0xFFFF) over the frame's byte values —
+//! the integrity-check kernel every sense-and-transmit stack runs.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+/// Bitwise CRC-16/CCITT over the low byte of each word.
+pub(super) fn crc16_ccitt(data: impl IntoIterator<Item = u8>) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    vec![crc16_ccitt(img.pixels().iter().copied())]
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, 1, 0);
+    let src = format!(
+        r"
+.equ N, {n}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, IN             ; data pointer
+    li   r2, N              ; words left
+    li   r3, 0xFFFF         ; crc
+word:
+    lw   r4, 0(r1)
+    andi r4, r4, 0xFF
+    slli r4, r4, 8
+    xor  r3, r3, r4
+    li   r5, 8              ; bits left
+bit:
+    srli r6, r3, 15
+    beqz r6, noxor
+    slli r3, r3, 1
+    xori r3, r3, 0x1021
+    j    nextbit
+noxor:
+    slli r3, r3, 1
+nextbit:
+    addi r5, r5, -1
+    bnez r5, bit
+    addi r1, r1, 1
+    addi r2, r2, -1
+    bnez r2, word
+    li   r1, OUT
+    sw   r3, 0(r1)
+    halt
+",
+        n = lay.n,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Crc16,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Crc16, 20, 16, 16);
+        check_kernel(KernelKind::Crc16, 21, 8, 8);
+    }
+
+    #[test]
+    fn known_test_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16_ccitt(*b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn sensitive_to_any_bit() {
+        let a = GrayImage::from_pixels(4, 4, vec![7; 16]);
+        let mut pixels = vec![7; 16];
+        pixels[9] ^= 1;
+        let b = GrayImage::from_pixels(4, 4, pixels);
+        assert_ne!(reference(&a), reference(&b));
+    }
+}

@@ -1,0 +1,278 @@
+//! 8×8 block DCT with shift quantization over the whole frame — the
+//! jpeg.encode proxy kernel (transform + quantize dominate JPEG's compute
+//! on MCU-class cores).
+//!
+//! Each block is transformed as `Y = C·X·Cᵀ` with the orthonormal DCT
+//! matrix in Q12 fixed point, then quantized by per-coefficient
+//! arithmetic right shifts. The datapath multiply is
+//! `(mulh << 4) + (mul >> 12)`; the reference mirrors it bit-for-bit.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const B: usize = 8;
+const Q: f64 = 4096.0;
+
+/// The datapath's Q12 multiply.
+pub(super) fn qmul12(a: i16, b: i16) -> i16 {
+    let p = i32::from(a) * i32::from(b);
+    ((p >> 12) as u16) as i16
+}
+
+/// Orthonormal 8-point DCT matrix in Q12.
+fn dct_matrix() -> Vec<i16> {
+    let mut c = Vec::with_capacity(B * B);
+    for u in 0..B {
+        let a = if u == 0 { (1.0 / B as f64).sqrt() } else { (2.0 / B as f64).sqrt() };
+        for v in 0..B {
+            let val = a * ((2.0 * v as f64 + 1.0) * u as f64 * std::f64::consts::PI
+                / (2.0 * B as f64))
+                .cos();
+            c.push((val * Q).round() as i16);
+        }
+    }
+    c
+}
+
+/// Per-coefficient quantization shifts: coarser for higher frequencies.
+fn quant_shifts() -> Vec<u16> {
+    let mut q = Vec::with_capacity(B * B);
+    for u in 0..B {
+        for w in 0..B {
+            q.push(((1 + (u + w) / 2) as u16).min(6));
+        }
+    }
+    q
+}
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    assert!(w % B == 0 && h % B == 0, "frame must be a multiple of 8");
+    let c = dct_matrix();
+    let qsh = quant_shifts();
+    let mut out = vec![0u16; w * h];
+    for by in 0..h / B {
+        for bx in 0..w / B {
+            let mut t = [0i16; B * B];
+            // Pass 1: T = C·X.
+            for u in 0..B {
+                for k in 0..B {
+                    let mut acc = 0i16;
+                    for v in 0..B {
+                        let x = i16::from(img.at(bx * B + k, by * B + v));
+                        acc = acc.wrapping_add(qmul12(c[u * B + v], x));
+                    }
+                    t[u * B + k] = acc;
+                }
+            }
+            // Pass 2: Y = T·Cᵀ, then quantize.
+            for u in 0..B {
+                for wi in 0..B {
+                    let mut acc = 0i16;
+                    for k in 0..B {
+                        acc = acc.wrapping_add(qmul12(t[u * B + k], c[wi * B + k]));
+                    }
+                    let shifted = acc >> qsh[u * B + wi];
+                    out[(by * B + u) * w + bx * B + wi] = shifted as u16;
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let (w, h) = (img.width(), img.height());
+    assert!(w % B == 0 && h % B == 0, "frame must be a multiple of 8 for dct8");
+    let n = w * h;
+    // Scratch: C matrix (64) + quant shifts (64) + T buffer (64).
+    let lay = Layout::for_image(img, n, 3 * B * B);
+    let cmat = lay.scr;
+    let qsh_addr = cmat + (B * B) as u16;
+    let tbuf = qsh_addr + (B * B) as u16;
+    let src = format!(
+        r"
+.equ W, {w}
+.equ H, {h}
+.equ BW, {bw}
+.equ BH, {bh}
+.equ IN, {inp}
+.equ OUT, {out}
+.equ CMAT, {cmat}
+.equ QSH, {qsh}
+.equ TBUF, {tbuf}
+    li   r1, 0              ; block row
+byloop:
+    li   r2, 0              ; block column
+bxloop:
+    ; input block base address -> r5
+    li   r4, W
+    slli r5, r1, 3
+    mul  r5, r5, r4
+    slli r6, r2, 3
+    add  r5, r5, r6
+    addi r5, r5, IN
+    ; pass 1: TBUF = C * X
+    li   r6, 0              ; u
+p1u:
+    li   r7, 0              ; k
+p1k:
+    li   r9, 0              ; acc
+    li   r8, 0              ; v
+p1v:
+    slli r10, r6, 3
+    add  r10, r10, r8
+    addi r10, r10, CMAT
+    lw   r11, 0(r10)        ; c[u][v]
+    li   r10, W
+    mul  r10, r10, r8
+    add  r10, r10, r5
+    add  r10, r10, r7
+    lw   r12, 0(r10)        ; x[v][k]
+    mulh r10, r11, r12
+    mul  r13, r11, r12
+    slli r10, r10, 4
+    srli r13, r13, 12
+    add  r10, r10, r13
+    add  r9, r9, r10
+    addi r8, r8, 1
+    li   r10, 8
+    bne  r8, r10, p1v
+    slli r10, r6, 3
+    add  r10, r10, r7
+    addi r10, r10, TBUF
+    sw   r9, 0(r10)
+    addi r7, r7, 1
+    li   r10, 8
+    bne  r7, r10, p1k
+    addi r6, r6, 1
+    li   r10, 8
+    bne  r6, r10, p1u
+    ; output block base address -> r3
+    li   r4, W
+    slli r3, r1, 3
+    mul  r3, r3, r4
+    slli r4, r2, 3
+    add  r3, r3, r4
+    addi r3, r3, OUT
+    ; pass 2: Y = TBUF * C', then quantize by shift
+    li   r6, 0              ; u
+p2u:
+    li   r7, 0              ; w
+p2w:
+    li   r9, 0              ; acc
+    li   r8, 0              ; k
+p2k:
+    slli r10, r6, 3
+    add  r10, r10, r8
+    addi r10, r10, TBUF
+    lw   r11, 0(r10)
+    slli r10, r7, 3
+    add  r10, r10, r8
+    addi r10, r10, CMAT
+    lw   r12, 0(r10)
+    mulh r10, r11, r12
+    mul  r13, r11, r12
+    slli r10, r10, 4
+    srli r13, r13, 12
+    add  r10, r10, r13
+    add  r9, r9, r10
+    addi r8, r8, 1
+    li   r10, 8
+    bne  r8, r10, p2k
+    slli r10, r6, 3
+    add  r10, r10, r7
+    addi r10, r10, QSH
+    lw   r11, 0(r10)
+    sra  r9, r9, r11
+    li   r10, W
+    mul  r10, r10, r6
+    add  r10, r10, r3
+    add  r10, r10, r7
+    sw   r9, 0(r10)
+    addi r7, r7, 1
+    li   r10, 8
+    bne  r7, r10, p2w
+    addi r6, r6, 1
+    li   r10, 8
+    bne  r6, r10, p2u
+    addi r2, r2, 1
+    li   r10, BW
+    bne  r2, r10, bxloop
+    addi r1, r1, 1
+    li   r10, BH
+    bne  r1, r10, byloop
+    halt
+",
+        w = w,
+        h = h,
+        bw = w / B,
+        bh = h / B,
+        inp = lay.input,
+        out = lay.out,
+        cmat = cmat,
+        qsh = qsh_addr,
+        tbuf = tbuf,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    program.add_data(cmat, &dct_matrix().iter().map(|&v| v as u16).collect::<Vec<_>>());
+    program.add_data(qsh_addr, &quant_shifts());
+    Ok(KernelInstance::new(
+        KernelKind::Dct8,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        w,
+        h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Dct8, 19, 16, 16);
+    }
+
+    #[test]
+    fn dct_matrix_rows_orthonormal() {
+        let c = dct_matrix();
+        for u in 0..B {
+            let dot: f64 = (0..B)
+                .map(|v| f64::from(c[u * B + v]) / Q)
+                .map(|x| x * x)
+                .sum();
+            assert!((dot - 1.0).abs() < 0.01, "row {u} norm {dot}");
+        }
+    }
+
+    #[test]
+    fn constant_block_energy_in_dc() {
+        let img = GrayImage::from_pixels(8, 8, vec![128; 64]);
+        let out = reference(&img);
+        let dc = out[0] as i16;
+        assert!(dc > 100, "DC coefficient carries the block mean, got {dc}");
+        // AC coefficients are (near) zero for a flat block.
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            if i % 8 != 0 || i >= 8 {
+                assert!((v as i16).abs() <= 8, "AC[{i}] = {}", v as i16);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_shifts_grow_with_frequency() {
+        let q = quant_shifts();
+        assert_eq!(q[0], 1);
+        assert!(q[B * B - 1] >= q[0]);
+        assert!(q.iter().all(|&s| s <= 6));
+    }
+}

@@ -1,0 +1,121 @@
+//! 2×2 average-pooling downsampler — the thumbnailing step battery-free
+//! camera nodes run before deciding whether a frame is worth the radio
+//! energy of full transmission.
+//!
+//! `out[y][x] = (in[2y][2x] + in[2y][2x+1] + in[2y+1][2x] +
+//! in[2y+1][2x+1]) >> 2` over a half-resolution output grid.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width() / 2, img.height() / 2);
+    let mut out = vec![0u16; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let sum = u16::from(img.at(2 * x, 2 * y))
+                + u16::from(img.at(2 * x + 1, 2 * y))
+                + u16::from(img.at(2 * x, 2 * y + 1))
+                + u16::from(img.at(2 * x + 1, 2 * y + 1));
+            out[y * w + x] = sum >> 2;
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    assert!(
+        img.width().is_multiple_of(2) && img.height().is_multiple_of(2),
+        "downsample needs even frame dimensions"
+    );
+    let (ow, oh) = (img.width() / 2, img.height() / 2);
+    let lay = Layout::for_image(img, ow * oh, 0);
+    let src = format!(
+        r"
+.equ W, {w}
+.equ OW, {ow}
+.equ OH, {oh}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, 0              ; output row
+yloop:
+    ; r3 = input row base = IN + (2*y)*W ; r9 = OUT + y*OW
+    li   r4, W
+    slli r5, r1, 1
+    mul  r3, r5, r4
+    addi r3, r3, IN
+    li   r4, OW
+    mul  r9, r1, r4
+    addi r9, r9, OUT
+    li   r2, 0              ; output column
+xloop:
+    lw   r5, 0(r3)
+    lw   r6, 1(r3)
+    add  r5, r5, r6
+    lw   r6, W(r3)
+    add  r5, r5, r6
+    lw   r6, W+1(r3)
+    add  r5, r5, r6
+    srli r5, r5, 2
+    sw   r5, 0(r9)
+    addi r3, r3, 2
+    addi r9, r9, 1
+    addi r2, r2, 1
+    li   r6, OW
+    bne  r2, r6, xloop
+    addi r1, r1, 1
+    li   r6, OH
+    bne  r1, r6, yloop
+    halt
+",
+        w = lay.w,
+        ow = ow,
+        oh = oh,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Downsample,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Downsample, 35, 16, 16);
+        check_kernel(KernelKind::Downsample, 36, 8, 12);
+    }
+
+    #[test]
+    fn constant_image_pools_to_itself() {
+        let img = GrayImage::from_pixels(8, 8, vec![120; 64]);
+        assert!(reference(&img).iter().all(|&v| v == 120));
+    }
+
+    #[test]
+    fn known_block_average() {
+        let img = GrayImage::from_pixels(2, 2, vec![10, 20, 30, 40]);
+        assert_eq!(reference(&img), vec![25]);
+    }
+
+    #[test]
+    fn output_is_quarter_size() {
+        let img = GrayImage::synthetic(37, 16, 16);
+        assert_eq!(reference(&img).len(), 64);
+    }
+}

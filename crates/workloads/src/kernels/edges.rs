@@ -1,0 +1,59 @@
+//! Binary edge map: Sobel magnitude thresholded to 0/255 (susan.edges
+//! proxy).
+
+use super::sobel::{gradient_mag, gradient_program};
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+/// Gradient-magnitude threshold for an edge.
+pub(super) const THRESHOLD: u16 = 80;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0u16; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            // The assembly compares the *signed* magnitude against the
+            // threshold (ble = signed ≤); mirror exactly.
+            let mag = gradient_mag(img, x, y);
+            out[y * w + x] = if mag > THRESHOLD as i16 { 255 } else { 0 };
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, img.width() * img.height(), 0);
+    let mut program = gradient_program(&lay, Some(THRESHOLD))?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Edges,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Edges, 5, 16, 16);
+        check_kernel(KernelKind::Edges, 6, 12, 20);
+    }
+
+    #[test]
+    fn output_is_binary() {
+        let img = GrayImage::synthetic(7, 16, 16);
+        let r = reference(&img);
+        assert!(r.iter().all(|&v| v == 0 || v == 255));
+        assert!(r.contains(&255), "synthetic frames contain edges");
+    }
+}

@@ -1,0 +1,261 @@
+//! 16-point radix-2 decimation-in-time FFT in Q14 fixed point, over the
+//! first 16 pixels of the frame (a spectrum-analysis kernel: the survey's
+//! gas/water-quality sensing workloads are FFT-based).
+//!
+//! The butterfly multiplication is the exact sequence the datapath runs:
+//! `(mulh << 2) + (mul >> 14)` — a 32-bit product arithmetic-shifted by
+//! 14 and truncated to 16 bits. The reference reproduces it bit-for-bit.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const N: usize = 16;
+/// Q14 fixed-point scale.
+const Q: f64 = 16384.0;
+
+/// The datapath's Q14 multiply: truncating 32-bit product >> 14, wrapped
+/// to 16 bits.
+pub(super) fn qmul14(a: i16, b: i16) -> i16 {
+    let p = i32::from(a) * i32::from(b);
+    ((p >> 14) as u16) as i16
+}
+
+fn twiddles() -> (Vec<i16>, Vec<i16>) {
+    let mut wr = Vec::with_capacity(N / 2);
+    let mut wi = Vec::with_capacity(N / 2);
+    for k in 0..N / 2 {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        wr.push((ang.cos() * Q).round() as i16);
+        wi.push((ang.sin() * Q).round() as i16);
+    }
+    (wr, wi)
+}
+
+fn bit_reverse_table() -> Vec<u16> {
+    (0..N as u16)
+        .map(|i| {
+            let mut v = 0;
+            for b in 0..4 {
+                v |= ((i >> b) & 1) << (3 - b);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Reference FFT mirroring the assembly's arithmetic exactly.
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (twr, twi) = twiddles();
+    let br = bit_reverse_table();
+    let mut re = [0i16; N];
+    let mut im = [0i16; N];
+    for k in 0..N {
+        re[k] = i16::from(img.pixels()[usize::from(br[k])]);
+    }
+    let mut len = 2;
+    while len <= N {
+        let half = len / 2;
+        let stride = N / len;
+        let mut i = 0;
+        while i < N {
+            for j in 0..half {
+                let idx = j * stride;
+                let (wr, wi) = (twr[idx], twi[idx]);
+                let (a, b) = (i + j, i + j + half);
+                let tr = qmul14(re[b], wr).wrapping_sub(qmul14(im[b], wi));
+                let ti = qmul14(re[b], wi).wrapping_add(qmul14(im[b], wr));
+                let (ra, ia) = (re[a], im[a]);
+                re[b] = ra.wrapping_sub(tr);
+                im[b] = ia.wrapping_sub(ti);
+                re[a] = ra.wrapping_add(tr);
+                im[a] = ia.wrapping_add(ti);
+            }
+            i += len;
+        }
+        len *= 2;
+    }
+    re.iter().chain(im.iter()).map(|&v| v as u16).collect()
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    assert!(img.width() * img.height() >= N, "frame too small for fft16");
+    // Layout: OUT holds re[16] then im[16]; tables in scratch.
+    let lay = Layout::for_image(img, 2 * N, 2 * N);
+    let br_addr = lay.scr;
+    let twr_addr = lay.scr + N as u16;
+    let twi_addr = twr_addr + (N / 2) as u16;
+    let src = format!(
+        r"
+.equ IN, {inp}
+.equ OUT, {out}
+.equ BR, {br}
+.equ TWR, {twr}
+.equ TWI, {twi}
+    ; bit-reversed copy, imaginary parts zeroed
+    li   r1, 0
+copy:
+    li   r2, BR
+    add  r2, r2, r1
+    lw   r3, 0(r2)
+    li   r4, IN
+    add  r4, r4, r3
+    lw   r5, 0(r4)
+    li   r6, OUT
+    add  r6, r6, r1
+    sw   r5, 0(r6)
+    sw   r0, 16(r6)
+    addi r1, r1, 1
+    li   r7, 16
+    bne  r1, r7, copy
+    ; stages
+    li   r1, 2              ; len
+lenloop:
+    srli r13, r1, 1         ; half
+    li   r2, 0              ; i
+iloop:
+    li   r3, 0              ; j
+jloop:
+    li   r5, OUT
+    add  r5, r5, r2
+    add  r5, r5, r3         ; &re[a]
+    add  r6, r5, r13        ; &re[b]
+    lw   r7, 0(r6)          ; re_b
+    lw   r8, 16(r6)         ; im_b
+    ; twiddle index = j * (16 / len)
+    li   r4, 16
+    divu r4, r4, r1
+    mul  r4, r4, r3
+    li   r10, TWR
+    add  r10, r10, r4
+    lw   r9, 0(r10)         ; wr
+    li   r11, TWI
+    add  r11, r11, r4
+    lw   r10, 0(r11)        ; wi
+    ; tr = q(re_b*wr) - q(im_b*wi)
+    mulh r11, r7, r9
+    mul  r12, r7, r9
+    slli r11, r11, 2
+    srli r12, r12, 14
+    add  r4, r11, r12
+    mulh r11, r8, r10
+    mul  r12, r8, r10
+    slli r11, r11, 2
+    srli r12, r12, 14
+    add  r11, r11, r12
+    sub  r4, r4, r11        ; tr
+    ; ti = q(re_b*wi) + q(im_b*wr)
+    mulh r11, r7, r10
+    mul  r12, r7, r10
+    slli r11, r11, 2
+    srli r12, r12, 14
+    add  r10, r11, r12
+    mulh r11, r8, r9
+    mul  r12, r8, r9
+    slli r11, r11, 2
+    srli r12, r12, 14
+    add  r11, r11, r12
+    add  r10, r10, r11      ; ti
+    ; butterfly update
+    lw   r7, 0(r5)          ; re_a
+    lw   r8, 16(r5)         ; im_a
+    sub  r11, r7, r4
+    sw   r11, 0(r6)
+    sub  r11, r8, r10
+    sw   r11, 16(r6)
+    add  r7, r7, r4
+    sw   r7, 0(r5)
+    add  r8, r8, r10
+    sw   r8, 16(r5)
+    addi r3, r3, 1
+    bne  r3, r13, jloop
+    add  r2, r2, r1
+    li   r4, 16
+    bltu r2, r4, iloop
+    slli r1, r1, 1
+    li   r4, 32
+    bne  r1, r4, lenloop
+    halt
+",
+        inp = lay.input,
+        out = lay.out,
+        br = br_addr,
+        twr = twr_addr,
+        twi = twi_addr,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    program.add_data(br_addr, &bit_reverse_table());
+    let (twr, twi) = twiddles();
+    program.add_data(twr_addr, &twr.iter().map(|&v| v as u16).collect::<Vec<_>>());
+    program.add_data(twi_addr, &twi.iter().map(|&v| v as u16).collect::<Vec<_>>());
+    Ok(KernelInstance::new(
+        KernelKind::Fft16,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Fft16, 17, 16, 16);
+        check_kernel(KernelKind::Fft16, 18, 16, 16);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn dc_input_concentrates_in_bin_zero() {
+        let img = GrayImage::from_pixels(16, 1, vec![100; 16]);
+        let out = reference(&img);
+        let re0 = out[0] as i16;
+        assert_eq!(re0, 1600, "DC bin holds N * value");
+        for k in 1..16 {
+            assert!(
+                (out[k] as i16).abs() <= 16,
+                "non-DC bin {k} should be ~0, got {}",
+                out[k] as i16
+            );
+        }
+    }
+
+    #[test]
+    fn single_tone_peaks_at_its_bin() {
+        // x[n] = 100 + 100·cos(2πn/16) → peaks at bins 1 and 15.
+        let pixels: Vec<u8> = (0..16)
+            .map(|n| {
+                (100.0 + 100.0 * (2.0 * std::f64::consts::PI * n as f64 / 16.0).cos()) as u8
+            })
+            .collect();
+        let img = GrayImage::from_pixels(16, 1, pixels);
+        let out = reference(&img);
+        let mag = |k: usize| {
+            let re = f64::from(out[k] as i16);
+            let im = f64::from(out[16 + k] as i16);
+            (re * re + im * im).sqrt()
+        };
+        let peak = mag(1);
+        for k in 2..15 {
+            assert!(mag(k) < peak / 4.0, "bin {k} = {} vs peak {peak}", mag(k));
+        }
+    }
+
+    #[test]
+    fn twiddle_table_shape() {
+        let (wr, wi) = twiddles();
+        assert_eq!(wr[0], 16384);
+        assert_eq!(wi[0], 0);
+        assert_eq!(wi[4], -16384, "W^4 = -j");
+        assert_eq!(bit_reverse_table(), vec![0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15]);
+    }
+}

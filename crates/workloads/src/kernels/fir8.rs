@@ -1,0 +1,116 @@
+//! 8-tap moving-average FIR filter over the frame treated as a 1-D
+//! sample stream — the classic DSP kernel of heart-rate/spectrum
+//! pre-processing chains.
+//!
+//! `out[i] = (Σ in[i..i+8]) >> 3` for every full window; trailing
+//! positions (fewer than 8 samples left) stay zero.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const TAPS: usize = 8;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let data = img.to_words();
+    let n = data.len();
+    let mut out = vec![0u16; n];
+    for i in 0..=n.saturating_sub(TAPS) {
+        let sum: u16 = data[i..i + TAPS]
+            .iter()
+            .fold(0u16, |acc, &v| acc.wrapping_add(v));
+        out[i] = sum >> 3;
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    assert!(img.width() * img.height() >= TAPS, "frame too small for fir8");
+    let lay = Layout::for_image(img, img.width() * img.height(), 0);
+    let src = format!(
+        r"
+.equ N, {n}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, IN             ; window pointer
+    li   r2, OUT            ; output pointer
+    li   r3, N-7            ; full windows
+loop:
+    lw   r4, 0(r1)
+    lw   r5, 1(r1)
+    add  r4, r4, r5
+    lw   r5, 2(r1)
+    add  r4, r4, r5
+    lw   r5, 3(r1)
+    add  r4, r4, r5
+    lw   r5, 4(r1)
+    add  r4, r4, r5
+    lw   r5, 5(r1)
+    add  r4, r4, r5
+    lw   r5, 6(r1)
+    add  r4, r4, r5
+    lw   r5, 7(r1)
+    add  r4, r4, r5
+    srli r4, r4, 3
+    sw   r4, 0(r2)
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, -1
+    bnez r3, loop
+    halt
+",
+        n = lay.n,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Fir8,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Fir8, 33, 16, 16);
+        check_kernel(KernelKind::Fir8, 34, 8, 8);
+    }
+
+    #[test]
+    fn constant_signal_passes_through() {
+        let img = GrayImage::from_pixels(16, 1, vec![96; 16]);
+        let out = reference(&img);
+        for &v in &out[..16 - TAPS + 1] {
+            assert_eq!(v, 96);
+        }
+        assert!(out[16 - TAPS + 1..].iter().all(|&v| v == 0), "tail stays zero");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn smooths_an_impulse() {
+        let mut pixels = vec![0u8; 32];
+        pixels[10] = 200;
+        let img = GrayImage::from_pixels(32, 1, pixels);
+        let out = reference(&img);
+        // The impulse spreads across 8 output positions at 1/8 height.
+        for i in 3..=10 {
+            assert_eq!(out[i], 25, "position {i}");
+        }
+        assert_eq!(out[2], 0);
+        assert_eq!(out[11], 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! 16-bin intensity histogram (spectrum/level analysis building block).
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const BINS: usize = 16;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let mut out = vec![0u16; BINS];
+    for &p in img.pixels() {
+        out[usize::from(p >> 4)] = out[usize::from(p >> 4)].wrapping_add(1);
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, BINS, 0);
+    let src = format!(
+        r"
+.equ N, {n}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, IN
+    li   r2, N
+loop:
+    lw   r3, 0(r1)
+    srli r3, r3, 4          ; bin index
+    li   r4, OUT
+    add  r4, r4, r3
+    lw   r5, 0(r4)
+    addi r5, r5, 1
+    sw   r5, 0(r4)
+    addi r1, r1, 1
+    addi r2, r2, -1
+    bnez r2, loop
+    halt
+",
+        n = lay.n,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Histogram,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Histogram, 30, 16, 16);
+        check_kernel(KernelKind::Histogram, 31, 10, 10);
+    }
+
+    #[test]
+    fn bins_sum_to_pixel_count() {
+        let img = GrayImage::synthetic(32, 20, 20);
+        let h = reference(&img);
+        assert_eq!(h.iter().map(|&c| u32::from(c)).sum::<u32>(), 400);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let img = GrayImage::from_pixels(4, 1, vec![0, 15, 16, 255]);
+        let h = reference(&img);
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[15], 1);
+    }
+}

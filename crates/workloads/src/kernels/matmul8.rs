@@ -1,0 +1,131 @@
+//! 8×8 matrix multiply of two frame tiles (wrapping 16-bit arithmetic) —
+//! the dense-linear-algebra kernel of feature-extraction pipelines.
+//!
+//! `A` is the 8×8 tile at the frame origin, `B` the 8×8 tile beside it
+//! (columns 8–15); `C = A·B` with products and sums wrapping modulo 2¹⁶.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const B: usize = 8;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let a = |i: usize, k: usize| u16::from(img.at(k, i));
+    let b = |k: usize, j: usize| u16::from(img.at(B + j, k));
+    let mut out = vec![0u16; B * B];
+    for i in 0..B {
+        for j in 0..B {
+            let mut acc = 0u16;
+            for k in 0..B {
+                acc = acc.wrapping_add(a(i, k).wrapping_mul(b(k, j)));
+            }
+            out[i * B + j] = acc;
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    assert!(
+        img.width() >= 2 * B && img.height() >= B,
+        "matmul8 needs a frame at least 16x8"
+    );
+    let lay = Layout::for_image(img, B * B, 0);
+    let src = format!(
+        r"
+.equ W, {w}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, 0              ; i
+iloop:
+    li   r2, 0              ; j
+jloop:
+    li   r9, 0              ; acc
+    li   r3, 0              ; k
+kloop:
+    li   r4, W
+    mul  r5, r1, r4
+    add  r5, r5, r3
+    addi r5, r5, IN
+    lw   r6, 0(r5)          ; a[i][k]
+    mul  r5, r3, r4
+    add  r5, r5, r2
+    addi r5, r5, IN+8
+    lw   r7, 0(r5)          ; b[k][j]
+    mul  r6, r6, r7
+    add  r9, r9, r6
+    addi r3, r3, 1
+    li   r4, 8
+    bne  r3, r4, kloop
+    slli r5, r1, 3
+    add  r5, r5, r2
+    addi r5, r5, OUT
+    sw   r9, 0(r5)
+    addi r2, r2, 1
+    li   r4, 8
+    bne  r2, r4, jloop
+    addi r1, r1, 1
+    li   r4, 8
+    bne  r1, r4, iloop
+    halt
+",
+        w = lay.w,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::MatMul8,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::MatMul8, 28, 16, 16);
+        check_kernel(KernelKind::MatMul8, 29, 24, 12);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        // A = arbitrary tile, B = identity → C = A.
+        let mut pixels = vec![0u8; 16 * 8];
+        for y in 0..8 {
+            for x in 0..8 {
+                pixels[y * 16 + x] = (y * 8 + x + 1) as u8;
+            }
+            pixels[y * 16 + 8 + y] = 1; // B identity
+        }
+        let img = GrayImage::from_pixels(16, 8, pixels);
+        let out = reference(&img);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(out[y * 8 + x], (y * 8 + x + 1) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn wrapping_is_intentional() {
+        // 255 * 255 * 8 overflows 16 bits; both sides must agree.
+        let img = GrayImage::from_pixels(16, 8, vec![255; 128]);
+        let expected = (0..8).fold(0u16, |acc, _| {
+            acc.wrapping_add(255u16.wrapping_mul(255))
+        });
+        assert!(reference(&img).iter().all(|&v| v == expected));
+    }
+}

@@ -1,0 +1,147 @@
+//! 3×3 median filter: bubble-sorts each 9-pixel window in scratch memory
+//! and keeps the middle element (salt-and-pepper denoising).
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0u16; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut window = [0u8; 9];
+            let mut k = 0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    window[k] = img.at((x as i32 + dx) as usize, (y as i32 + dy) as usize);
+                    k += 1;
+                }
+            }
+            window.sort_unstable();
+            out[y * w + x] = u16::from(window[4]);
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, img.width() * img.height(), 9);
+    let src = format!(
+        r"
+.equ W, {w}
+.equ H, {h}
+.equ IN, {inp}
+.equ OUT, {out}
+.equ SCR, {scr}
+    li   r1, 1              ; y
+yloop:
+    li   r4, W
+    mul  r3, r1, r4
+    addi r9, r3, OUT+1
+    addi r3, r3, IN+1
+    li   r2, 1              ; x
+xloop:
+    ; gather the 3x3 window into SCR[0..9]
+    li   r13, SCR
+    lw   r4, 0-W-1(r3)
+    sw   r4, 0(r13)
+    lw   r4, 0-W(r3)
+    sw   r4, 1(r13)
+    lw   r4, 0-W+1(r3)
+    sw   r4, 2(r13)
+    lw   r4, 0-1(r3)
+    sw   r4, 3(r13)
+    lw   r4, 0(r3)
+    sw   r4, 4(r13)
+    lw   r4, 1(r3)
+    sw   r4, 5(r13)
+    lw   r4, W-1(r3)
+    sw   r4, 6(r13)
+    lw   r4, W(r3)
+    sw   r4, 7(r13)
+    lw   r4, W+1(r3)
+    sw   r4, 8(r13)
+    ; bubble sort the window
+    li   r6, 0              ; pass
+sorti:
+    li   r7, 0              ; position
+sortj:
+    add  r10, r13, r7
+    lw   r11, 0(r10)
+    lw   r12, 1(r10)
+    bleu r11, r12, noswap
+    sw   r12, 0(r10)
+    sw   r11, 1(r10)
+noswap:
+    addi r7, r7, 1
+    li   r5, 8
+    sub  r5, r5, r6
+    bne  r7, r5, sortj
+    addi r6, r6, 1
+    li   r5, 8
+    bne  r6, r5, sorti
+    lw   r4, 4(r13)         ; the median
+    sw   r4, 0(r9)
+    addi r3, r3, 1
+    addi r9, r9, 1
+    addi r2, r2, 1
+    li   r5, W-1
+    bne  r2, r5, xloop
+    addi r1, r1, 1
+    li   r5, H-1
+    bne  r1, r5, yloop
+    halt
+",
+        w = lay.w,
+        h = lay.h,
+        inp = lay.input,
+        out = lay.out,
+        scr = lay.scr,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Median,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Median, 11, 16, 16);
+    }
+
+    #[test]
+    fn removes_salt_noise() {
+        // Flat field with one bright impulse: the median erases it.
+        let mut pixels = vec![50u8; 81];
+        pixels[4 * 9 + 4] = 255;
+        let img = GrayImage::from_pixels(9, 9, pixels);
+        let out = reference(&img);
+        assert_eq!(out[4 * 9 + 4], 50);
+    }
+
+    #[test]
+    fn preserves_constant_regions() {
+        let img = GrayImage::from_pixels(8, 8, vec![123; 64]);
+        let out = reference(&img);
+        for y in 1..7 {
+            for x in 1..7 {
+                assert_eq!(out[y * 8 + x], 123);
+            }
+        }
+    }
+}

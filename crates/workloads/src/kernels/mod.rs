@@ -1,0 +1,121 @@
+//! Kernel implementations: NV16 assembly builders + exact references.
+//!
+//! Every kernel follows the same conventions:
+//!
+//! * the input frame is preloaded at [`crate::INPUT_ADDR`] (one pixel per
+//!   16-bit word, ROM-array style, exactly like the published NVP RTL
+//!   frameworks initialize their testbenches),
+//! * results are written to an output region directly after the input,
+//! * scratch/table space follows the output,
+//! * the Rust reference mirrors the assembly's fixed-point semantics
+//!   bit-for-bit (wrapping 16-bit arithmetic), so equality — not just
+//!   similarity — is asserted in tests.
+
+pub(crate) mod corners;
+pub(crate) mod crc16;
+pub(crate) mod dct8;
+pub(crate) mod downsample;
+pub(crate) mod edges;
+pub(crate) mod fft16;
+pub(crate) mod fir8;
+pub(crate) mod histogram;
+pub(crate) mod integral;
+pub(crate) mod matmul8;
+pub(crate) mod median;
+pub(crate) mod rle;
+pub(crate) mod smooth;
+pub(crate) mod sobel;
+pub(crate) mod strsearch;
+
+use crate::{GrayImage, INPUT_ADDR};
+
+/// Memory layout computed for one kernel instance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Layout {
+    pub w: usize,
+    pub h: usize,
+    /// Pixels in the frame.
+    pub n: usize,
+    pub input: u16,
+    pub out: u16,
+    pub scr: u16,
+    pub min_dmem: usize,
+}
+
+impl Layout {
+    /// Lays out input / output / scratch regions for a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regions exceed the 16-bit address space.
+    pub(crate) fn for_image(img: &GrayImage, out_len: usize, scr_len: usize) -> Layout {
+        let n = img.width() * img.height();
+        let input = INPUT_ADDR;
+        let out = usize::from(input) + n;
+        let scr = out + out_len;
+        let end = scr + scr_len;
+        assert!(end <= 0x1_0000, "kernel layout exceeds address space ({end:#x})");
+        Layout {
+            w: img.width(),
+            h: img.height(),
+            n,
+            input,
+            out: out as u16,
+            scr: scr as u16,
+            min_dmem: end.next_multiple_of(256),
+        }
+    }
+}
+
+/// The absolute-value bit trick used by several kernels, mirrored here so
+/// references match the assembly exactly (including `i16::MIN`, which
+/// stays negative in both).
+pub(crate) fn abs_trick(v: i16) -> i16 {
+    let mask = v >> 15;
+    (v ^ mask).wrapping_sub(mask)
+}
+
+#[cfg(test)]
+pub(crate) fn check_kernel(kind: crate::KernelKind, seed: u64, w: usize, h: usize) {
+    let img = GrayImage::synthetic(seed, w, h);
+    let inst = kind.build(&img).expect("kernel builds");
+    let out = inst.run_to_completion().expect("kernel runs");
+    assert_eq!(
+        out,
+        inst.reference(),
+        "{kind} output differs from reference on seed {seed} ({w}x{h})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_ordered_and_padded() {
+        let img = GrayImage::synthetic(1, 16, 16);
+        let lay = Layout::for_image(&img, 256, 64);
+        assert_eq!(lay.input, INPUT_ADDR);
+        assert_eq!(usize::from(lay.out), usize::from(INPUT_ADDR) + 256);
+        assert_eq!(usize::from(lay.scr), usize::from(lay.out) + 256);
+        assert!(lay.min_dmem >= usize::from(lay.scr) + 64);
+        assert_eq!(lay.min_dmem % 256, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds address space")]
+    #[allow(unconditional_panic)]
+    fn oversized_layout_panics() {
+        let img = GrayImage::synthetic(1, 256, 256);
+        let _ = Layout::for_image(&img, 65536, 0);
+    }
+
+    #[test]
+    fn abs_trick_matches_abs() {
+        for v in [-32767i16, -100, -1, 0, 1, 100, 32767] {
+            assert_eq!(abs_trick(v), v.abs());
+        }
+        // The one divergence from `abs`: i16::MIN maps to itself.
+        assert_eq!(abs_trick(i16::MIN), i16::MIN);
+    }
+}

@@ -1,0 +1,141 @@
+//! Run-length encoding of the frame (tiff2bw/compression proxy): output
+//! is `[pair_count, value₀, run₀, value₁, run₁, …]` with runs capped at
+//! 255 (long runs split into chained pairs).
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const MAX_RUN: u16 = 255;
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let data = img.to_words();
+    let mut pairs: Vec<(u16, u16)> = Vec::new();
+    let mut current = data[0];
+    let mut run: u16 = 1;
+    for &v in &data[1..] {
+        if v == current && run < MAX_RUN {
+            run += 1;
+        } else {
+            pairs.push((current, run));
+            current = v;
+            run = 1;
+        }
+    }
+    pairs.push((current, run));
+    let mut out = Vec::with_capacity(1 + 2 * pairs.len());
+    out.push(pairs.len() as u16);
+    for (v, r) in pairs {
+        out.push(v);
+        out.push(r);
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let n = img.width() * img.height();
+    // Worst case: every pixel differs → 2N pairs words + count.
+    let lay = Layout::for_image(img, 2 * n + 1, 0);
+    let src = format!(
+        r"
+.equ N, {n}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, IN             ; input pointer
+    li   r2, N              ; words left
+    li   r3, OUT+1          ; pair pointer
+    li   r4, 0              ; pair count
+    lw   r5, 0(r1)          ; current value
+    li   r6, 1              ; run length
+    addi r1, r1, 1
+    addi r2, r2, -1
+loop:
+    beqz r2, final
+    lw   r7, 0(r1)
+    addi r1, r1, 1
+    addi r2, r2, -1
+    bne  r7, r5, flush
+    li   r8, {max_run}
+    bne  r6, r8, grow
+    ; the run is full: emit it and continue with the same value
+    sw   r5, 0(r3)
+    sw   r6, 1(r3)
+    addi r3, r3, 2
+    addi r4, r4, 1
+    li   r6, 0
+grow:
+    addi r6, r6, 1
+    j    loop
+flush:
+    sw   r5, 0(r3)
+    sw   r6, 1(r3)
+    addi r3, r3, 2
+    addi r4, r4, 1
+    mov  r5, r7
+    li   r6, 1
+    j    loop
+final:
+    sw   r5, 0(r3)
+    sw   r6, 1(r3)
+    addi r4, r4, 1
+    li   r3, OUT
+    sw   r4, 0(r3)
+    halt
+",
+        n = n,
+        inp = lay.input,
+        out = lay.out,
+        max_run = MAX_RUN,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Rle,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Rle, 25, 16, 16);
+        check_kernel(KernelKind::Rle, 26, 8, 8);
+    }
+
+    #[test]
+    fn simple_runs() {
+        let img = GrayImage::from_pixels(6, 1, vec![5, 5, 5, 9, 9, 1]);
+        assert_eq!(reference(&img), vec![3, 5, 3, 9, 2, 1, 1]);
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let img = GrayImage::from_pixels(300, 1, vec![42; 300]);
+        assert_eq!(reference(&img), vec![2, 42, 255, 42, 45]);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let img = GrayImage::synthetic(27, 12, 12);
+        let encoded = reference(&img);
+        let mut decoded = Vec::new();
+        let pairs = encoded[0] as usize;
+        for p in 0..pairs {
+            let v = encoded[1 + 2 * p];
+            let r = encoded[2 + 2 * p];
+            decoded.extend(std::iter::repeat_n(v, usize::from(r)));
+        }
+        assert_eq!(decoded, img.to_words());
+    }
+}

@@ -1,0 +1,131 @@
+//! 3×3 box smoothing (susan.smoothing proxy): interior pixels become the
+//! integer mean of their 3×3 neighborhood.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0u16; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mut sum = 0u16;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    sum += u16::from(img.at((x as i32 + dx) as usize, (y as i32 + dy) as usize));
+                }
+            }
+            out[y * w + x] = sum / 9;
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, img.width() * img.height(), 0);
+    let src = format!(
+        r"
+.equ W, {w}
+.equ H, {h}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, 1              ; y
+yloop:
+    li   r4, W
+    mul  r3, r1, r4
+    addi r9, r3, OUT+1
+    addi r3, r3, IN+1
+    li   r2, 1              ; x
+xloop:
+    lw   r5, 0-W-1(r3)
+    lw   r6, 0-W(r3)
+    add  r5, r5, r6
+    lw   r6, 0-W+1(r3)
+    add  r5, r5, r6
+    lw   r6, 0-1(r3)
+    add  r5, r5, r6
+    lw   r6, 0(r3)
+    add  r5, r5, r6
+    lw   r6, 1(r3)
+    add  r5, r5, r6
+    lw   r6, W-1(r3)
+    add  r5, r5, r6
+    lw   r6, W(r3)
+    add  r5, r5, r6
+    lw   r6, W+1(r3)
+    add  r5, r5, r6
+    li   r6, 9
+    divu r5, r5, r6
+    sw   r5, 0(r9)
+    addi r3, r3, 1
+    addi r9, r9, 1
+    addi r2, r2, 1
+    li   r8, W-1
+    bne  r2, r8, xloop
+    addi r1, r1, 1
+    li   r8, H-1
+    bne  r1, r8, yloop
+    halt
+",
+        w = lay.w,
+        h = lay.h,
+        inp = lay.input,
+        out = lay.out,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Smooth,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::Smooth, 8, 16, 16);
+        check_kernel(KernelKind::Smooth, 9, 20, 10);
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let img = GrayImage::synthetic(10, 16, 16);
+        let out = reference(&img);
+        let interior: Vec<f64> = (1..15)
+            .flat_map(|y| (1..15).map(move |x| (x, y)))
+            .map(|(x, y)| f64::from(img.at(x, y)))
+            .collect();
+        let smoothed: Vec<f64> = (1..15usize)
+            .flat_map(|y| (1..15usize).map(move |x| (x, y)))
+            .map(|(x, y)| f64::from(out[y * 16 + x]))
+            .collect();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&smoothed) < var(&interior));
+    }
+
+    #[test]
+    fn constant_image_unchanged_interior() {
+        let img = GrayImage::from_pixels(8, 8, vec![90; 64]);
+        let out = reference(&img);
+        for y in 1..7 {
+            for x in 1..7 {
+                assert_eq!(out[y * 8 + x], 90);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! 3×3 Sobel gradient magnitude (`|Gx| + |Gy|`, clamped to 255).
+
+use nvp_isa::asm::assemble;
+use nvp_isa::Program;
+
+use super::{abs_trick, Layout};
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+/// Emits the shared Sobel-gradient program. With `threshold == None` the
+/// clamped magnitude is stored (sobel); with `Some(t)` the output is a
+/// binary edge map (`mag > t ? 255 : 0`, the susan.edges proxy).
+pub(super) fn gradient_program(lay: &Layout, threshold: Option<u16>) -> Result<Program, WorkloadError> {
+    let epilogue = match threshold {
+        None => "\
+    li   r8, 255
+    ble  r5, r8, store
+    mov  r5, r8
+store:
+    sw   r5, 0(r9)"
+            .to_owned(),
+        Some(t) => format!(
+            "\
+    li   r6, 0
+    li   r8, {t}
+    ble  r5, r8, store
+    li   r6, 255
+store:
+    sw   r6, 0(r9)"
+        ),
+    };
+    let src = format!(
+        r"
+.equ W, {w}
+.equ H, {h}
+.equ IN, {inp}
+.equ OUT, {out}
+    li   r1, 1              ; y
+yloop:
+    li   r4, W
+    mul  r3, r1, r4
+    addi r9, r3, OUT+1      ; output pointer
+    addi r3, r3, IN+1       ; centre pointer
+    li   r2, 1              ; x
+xloop:
+    ; gx = (c + 2f + i) - (a + 2d + g)
+    lw   r5, 0-W+1(r3)      ; c
+    lw   r6, 1(r3)          ; f
+    add  r5, r5, r6
+    add  r5, r5, r6
+    lw   r6, W+1(r3)        ; i
+    add  r5, r5, r6
+    lw   r6, 0-W-1(r3)      ; a
+    sub  r5, r5, r6
+    lw   r7, 0-1(r3)        ; d
+    sub  r5, r5, r7
+    sub  r5, r5, r7
+    lw   r7, W-1(r3)        ; g
+    sub  r5, r5, r7
+    srai r8, r5, 15         ; |gx|
+    xor  r5, r5, r8
+    sub  r5, r5, r8
+    ; gy = (g + 2h + i) - (a + 2b + c)
+    lw   r10, W-1(r3)       ; g
+    lw   r11, W(r3)         ; h
+    add  r10, r10, r11
+    add  r10, r10, r11
+    lw   r11, W+1(r3)       ; i
+    add  r10, r10, r11
+    lw   r11, 0-W-1(r3)     ; a
+    sub  r10, r10, r11
+    lw   r11, 0-W(r3)       ; b
+    sub  r10, r10, r11
+    sub  r10, r10, r11
+    lw   r11, 0-W+1(r3)     ; c
+    sub  r10, r10, r11
+    srai r8, r10, 15        ; |gy|
+    xor  r10, r10, r8
+    sub  r10, r10, r8
+    add  r5, r5, r10        ; magnitude
+{epilogue}
+    addi r3, r3, 1
+    addi r9, r9, 1
+    addi r2, r2, 1
+    li   r8, W-1
+    bne  r2, r8, xloop
+    addi r1, r1, 1
+    li   r8, H-1
+    bne  r1, r8, yloop
+    halt
+",
+        w = lay.w,
+        h = lay.h,
+        inp = lay.input,
+        out = lay.out,
+    );
+    Ok(assemble(&src)?)
+}
+
+/// Raw gradient magnitude at an interior pixel, mirroring the assembly.
+pub(super) fn gradient_mag(img: &GrayImage, x: usize, y: usize) -> i16 {
+    let p = |dx: isize, dy: isize| {
+        i16::from(img.at((x as isize + dx) as usize, (y as isize + dy) as usize))
+    };
+    let gx = (p(1, -1) + 2 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2 * p(-1, 0) + p(-1, 1));
+    let gy = (p(-1, 1) + 2 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2 * p(0, -1) + p(1, -1));
+    abs_trick(gx).wrapping_add(abs_trick(gy))
+}
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0u16; w * h];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let mag = gradient_mag(img, x, y);
+            out[y * w + x] = (mag as u16).min(255);
+        }
+    }
+    out
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    let lay = Layout::for_image(img, img.width() * img.height(), 0);
+    let mut program = gradient_program(&lay, None)?;
+    program.add_data(lay.input, &img.to_words());
+    Ok(KernelInstance::new(
+        KernelKind::Sobel,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference_16x16() {
+        check_kernel(KernelKind::Sobel, 1, 16, 16);
+    }
+
+    #[test]
+    fn matches_reference_non_square() {
+        check_kernel(KernelKind::Sobel, 2, 24, 12);
+    }
+
+    #[test]
+    fn borders_are_zero() {
+        let img = GrayImage::synthetic(3, 16, 16);
+        let r = reference(&img);
+        for x in 0..16 {
+            assert_eq!(r[x], 0);
+            assert_eq!(r[15 * 16 + x], 0);
+        }
+        for y in 0..16 {
+            assert_eq!(r[y * 16], 0);
+            assert_eq!(r[y * 16 + 15], 0);
+        }
+    }
+
+    #[test]
+    fn flat_image_has_zero_gradient() {
+        let img = GrayImage::from_pixels(8, 8, vec![100; 64]);
+        assert!(reference(&img).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn step_edge_detected() {
+        let mut pixels = vec![0u8; 64];
+        for y in 0..8 {
+            for x in 4..8 {
+                pixels[y * 8 + x] = 200;
+            }
+        }
+        let img = GrayImage::from_pixels(8, 8, pixels);
+        let r = reference(&img);
+        // Column 3/4 boundary produces strong responses.
+        assert!(r[3 * 8 + 4] > 200);
+    }
+}

@@ -1,0 +1,114 @@
+//! Pattern matching: count (overlapping) occurrences of a 4-word needle
+//! in the frame, scanning every window position.
+
+use nvp_isa::asm::assemble;
+
+use super::Layout;
+use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
+
+const PAT_LEN: usize = 4;
+/// The needle is lifted from this offset of the frame itself, so at
+/// least one match always exists.
+const PAT_OFFSET: usize = 5;
+
+fn pattern(img: &GrayImage) -> Vec<u16> {
+    img.pixels()[PAT_OFFSET..PAT_OFFSET + PAT_LEN]
+        .iter()
+        .map(|&p| u16::from(p))
+        .collect()
+}
+
+fn reference(img: &GrayImage) -> Vec<u16> {
+    let data = img.to_words();
+    let pat = pattern(img);
+    let count = data
+        .windows(PAT_LEN)
+        .filter(|window| *window == pat.as_slice())
+        .count() as u16;
+    vec![count]
+}
+
+pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
+    assert!(
+        img.width() * img.height() >= PAT_OFFSET + PAT_LEN,
+        "frame too small for strsearch"
+    );
+    let lay = Layout::for_image(img, 1, PAT_LEN);
+    let pat_addr = lay.scr;
+    let src = format!(
+        r"
+.equ N, {n}
+.equ IN, {inp}
+.equ OUT, {out}
+.equ PAT, {pat}
+    li   r1, 0              ; window index
+    li   r2, 0              ; match count
+loop:
+    li   r3, IN
+    add  r3, r3, r1
+    li   r4, PAT
+    lw   r5, 0(r3)
+    lw   r6, 0(r4)
+    bne  r5, r6, next
+    lw   r5, 1(r3)
+    lw   r6, 1(r4)
+    bne  r5, r6, next
+    lw   r5, 2(r3)
+    lw   r6, 2(r4)
+    bne  r5, r6, next
+    lw   r5, 3(r3)
+    lw   r6, 3(r4)
+    bne  r5, r6, next
+    addi r2, r2, 1
+next:
+    addi r1, r1, 1
+    li   r7, N-3
+    bne  r1, r7, loop
+    li   r3, OUT
+    sw   r2, 0(r3)
+    halt
+",
+        n = lay.n,
+        inp = lay.input,
+        out = lay.out,
+        pat = pat_addr,
+    );
+    let mut program = assemble(&src)?;
+    program.add_data(lay.input, &img.to_words());
+    program.add_data(pat_addr, &pattern(img));
+    Ok(KernelInstance::new(
+        KernelKind::StrSearch,
+        program,
+        lay.out,
+        reference(img),
+        lay.min_dmem,
+        lay.w,
+        lay.h,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::check_kernel;
+    use crate::KernelKind;
+
+    #[test]
+    fn matches_reference() {
+        check_kernel(KernelKind::StrSearch, 22, 16, 16);
+        check_kernel(KernelKind::StrSearch, 23, 8, 8);
+    }
+
+    #[test]
+    fn at_least_one_match_by_construction() {
+        let img = GrayImage::synthetic(24, 12, 12);
+        assert!(reference(&img)[0] >= 1);
+    }
+
+    #[test]
+    fn counts_overlapping_matches() {
+        // All-zero frame: the pattern (0,0,0,0) matches every window.
+        let img = GrayImage::from_pixels(4, 3, vec![0; 12]);
+        assert_eq!(reference(&img)[0], 9, "12 - 4 + 1 windows");
+    }
+}

@@ -1,0 +1,43 @@
+//! # nvp-workloads — IoT post-sensing kernels for the NV16 MCU
+//!
+//! The DATE'17 survey motivates NVPs with locally computed post-sensing
+//! analytics: image and pattern-processing kernels of the MiBench class
+//! (sobel/susan-style filters, JPEG-style transforms, CRC, search). This
+//! crate provides those workloads as **real NV16 assembly programs**
+//! (assembled by `nvp-isa`, executed by `nvp-sim`), each paired with an
+//! exact Rust reference implementation so functional correctness under
+//! intermittent execution can be verified bit-for-bit.
+//!
+//! * [`GrayImage`] — seeded synthetic sensor frames,
+//! * [`KernelKind`] / [`KernelInstance`] — the kernel suite: build a
+//!   program for a frame, run it, compare against the reference,
+//! * [`metrics`] — MSE / PSNR quality metrics used by the approximation
+//!   experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvp_workloads::{GrayImage, KernelKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let frame = GrayImage::synthetic(7, 16, 16);
+//! let kernel = KernelKind::Sobel.build(&frame)?;
+//! let output = kernel.run_to_completion()?;
+//! assert_eq!(output, kernel.reference());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod kernel;
+mod kernels;
+pub mod metrics;
+
+pub use image::GrayImage;
+pub use kernel::{KernelInstance, KernelKind, WorkloadError};
+
+/// Data-memory word address where kernel input frames are loaded.
+pub const INPUT_ADDR: u16 = 0x0100;

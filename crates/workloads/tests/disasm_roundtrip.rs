@@ -1,0 +1,65 @@
+//! Toolchain closure over the real kernel suite: every generated kernel
+//! program disassembles to text that re-assembles to the identical
+//! binary, and its data segments survive the journey.
+
+use nvp_isa::asm::assemble;
+use nvp_workloads::{GrayImage, KernelKind};
+
+#[test]
+fn every_kernel_disassembles_and_reassembles() {
+    let frame = GrayImage::synthetic(99, 16, 16);
+    for kind in KernelKind::ALL {
+        let inst = kind.build(&frame).expect("kernel builds");
+        // Strip the address column the disassembler prefixes each line
+        // with ("   12: addi r1, r1, 1" → "addi r1, r1, 1").
+        let text: String = inst
+            .program()
+            .disassemble()
+            .lines()
+            .map(|line| {
+                let (_, body) = line.split_once(':').expect("addr prefix");
+                format!("{}\n", body.trim())
+            })
+            .collect();
+        let rebuilt = assemble(&text)
+            .unwrap_or_else(|e| panic!("{kind}: disassembly does not reassemble: {e}"));
+        assert_eq!(
+            rebuilt.code(),
+            inst.program().code(),
+            "{kind}: reassembled code differs"
+        );
+    }
+}
+
+#[test]
+fn kernel_programs_are_nontrivial() {
+    // Guard against degenerate codegen: each kernel is a real program
+    // with loops (backward branches) and memory traffic.
+    let frame = GrayImage::synthetic(99, 16, 16);
+    for kind in KernelKind::ALL {
+        let inst = kind.build(&frame).expect("kernel builds");
+        let decoded: Vec<nvp_isa::Inst> = inst
+            .program()
+            .code()
+            .iter()
+            .map(|&w| nvp_isa::Inst::decode(w).unwrap())
+            .collect();
+        assert!(decoded.len() >= 10, "{kind}: only {} instructions", decoded.len());
+        let has_backward_edge = decoded.iter().enumerate().any(|(pc, i)| match i {
+            nvp_isa::Inst::Beq { offset, .. }
+            | nvp_isa::Inst::Bne { offset, .. }
+            | nvp_isa::Inst::Blt { offset, .. }
+            | nvp_isa::Inst::Bge { offset, .. }
+            | nvp_isa::Inst::Bltu { offset, .. }
+            | nvp_isa::Inst::Bgeu { offset, .. } => *offset < 0,
+            nvp_isa::Inst::Jal { target, .. } => (*target as usize) <= pc,
+            _ => false,
+        });
+        assert!(has_backward_edge, "{kind}: no loop found");
+        assert!(decoded.iter().any(nvp_isa::Inst::is_mem), "{kind}: no memory traffic");
+        assert!(
+            decoded.iter().any(|i| matches!(i, nvp_isa::Inst::Halt)),
+            "{kind}: no halt"
+        );
+    }
+}

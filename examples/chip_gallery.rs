@@ -1,0 +1,61 @@
+//! Prints the published-chip gallery (table T1) and the STT-RAM
+//! retention/write-current trade-off curves behind adaptive retention.
+//!
+//! Run with: `cargo run --release --example chip_gallery`
+
+use nvp::device::sttram::SttModel;
+use nvp::device::{published_chips, EnduranceMeter, NvmTechnology};
+
+fn main() {
+    println!("== published NVP silicon ==");
+    println!(
+        "{:<48} {:>9} {:>11} {:>11} {:>10}",
+        "chip", "tech", "backup", "wake-up", "state"
+    );
+    for chip in published_chips() {
+        println!(
+            "{:<48} {:>9} {:>9.1}us {:>9.2}us {:>7}b",
+            chip.name,
+            chip.tech.to_string(),
+            chip.backup_time_s * 1e6,
+            chip.restore_time_s * 1e6,
+            chip.state_bits
+        );
+    }
+
+    println!("\n== endurance at wearable backup duty (25 backups/s) ==");
+    for tech in NvmTechnology::ALL {
+        let meter = EnduranceMeter::new(tech.params());
+        let life = meter.lifetime_years(25.0);
+        let verdict = if life >= 10.0 { "ok for a decade" } else { "wears out!" };
+        println!("{:>9}: {:>12.1e} years  ({verdict})", tech.to_string(), life);
+    }
+
+    println!("\n== STT-RAM write current vs pulse width (by retention) ==");
+    let model = SttModel::default();
+    let retentions: [(&str, f64); 4] =
+        [("10 ms", 0.01), ("1 s", 1.0), ("1 min", 60.0), ("1 day", 86_400.0)];
+    print!("{:>10}", "pulse(ns)");
+    for (name, _) in retentions {
+        print!(" {name:>10}");
+    }
+    println!();
+    let series: Vec<Vec<(f64, f64)>> = retentions
+        .iter()
+        .map(|&(_, ret)| model.current_vs_pulse(ret, 8))
+        .collect();
+    for i in 0..8 {
+        print!("{:>10.2}", series[0][i].0 * 1e9);
+        for s in &series {
+            print!(" {:>8.1}uA", s[i].1 * 1e6);
+        }
+        println!();
+    }
+
+    let saving = model.retention_energy_saving(86_400.0, 0.01);
+    println!(
+        "\nrelaxing retention 1 day -> 10 ms saves {:.0} % of write energy \
+         (published: ~77 %)",
+        saving * 100.0
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the entire reconstructed evaluation (all tables and
+//! figures) into `results/`, printing the Markdown as it goes.
+//!
+//! Run with: `cargo run --release --example repro_all [-- --quick]`
+
+use std::path::Path;
+
+use nvp::experiments::{run_all, ExpConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    let artifacts = run_all(&cfg, Path::new("results"))?;
+    for table in &artifacts.tables {
+        println!("{}", table.to_markdown());
+    }
+    eprintln!("wrote {} artifact files to results/", artifacts.files.len());
+    Ok(())
+}

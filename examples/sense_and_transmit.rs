@@ -1,0 +1,86 @@
+//! A classic sense-and-transmit node, written with the typed
+//! [`ProgramBuilder`] instead of text assembly: sample a sensor port,
+//! keep a smoothed running average in NVM, and emit a "radio packet"
+//! (an `out` port write) whenever the reading crosses a threshold.
+//! The system-level energy split is then compared against the T2
+//! application model.
+//!
+//! Run with: `cargo run --release --example sense_and_transmit`
+
+use nvp::isa::builder::ProgramBuilder;
+use nvp::platform::AppProfile;
+use nvp::prelude::*;
+use nvp::isa::Reg;
+
+fn build_app(threshold: u16) -> Result<nvp::isa::Program, Box<dyn std::error::Error>> {
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let no_alert = b.new_label();
+    b.bind(top)?;
+    // r1 = new sensor sample (port 0).
+    b.inp(Reg::R1, 0);
+    // r2 = smoothed = (3*old + new) / 4, persisted at dmem[0].
+    b.lw(Reg::R2, Reg::R0, 0);
+    b.mov(Reg::R3, Reg::R2);
+    b.slli(Reg::R3, Reg::R3, 1);
+    b.add(Reg::R3, Reg::R3, Reg::R2); // 3*old
+    b.add(Reg::R3, Reg::R3, Reg::R1);
+    b.srli(Reg::R3, Reg::R3, 2);
+    b.sw(Reg::R3, Reg::R0, 0);
+    // Count samples at dmem[1].
+    b.lw(Reg::R4, Reg::R0, 1);
+    b.addi(Reg::R4, Reg::R4, 1);
+    b.sw(Reg::R4, Reg::R0, 1);
+    // Transmit when the smoothed value exceeds the threshold.
+    b.li(Reg::R5, threshold);
+    b.sltu(Reg::R6, Reg::R5, Reg::R3); // r6 = threshold < smoothed
+    b.beqz(Reg::R6, no_alert);
+    b.out(1, Reg::R3); // "radio packet"
+    b.bind(no_alert)?;
+    b.jmp(top);
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = build_app(90)?;
+    let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+    let mut sys = IntermittentSystem::new(
+        &program,
+        SystemConfig::default(),
+        backup,
+        BackupPolicy::demand(),
+    )?;
+    // A slowly rising "temperature" on the sensor port, body-heat power.
+    sys.run(&harvester::thermal_body(1, 2.0))?;
+    // Change the latched sensor value between windows.
+    for (i, window) in [60u16, 80, 95, 120, 100, 70].into_iter().enumerate() {
+        sys.set_input(0, window);
+        sys.run(&harvester::thermal_body(2 + i as u64, 2.0))?;
+    }
+    let report = *sys.report();
+    let samples = sys.machine().read_word(1).unwrap_or(0);
+    let packets = sys
+        .machine()
+        .out_log()
+        .iter()
+        .filter(|(port, _)| *port == 1)
+        .count();
+
+    println!(
+        "ran {:.0} s on body heat: {} samples, {} alert packets, {} power cycles",
+        report.duration_s, samples, packets, report.restores
+    );
+
+    // System-level energy: core energy measured, radio energy modelled.
+    let radio_j = packets as f64 * AppProfile::temperature_sensing().radio_energy_j();
+    let core_j = report.energy.compute_j + report.energy.backup_j + report.energy.restore_j;
+    let share = core_j / (core_j + radio_j).max(1e-18);
+    println!(
+        "energy: core {:.1} µJ vs radio {:.1} µJ → compute share {:.1}% \
+         (T2 temperature-sensing model: 2.4%)",
+        core_j * 1e6,
+        radio_j * 1e6,
+        share * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! An indoor-solar sensing node with income-adaptive clock scaling —
+//! the F11 scenario interactively: a fixed 1 MHz core spills the solar
+//! surplus; the adaptive policy converts it into frames.
+//!
+//! Run with: `cargo run --release --example solar_node`
+
+use nvp::prelude::*;
+
+fn run(label: &str, program: &nvp::isa::Program, cfg: SystemConfig, trace: &PowerTrace) {
+    let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+    let mut sys = IntermittentSystem::new(program, cfg, backup, BackupPolicy::demand())
+        .expect("platform builds");
+    let r = sys.run(trace).expect("runs");
+    println!(
+        "{label:<18} fp {:>9}  frames {:>4}  on {:>5.1}%  spilled {:>5.1}% of income",
+        r.forward_progress(),
+        r.tasks_completed,
+        r.on_fraction() * 100.0,
+        100.0 * r.energy.storage_wasted_j / r.energy.converted_j.max(1e-18)
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frame = GrayImage::synthetic(7, 32, 32);
+    let kernel = KernelKind::Sobel.build(&frame)?;
+    let mut base = SystemConfig::default();
+    base.dmem_words = base.dmem_words.max(kernel.min_dmem_words());
+
+    let trace = harvester::solar_indoor(1, 10.0);
+    println!(
+        "indoor solar: {:.0} µW average vs {:.0} µW core draw at 1 MHz\n",
+        trace.average_w() * 1e6,
+        210.0
+    );
+
+    for mult in [1u32, 2, 4, 8] {
+        let mut cfg = base;
+        cfg.clock_hz = 1e6 * f64::from(mult);
+        run(&format!("fixed {mult} MHz"), kernel.program(), cfg, &trace);
+    }
+    run(
+        "adaptive 1-8 MHz",
+        kernel.program(),
+        base.with_clock_policy(ClockPolicy::adaptive()),
+        &trace,
+    );
+
+    println!("\nthe adaptive core tracks the income: full speed under good light,");
+    println!("base speed through shadows — no spill, no backup churn.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The survey's motivating scenario: a battery-free camera node that must
+//! process frames (Sobel edge extraction) locally on harvested wrist
+//! power. Compares the NVP against the conventional charge-then-compute
+//! platform and verifies that the NVP's output — produced across dozens
+//! of power failures — is bit-identical to the uninterrupted reference.
+//!
+//! Run with: `cargo run --release --example wearable_camera`
+
+use nvp::platform::measure_task;
+use nvp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frame = GrayImage::synthetic(7, 32, 32);
+    let kernel = KernelKind::Sobel.build(&frame)?;
+    println!(
+        "frame: 32x32, kernel: {}, reference output: {} words",
+        kernel.kind(),
+        kernel.reference().len()
+    );
+
+    let mut sys_cfg = SystemConfig::default();
+    sys_cfg.dmem_words = sys_cfg.dmem_words.max(kernel.min_dmem_words());
+    let cost = measure_task(kernel.program(), &sys_cfg, 100_000_000)?;
+    println!(
+        "one frame costs {} instructions, {:.1} µJ, {:.1} ms at 1 MHz\n",
+        cost.instructions,
+        cost.energy_j * 1e6,
+        cost.time_s(1e6) * 1e3
+    );
+
+    let trace = harvester::wrist_watch(2, 10.0);
+
+    // --- Hardware NVP ---
+    let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+    let mut nvp = IntermittentSystem::new(kernel.program(), sys_cfg, backup, BackupPolicy::demand())?;
+    let nr = nvp.run(&trace)?;
+    println!("NVP : {} frames, fp {}, {} backups, {} rollbacks",
+        nr.tasks_completed, nr.forward_progress(), nr.backups, nr.rollbacks);
+
+    // The frame completed across many power failures must still be exact.
+    if nr.tasks_completed > 0 {
+        let output = kernel.output_of(nvp.machine());
+        assert_eq!(
+            output,
+            kernel.reference(),
+            "intermittent execution corrupted the output!"
+        );
+        println!("      output verified bit-exact against the reference");
+    }
+
+    // --- Wait-then-compute baseline ---
+    let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+    wcfg.dmem_words = wcfg.dmem_words.max(kernel.min_dmem_words());
+    let mut wait = WaitComputeSystem::new(kernel.program(), wcfg)?;
+    let wr = wait.run(&trace)?;
+    println!(
+        "wait: {} frames, fp {}, {} mid-frame losses",
+        wr.tasks_completed, wr.forward_progress(), wr.rollbacks
+    );
+
+    let ratio = nr.forward_progress() as f64 / wr.forward_progress().max(1) as f64;
+    println!("\nNVP forward-progress advantage: {ratio:.2}x (published band: 2.2-5x)");
+    Ok(())
+}

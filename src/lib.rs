@@ -1,0 +1,73 @@
+//! # nvp — nonvolatile processors for energy-harvesting IoT, in simulation
+//!
+//! A comprehensive Rust framework reproducing the evaluation landscape of
+//! the DATE 2017 survey *"Nonvolatile processors: Why is it trending?"*
+//! (Su, Ma, Li, Wu, Liu, Narayanan). See `DESIGN.md` for the full system
+//! inventory — including the note that the survey's exact figures were
+//! unavailable and the evaluation is a documented reconstruction.
+//!
+//! The workspace builds everything from scratch:
+//!
+//! * [`isa`] — the NV16 MCU instruction set, assembler, disassembler,
+//! * [`sim`] — a cycle/energy-annotated functional simulator,
+//! * [`device`] — NVM technology models (FeRAM/ReRAM/STT-MRAM/PCM),
+//!   retention physics, NV flip-flop banks, endurance, chip gallery,
+//! * [`energy`] — harvester traces, outage statistics, rectifier,
+//!   storage capacitor,
+//! * [`platform`] — the NVP architecture: backup/restore models and
+//!   policies, the intermittent-execution system simulator, and the
+//!   wait-compute / software-checkpointing baselines,
+//! * [`workloads`] — MiBench-class image/pattern kernels as real NV16
+//!   assembly with bit-exact Rust references,
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nvp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Write a program for the NV16 MCU.
+//! let program = assemble(
+//!     "start: addi r1, r1, 1\n sw r1, 0(r0)\n j start",
+//! )?;
+//!
+//! // 2. Pick an NVP: distributed FeRAM backup, demand policy.
+//! let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+//! let mut nvp = IntermittentSystem::new(
+//!     &program, SystemConfig::default(), backup, BackupPolicy::demand())?;
+//!
+//! // 3. Power it from a synthetic wrist-harvester trace and run.
+//! let trace = harvester::wrist_watch(1, 2.0);
+//! let report = nvp.run(&trace)?;
+//! assert!(report.forward_progress() > 0);
+//! println!("committed {} instructions over {} backups",
+//!          report.forward_progress(), report.backups);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nvp_device as device;
+pub use nvp_energy as energy;
+pub use nvp_experiments as experiments;
+pub use nvp_isa as isa;
+pub use nvp_core as platform;
+pub use nvp_sim as sim;
+pub use nvp_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use nvp_core::{
+        measure_task, BackupModel, BackupPolicy, ClockPolicy, IntermittentSystem, RunReport,
+        SystemConfig, Thresholds, WaitComputeConfig, WaitComputeSystem,
+    };
+    pub use nvp_device::{NvffBank, NvmTechnology, RelaxPolicy, RetentionShaper};
+    pub use nvp_energy::{harvester, Capacitor, OutageStats, PowerTrace, Rectifier};
+    pub use nvp_isa::asm::assemble;
+    pub use nvp_isa::{Inst, Program, Reg};
+    pub use nvp_sim::{Machine, SimError};
+    pub use nvp_workloads::{GrayImage, KernelInstance, KernelKind};
+}

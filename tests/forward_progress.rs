@@ -1,0 +1,94 @@
+//! Cross-crate forward-progress properties: the orderings the survey
+//! reports must hold end-to-end through the public API.
+
+use nvp::platform::measure_task;
+use nvp::prelude::*;
+
+fn sobel_kernel() -> KernelInstance {
+    let frame = GrayImage::synthetic(7, 16, 16);
+    KernelKind::Sobel.build(&frame).unwrap()
+}
+
+fn nvp_report(kernel: &KernelInstance, trace: &PowerTrace) -> nvp::platform::RunReport {
+    let mut cfg = SystemConfig::default();
+    cfg.dmem_words = cfg.dmem_words.max(kernel.min_dmem_words());
+    let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+    let mut sys =
+        IntermittentSystem::new(kernel.program(), cfg, backup, BackupPolicy::demand()).unwrap();
+    sys.run(trace).unwrap()
+}
+
+fn wait_report(kernel: &KernelInstance, trace: &PowerTrace) -> nvp::platform::RunReport {
+    let sys_cfg = SystemConfig::default();
+    let cost = measure_task(kernel.program(), &sys_cfg, 100_000_000).unwrap();
+    let mut cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+    cfg.dmem_words = cfg.dmem_words.max(kernel.min_dmem_words());
+    let mut sys = WaitComputeSystem::new(kernel.program(), cfg).unwrap();
+    sys.run(trace).unwrap()
+}
+
+#[test]
+fn nvp_beats_wait_compute_on_every_wearable_profile() {
+    let kernel = sobel_kernel();
+    for seed in 1..=5u64 {
+        let trace = harvester::wrist_watch(seed, 5.0);
+        let nvp = nvp_report(&kernel, &trace);
+        let wait = wait_report(&kernel, &trace);
+        assert!(
+            nvp.forward_progress() >= wait.forward_progress(),
+            "profile {seed}: nvp {} < wait {}",
+            nvp.forward_progress(),
+            wait.forward_progress()
+        );
+        assert!(nvp.forward_progress() > 0, "profile {seed}");
+    }
+}
+
+#[test]
+fn forward_progress_scales_with_income() {
+    let kernel = sobel_kernel();
+    let base = harvester::wrist_watch(1, 5.0);
+    let fp1 = nvp_report(&kernel, &base).forward_progress();
+    let fp2 = nvp_report(&kernel, &base.scaled(2.0)).forward_progress();
+    let fp4 = nvp_report(&kernel, &base.scaled(4.0)).forward_progress();
+    assert!(fp1 < fp2 && fp2 < fp4, "{fp1} {fp2} {fp4}");
+}
+
+#[test]
+fn committed_work_is_conserved() {
+    let kernel = sobel_kernel();
+    let trace = harvester::wrist_watch(2, 5.0);
+    let r = nvp_report(&kernel, &trace);
+    assert_eq!(
+        r.committed + r.lost + r.uncommitted_at_end,
+        r.executed,
+        "every executed instruction is committed, lost, or pending"
+    );
+    assert_eq!(r.lost, 0, "demand policy loses nothing");
+}
+
+#[test]
+fn energy_is_conserved() {
+    let kernel = sobel_kernel();
+    let trace = harvester::wrist_watch(3, 5.0);
+    let r = nvp_report(&kernel, &trace);
+    let e = r.energy;
+    assert!(e.converted_j <= e.harvested_j);
+    let spent = e.compute_j + e.backup_j + e.restore_j + e.sleep_j + e.regulator_j;
+    assert!(
+        spent <= e.converted_j * (1.0 + 1e-9),
+        "spent {spent} exceeds converted {}",
+        e.converted_j
+    );
+}
+
+#[test]
+fn continuous_power_is_the_upper_bound() {
+    // No power trace can beat uninterrupted execution per unit time.
+    let kernel = sobel_kernel();
+    let duration = 3.0;
+    let continuous = nvp_report(&kernel, &PowerTrace::constant(1e-4, 5e-3, duration));
+    let harvested = nvp_report(&kernel, &harvester::wrist_watch(1, duration));
+    assert!(continuous.forward_progress() > harvested.forward_progress());
+    assert!(continuous.on_fraction() > 0.95);
+}
