@@ -1,0 +1,229 @@
+//! Offline mini-benchmark harness with a criterion-compatible surface.
+//!
+//! Implements exactly the API the workspace's `benches/` targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with none of the
+//! statistical machinery or dependencies of the real crate. Each
+//! benchmark is warmed up briefly, then sampled under a fixed time
+//! budget; the median per-iteration time is printed to stdout and, when
+//! `NVP_BENCH_JSON` names a file, appended to it as one JSON object per
+//! line (`{"id": ..., "median_ns": ..., "elems_per_sec": ...}`).
+//!
+//! Filter arguments (`cargo bench -- <substring>`) select benchmark ids
+//! by substring, like the real harness.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-sample iteration budget: samples shorter than this are batched.
+const MIN_SAMPLE: Duration = Duration::from_millis(1);
+/// Per-benchmark measurement budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+/// Per-benchmark warm-up budget.
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` (and harness flags) to the binary;
+        // everything that is not a flag is a name filter.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 50 }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.filters, &id, None, 50, f);
+        self
+    }
+}
+
+/// A named group sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by one iteration of subsequent
+    /// benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the harness sizes samples by time
+    /// budget, so this only caps the sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Measures one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&self.criterion.filters, &id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) once.
+pub struct Bencher {
+    /// Median wall time of one iteration, filled by `iter`.
+    median_ns: f64,
+    sample_cap: usize,
+}
+
+impl Bencher {
+    /// Times the closure: brief warm-up, then repeated samples under a
+    /// fixed budget; records the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least MIN_SAMPLE.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= MIN_SAMPLE || warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+            batch = (batch * 2).min(1 << 24);
+        }
+        // Measurement.
+        let mut samples_ns: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET && samples_ns.len() < self.sample_cap {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    filters: &[String],
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_cap: usize,
+    mut f: F,
+) {
+    if !filters.is_empty() && !filters.iter().any(|pat| id.contains(pat.as_str())) {
+        return;
+    }
+    let mut bencher = Bencher { median_ns: f64::NAN, sample_cap };
+    f(&mut bencher);
+    let median_ns = bencher.median_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => (n as f64 * 1e9 / median_ns, "elem/s"),
+        Throughput::Bytes(n) => (n as f64 * 1e9 / median_ns, "B/s"),
+    });
+    match rate {
+        Some((r, unit)) => {
+            println!("bench {id:<48} {median_ns:>14.1} ns/iter  {r:>14.0} {unit}");
+        }
+        None => println!("bench {id:<48} {median_ns:>14.1} ns/iter"),
+    }
+    if let Ok(path) = std::env::var("NVP_BENCH_JSON") {
+        let eps = rate.map_or(0.0, |(r, _)| r);
+        let line = format!(
+            "{{\"id\":\"{id}\",\"median_ns\":{median_ns:.1},\"elems_per_sec\":{eps:.1}}}\n"
+        );
+        if let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filters: Vec::new() };
+        let mut group = c.benchmark_group("selftest");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        // A benchmark whose closure panics must be skipped by filter.
+        let mut c = Criterion { filters: vec!["only-this".into()] };
+        c.bench_function("other", |_b| panic!("must not run"));
+    }
+}

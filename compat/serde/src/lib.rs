@@ -1,0 +1,20 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace annotates model types with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for real
+//! serialization once a registry is reachable, but nothing in-tree
+//! actually serializes through serde (all artifact output is hand-rolled
+//! CSV/Markdown/JSON). This crate keeps those annotations compiling with
+//! zero dependencies: the traits are empty markers and the derive macros
+//! (in `serde_derive`) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

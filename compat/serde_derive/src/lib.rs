@@ -1,0 +1,17 @@
+//! No-op derive macros for the offline `serde` stand-in: the annotations
+//! stay in the source (documenting intent and keeping types ready for
+//! real serde), but the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` stand-in's `Serialize` is a marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` stand-in's `Deserialize` is a marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

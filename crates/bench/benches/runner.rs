@@ -1,0 +1,118 @@
+//! Regression-tracked runner benchmark (`cargo bench --bench runner`).
+//!
+//! Not a Criterion target: a plain `main` that measures the end-to-end
+//! evaluation runner and the simulator hot path, then writes the
+//! machine-readable snapshot `BENCH_runner.json` at the repository root
+//! (override the location with `NVP_BENCH_RUNNER_JSON`). The checked-in
+//! copy is the baseline; rerun after perf-sensitive changes and compare.
+//!
+//! Measured quantities:
+//!
+//! * `run_all_quick.parallel_s` / `sequential_s` — best-of-3 wall time
+//!   of `run_all(ExpConfig::quick())` on the scoped thread pool vs. the
+//!   sequential reference with `NVP_THREADS=1`. A warm-up run first
+//!   fills the process-wide frame/kernel/trace memo caches so both
+//!   timings measure the runner, not first-touch input synthesis.
+//! * `simulator.tight_loop_steps_per_sec` — `Machine::step` throughput
+//!   on a branchy ALU loop (the predecode fast path).
+//! * `simulator.sobel_steps_per_sec` — the same for the Sobel kernel
+//!   image (loads/stores/multiplies included).
+
+use std::fs;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use nvp_experiments::{run_all, run_all_sequential, ExpConfig};
+use nvp_isa::asm::assemble;
+use nvp_sim::Machine;
+use nvp_workloads::{GrayImage, KernelKind};
+
+const REPS: usize = 3;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
+/// Best-of-`REPS` wall time of one `run_all` variant, seconds.
+fn time_runner(f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<nvp_experiments::RunArtifacts>) -> f64 {
+    let cfg = ExpConfig::quick();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let dir = unique_dir("nvp_bench_runner");
+        let t0 = Instant::now();
+        black_box(f(&cfg, &dir).expect("run_all succeeds"));
+        best = best.min(t0.elapsed().as_secs_f64());
+        let _ = fs::remove_dir_all(&dir);
+    }
+    best
+}
+
+/// Best-of-`REPS` `Machine::step` throughput for `machine`, running
+/// `insts` instructions per repetition (instructions per second).
+fn steps_per_sec(mut fresh: impl FnMut() -> Machine, insts: u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let mut m = fresh();
+        let t0 = Instant::now();
+        let mut executed = 0;
+        while executed < insts {
+            executed += m.run(insts - executed).expect("program runs");
+            if m.halted() {
+                break;
+            }
+        }
+        let rate = executed as f64 / t0.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm the memo caches so parallel and sequential timings are
+    // measured against identical (all-hot) inputs.
+    {
+        let dir = unique_dir("nvp_bench_runner_warmup");
+        run_all(&ExpConfig::quick(), &dir).expect("warm-up run succeeds");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    let parallel_s = time_runner(run_all);
+    std::env::set_var("NVP_THREADS", "1");
+    let sequential_s = time_runner(run_all_sequential);
+    std::env::remove_var("NVP_THREADS");
+    let speedup = sequential_s / parallel_s;
+
+    let tight = assemble("start: addi r1, r1, 1\n xor r2, r2, r1\n bne r1, r0, start\n halt")
+        .expect("tight loop assembles");
+    let tight_rate = steps_per_sec(|| Machine::new(&tight).expect("loads"), 2_000_000);
+
+    let frame = GrayImage::synthetic(7, 32, 32);
+    let sobel = KernelKind::Sobel.build(&frame).expect("sobel builds");
+    let sobel_rate = steps_per_sec(|| sobel.machine().expect("loads"), 2_000_000);
+
+    println!("bench runner/run_all_quick_parallel      {parallel_s:>12.4} s (best of {REPS})");
+    println!("bench runner/run_all_quick_sequential    {sequential_s:>12.4} s (best of {REPS})");
+    println!("bench runner/speedup                     {speedup:>12.2} x on {cores} core(s)");
+    println!("bench runner/tight_loop_steps_per_sec    {tight_rate:>12.0}");
+    println!("bench runner/sobel_steps_per_sec         {sobel_rate:>12.0}");
+
+    let out = std::env::var("NVP_BENCH_RUNNER_JSON").map_or_else(
+        |_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runner.json")),
+        PathBuf::from,
+    );
+    let json = format!(
+        "{{\n  \"schema\": \"nvp-bench-runner/1\",\n  \"host_cores\": {cores},\n  \
+         \"run_all_quick\": {{\n    \"parallel_s\": {parallel_s:.4},\n    \
+         \"sequential_s\": {sequential_s:.4},\n    \"speedup\": {speedup:.3}\n  }},\n  \
+         \"simulator\": {{\n    \"tight_loop_steps_per_sec\": {tight_rate:.0},\n    \
+         \"sobel_steps_per_sec\": {sobel_rate:.0}\n  }}\n}}\n"
+    );
+    fs::write(&out, json).expect("write BENCH_runner.json");
+    println!("wrote {}", out.display());
+}

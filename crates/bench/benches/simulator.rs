@@ -23,6 +23,17 @@ fn bench_machine_throughput(c: &mut Criterion) {
             black_box(m.counters().cycles)
         })
     });
+    // Same measurement on a real workload image: Sobel exercises the
+    // load/store/multiply decode paths the tight loop never touches.
+    let frame = GrayImage::synthetic(7, 32, 32);
+    let sobel = KernelKind::Sobel.build(&frame).unwrap();
+    group.bench_function("machine_100k_insts_sobel", |b| {
+        b.iter(|| {
+            let mut m = sobel.machine().unwrap();
+            m.run(100_000).unwrap();
+            black_box(m.counters().cycles)
+        })
+    });
     group.finish();
 }
 

@@ -466,8 +466,17 @@ impl IntermittentSystem {
     /// Executes instructions until the budget is spent or a platform
     /// event (backup trigger, halt, brown-out) changes phase. Returns the
     /// remaining (possibly slightly negative) budget.
+    ///
+    /// Instructions run in batches: using the machine's worst-case
+    /// per-step cost, a block size is chosen such that no energy floor,
+    /// periodic-checkpoint deadline, or brown-out can be crossed inside
+    /// the block, so the threshold checks only need to run per block.
+    /// When the remaining slack admits fewer than two instructions, the
+    /// loop falls back to the exact single-step path.
     fn run_active(&mut self, mut budget: f64) -> Result<f64, SimError> {
         let clock = self.current_clock_hz;
+        let max_step_s = f64::from(self.machine.max_step_cycles()) / clock;
+        let max_step_j = self.machine.max_step_energy_j();
         while budget > 1e-12 {
             // Demand backup when energy reaches the reserve floor.
             if self.thresholds.backup_reserve_j > 0.0
@@ -486,6 +495,36 @@ impl IntermittentSystem {
             if self.machine.halted() {
                 self.finish_task()?;
                 if self.phase == Phase::Done {
+                    return Ok(budget);
+                }
+                continue;
+            }
+            // Largest block that cannot cross any threshold mid-block,
+            // assuming every instruction costs the image's worst case.
+            let mut block = safe_count(budget, max_step_s);
+            let floor_j = self.thresholds.backup_reserve_j.max(0.0);
+            block = block.min(safe_count(self.cap.energy_j() - floor_j, max_step_j));
+            if let Some(interval) = self.policy.interval_s() {
+                block = block.min(safe_count(interval - self.since_ckpt_s, max_step_s));
+            }
+            if block >= 2 {
+                let stats = self.machine.run_block(block)?;
+                let t = stats.cycles as f64 / clock;
+                budget -= t;
+                self.report.on_time_s += t;
+                self.since_ckpt_s += t;
+                self.report.executed += stats.executed;
+                self.uncommitted += stats.executed;
+                self.report.energy.compute_j += stats.energy_j;
+                if !self.cap.draw_j(stats.energy_j) {
+                    // Unreachable under the block bound, but kept so the
+                    // brown-out path cannot be silently skipped.
+                    self.cap.deplete();
+                    self.rollback()?;
+                    return Ok(budget);
+                }
+                if stats.checkpoint {
+                    self.begin_backup(true);
                     return Ok(budget);
                 }
                 continue;
@@ -587,6 +626,16 @@ impl IntermittentSystem {
         let got = self.cap.draw_up_to_j(draw);
         self.report.energy.sleep_j += got;
     }
+}
+
+/// How many worst-case steps of size `per_step` fit in `slack` without
+/// crossing it. Non-finite or non-positive slack admits none.
+fn safe_count(slack: f64, per_step: f64) -> u64 {
+    if per_step <= 0.0 || slack <= 0.0 {
+        return 0;
+    }
+    // `as` saturates: an unbounded ratio clamps to u64::MAX.
+    (slack / per_step) as u64
 }
 
 #[cfg(test)]

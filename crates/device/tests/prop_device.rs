@@ -1,104 +1,136 @@
 //! Property tests for the device models: the physical monotonicities the
 //! architecture layer relies on must hold across the whole parameter
-//! space, not just the calibrated points.
+//! space, not just the calibrated points. Deterministically seeded
+//! random sweeps replace the original proptest strategies.
 
 use nvp_device::sttram::{thermal_stability, SttModel};
 use nvp_device::{EnduranceMeter, NvffBank, NvmTechnology, RelaxPolicy, RetentionShaper};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn any_retention() -> impl Strategy<Value = f64> {
-    // 1 ms .. 10 years, log-uniform.
-    (0.0f64..7.5).prop_map(|e| 1e-3 * 10f64.powf(e))
+/// 1 ms .. 10 years, log-uniform.
+fn any_retention(rng: &mut StdRng) -> f64 {
+    1e-3 * 10f64.powf(rng.random::<f64>() * 7.5)
 }
 
-fn any_policy() -> impl Strategy<Value = RelaxPolicy> {
-    prop_oneof![
-        Just(RelaxPolicy::Uniform),
-        Just(RelaxPolicy::Linear),
-        Just(RelaxPolicy::Log),
-        Just(RelaxPolicy::Parabola),
-    ]
+fn any_policy(rng: &mut StdRng) -> RelaxPolicy {
+    match rng.random::<u32>() % 4 {
+        0 => RelaxPolicy::Uniform,
+        1 => RelaxPolicy::Linear,
+        2 => RelaxPolicy::Log,
+        _ => RelaxPolicy::Parabola,
+    }
 }
 
-proptest! {
-    /// Longer retention ⇒ larger stability factor ⇒ higher write current
-    /// at any pulse width ⇒ higher optimal write energy.
-    #[test]
-    fn sttram_monotone_in_retention(a in any_retention(), b in any_retention(),
-                                    pulse in 0.5e-9f64..20e-9) {
+/// Longer retention ⇒ larger stability factor ⇒ higher write current at
+/// any pulse width ⇒ higher optimal write energy.
+#[test]
+fn sttram_monotone_in_retention() {
+    let mut rng = StdRng::seed_from_u64(0xd01_001);
+    for _ in 0..500 {
+        let a = any_retention(&mut rng);
+        let b = any_retention(&mut rng);
+        let pulse = 0.5e-9 + rng.random::<f64>() * (20e-9 - 0.5e-9);
         let m = SttModel::default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(thermal_stability(lo) <= thermal_stability(hi));
-        prop_assert!(m.write_current_a(lo, pulse) <= m.write_current_a(hi, pulse) + 1e-15);
-        prop_assert!(m.optimal_write(lo).energy_j <= m.optimal_write(hi).energy_j * (1.0 + 1e-9));
+        assert!(thermal_stability(lo) <= thermal_stability(hi));
+        assert!(m.write_current_a(lo, pulse) <= m.write_current_a(hi, pulse) + 1e-15);
+        assert!(m.optimal_write(lo).energy_j <= m.optimal_write(hi).energy_j * (1.0 + 1e-9));
     }
+}
 
-    /// Relaxing retention always saves energy (saving in [0, 1)).
-    #[test]
-    fn relaxation_saving_bounded(a in any_retention(), b in any_retention()) {
+/// Relaxing retention always saves energy (saving in [0, 1)).
+#[test]
+fn relaxation_saving_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xd01_002);
+    for _ in 0..500 {
+        let a = any_retention(&mut rng);
+        let b = any_retention(&mut rng);
         let m = SttModel::default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let saving = m.retention_energy_saving(hi, lo);
-        prop_assert!((0.0..1.0).contains(&saving) || saving.abs() < 1e-9,
-            "saving {saving} for {hi} -> {lo}");
+        assert!(
+            (0.0..1.0).contains(&saving) || saving.abs() < 1e-9,
+            "saving {saving} for {hi} -> {lo}"
+        );
     }
+}
 
-    /// Shaped profiles are monotone MSB→LSB, bounded by [min, max], and
-    /// their energy scale is in (0, 1].
-    #[test]
-    fn shaper_profiles_well_formed(policy in any_policy(),
-                                   bits in 1usize..17,
-                                   lo in any_retention(),
-                                   hi in any_retention()) {
+/// Shaped profiles are monotone MSB→LSB, bounded by [min, max], and
+/// their energy scale is in (0, 1].
+#[test]
+fn shaper_profiles_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xd01_003);
+    for _ in 0..400 {
+        let policy = any_policy(&mut rng);
+        let bits = 1 + rng.random::<u32>() as usize % 16;
+        let lo = any_retention(&mut rng);
+        let hi = any_retention(&mut rng);
         let (min_r, max_r) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         let shaper = RetentionShaper::new(policy, bits, min_r, max_r);
         let profile = shaper.bit_retention();
-        prop_assert_eq!(profile.bits(), bits);
+        assert_eq!(profile.bits(), bits);
         for w in profile.per_bit_s().windows(2) {
-            prop_assert!(w[0] >= w[1] * (1.0 - 1e-12), "profile must be non-increasing");
+            assert!(w[0] >= w[1] * (1.0 - 1e-12), "profile must be non-increasing");
         }
         for &t in profile.per_bit_s() {
-            prop_assert!(t >= min_r * (1.0 - 1e-9) && t <= max_r * (1.0 + 1e-9));
+            assert!(t >= min_r * (1.0 - 1e-9) && t <= max_r * (1.0 + 1e-9));
         }
         let scale = shaper.write_energy_scale(&SttModel::default());
-        prop_assert!(scale > 0.0 && scale <= 1.0 + 1e-9, "scale {scale}");
+        assert!(scale > 0.0 && scale <= 1.0 + 1e-9, "scale {scale}");
     }
+}
 
-    /// Degradation risk ordering: the aggressive (log) shape never has
-    /// fewer at-risk bits than the conservative (parabola) shape.
-    #[test]
-    fn risk_ordering(outage in 1e-3f64..1e5) {
+/// Degradation risk ordering: the aggressive (log) shape never has fewer
+/// at-risk bits than the conservative (parabola) shape.
+#[test]
+fn risk_ordering() {
+    let mut rng = StdRng::seed_from_u64(0xd01_004);
+    for _ in 0..500 {
+        let outage = 1e-3 * 10f64.powf(rng.random::<f64>() * 8.0);
         let log = RetentionShaper::new(RelaxPolicy::Log, 8, 0.01, 86_400.0).bit_retention();
         let parabola =
             RetentionShaper::new(RelaxPolicy::Parabola, 8, 0.01, 86_400.0).bit_retention();
-        prop_assert!(log.at_risk_bits(outage) >= parabola.at_risk_bits(outage));
+        assert!(log.at_risk_bits(outage) >= parabola.at_risk_bits(outage));
     }
+}
 
-    /// Bank costs scale linearly in bits for every technology.
-    #[test]
-    fn bank_linearity(bits in 1u64..100_000, k in 2u64..8) {
+/// Bank costs scale linearly in bits for every technology.
+#[test]
+fn bank_linearity() {
+    let mut rng = StdRng::seed_from_u64(0xd01_005);
+    for _ in 0..300 {
+        let bits = 1 + rng.random::<u64>() % 99_999;
+        let k = 2 + rng.random::<u64>() % 6;
         for tech in NvmTechnology::ALL {
             let one = NvffBank::new(tech, bits);
             let many = NvffBank::new(tech, bits * k);
             let ratio = many.backup_energy_j() / one.backup_energy_j();
-            prop_assert!((ratio - k as f64).abs() < 1e-9, "{tech}: {ratio}");
-            prop_assert!((many.backup_time_s() - one.backup_time_s()).abs() < 1e-15,
-                "parallel write time is size-independent");
+            assert!((ratio - k as f64).abs() < 1e-9, "{tech}: {ratio}");
+            assert!(
+                (many.backup_time_s() - one.backup_time_s()).abs() < 1e-15,
+                "parallel write time is size-independent"
+            );
         }
     }
+}
 
-    /// Endurance: lifetime halves when the backup rate doubles, and the
-    /// meter depletes monotonically.
-    #[test]
-    fn endurance_scaling(rate in 0.1f64..1e3, n in 1u64..1_000_000) {
+/// Endurance: lifetime halves when the backup rate doubles, and the
+/// meter depletes monotonically.
+#[test]
+fn endurance_scaling() {
+    let mut rng = StdRng::seed_from_u64(0xd01_006);
+    for _ in 0..500 {
+        let rate = 0.1 + rng.random::<f64>() * (1e3 - 0.1);
+        let n = 1 + rng.random::<u64>() % 999_999;
         let params = NvmTechnology::Reram.params();
         let meter = EnduranceMeter::new(params);
         let l1 = meter.lifetime_years(rate);
         let l2 = meter.lifetime_years(rate * 2.0);
-        prop_assert!((l1 / l2 - 2.0).abs() < 1e-9);
+        assert!((l1 / l2 - 2.0).abs() < 1e-9);
         let mut m = EnduranceMeter::new(params);
         let before = m.remaining_fraction();
         m.record_backups(n);
-        prop_assert!(m.remaining_fraction() <= before);
+        assert!(m.remaining_fraction() <= before);
     }
 }

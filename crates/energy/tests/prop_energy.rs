@@ -1,11 +1,14 @@
-//! Property tests for the energy-environment models.
+//! Randomized property tests for the energy-environment models,
+//! deterministically seeded so every failure is reproducible.
 
 use nvp_energy::{Capacitor, OutageStats, PowerTrace, Rectifier};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn any_trace() -> impl Strategy<Value = PowerTrace> {
-    proptest::collection::vec(0.0f64..2e-3, 1..400)
-        .prop_map(|samples| PowerTrace::from_samples(1e-4, samples))
+fn any_trace(rng: &mut StdRng) -> PowerTrace {
+    let n = 1 + rng.random::<u32>() as usize % 400;
+    let samples: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 2e-3).collect();
+    PowerTrace::from_samples(1e-4, samples)
 }
 
 /// Operations a capacitor can undergo.
@@ -16,23 +19,25 @@ enum CapOp {
     Leak(f64),
 }
 
-fn any_cap_ops() -> impl Strategy<Value = Vec<CapOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0.0f64..1e-5).prop_map(CapOp::Charge),
-            (0.0f64..1e-5).prop_map(CapOp::Draw),
-            (0.0f64..10.0).prop_map(CapOp::Leak),
-        ],
-        1..60,
-    )
+fn any_cap_ops(rng: &mut StdRng) -> Vec<CapOp> {
+    let n = 1 + rng.random::<u32>() as usize % 60;
+    (0..n)
+        .map(|_| match rng.random::<u32>() % 3 {
+            0 => CapOp::Charge(rng.random::<f64>() * 1e-5),
+            1 => CapOp::Draw(rng.random::<f64>() * 1e-5),
+            _ => CapOp::Leak(rng.random::<f64>() * 10.0),
+        })
+        .collect()
 }
 
-proptest! {
-    /// Stored energy stays within `[0, capacity]` and the bookkeeping
-    /// identity `charged_in == stored + drawn + wasted` holds for any
-    /// operation sequence.
-    #[test]
-    fn capacitor_conservation(ops in any_cap_ops()) {
+/// Stored energy stays within `[0, capacity]` and the bookkeeping
+/// identity `charged_in == stored + drawn + wasted` holds for any
+/// operation sequence.
+#[test]
+fn capacitor_conservation() {
+    let mut rng = StdRng::seed_from_u64(0xe9e_001);
+    for _ in 0..200 {
+        let ops = any_cap_ops(&mut rng);
         let mut cap = Capacitor::new(2.2e-6, 3.3, 100.0);
         let capacity = cap.max_energy_j();
         let mut charged = 0.0;
@@ -50,60 +55,85 @@ proptest! {
                 }
                 CapOp::Leak(dt) => cap.leak(dt),
             }
-            prop_assert!(cap.energy_j() >= 0.0);
-            prop_assert!(cap.energy_j() <= capacity * (1.0 + 1e-12));
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&cap.fill_fraction()));
+            assert!(cap.energy_j() >= 0.0);
+            assert!(cap.energy_j() <= capacity * (1.0 + 1e-12));
+            assert!((0.0..=1.0 + 1e-12).contains(&cap.fill_fraction()));
         }
         let balance = cap.energy_j() + drawn + cap.wasted_j();
-        prop_assert!((balance - charged).abs() <= charged.max(1e-12) * 1e-9,
-            "in {charged} vs out {balance}");
+        assert!(
+            (balance - charged).abs() <= charged.max(1e-12) * 1e-9,
+            "in {charged} vs out {balance}"
+        );
     }
+}
 
-    /// Rectifier output power is monotone in input power and never
-    /// exceeds the input.
-    #[test]
-    fn rectifier_sane(a in 0.0f64..5e-3, b in 0.0f64..5e-3) {
+/// Rectifier output power is monotone in input power and never exceeds
+/// the input.
+#[test]
+fn rectifier_sane() {
+    let mut rng = StdRng::seed_from_u64(0xe9e_002);
+    for _ in 0..2000 {
+        let a = rng.random::<f64>() * 5e-3;
+        let b = rng.random::<f64>() * 5e-3;
         let r = Rectifier::default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(r.output_w(lo) <= r.output_w(hi) + 1e-18);
-        prop_assert!(r.output_w(hi) <= hi);
-        prop_assert!((0.0..=1.0).contains(&r.efficiency(hi)));
+        assert!(r.output_w(lo) <= r.output_w(hi) + 1e-18);
+        assert!(r.output_w(hi) <= hi);
+        assert!((0.0..=1.0).contains(&r.efficiency(hi)));
     }
+}
 
-    /// Outage accounting: time above + time in outages equals the trace
-    /// duration, and emergencies never exceed outage count.
-    #[test]
-    fn outage_accounting(trace in any_trace(), threshold in 1e-6f64..1e-3) {
+/// Outage accounting: time above + time in outages equals the trace
+/// duration, and emergencies never exceed outage count.
+#[test]
+fn outage_accounting() {
+    let mut rng = StdRng::seed_from_u64(0xe9e_003);
+    for _ in 0..200 {
+        let trace = any_trace(&mut rng);
+        let threshold = 1e-6 + rng.random::<f64>() * (1e-3 - 1e-6);
         let s = OutageStats::analyze(&trace, threshold);
         let outage_time: f64 = s.outage_durations_s.iter().sum();
         let above_time = s.above_threshold_fraction * trace.duration_s();
-        prop_assert!((outage_time + above_time - trace.duration_s()).abs() < 1e-9);
-        prop_assert!(s.emergency_count as usize <= s.outage_durations_s.len());
-        prop_assert!(s.longest_outage_s <= trace.duration_s() + 1e-12);
-        prop_assert!(s.histogram(8).total() == s.outage_durations_s.len() as u64);
+        assert!((outage_time + above_time - trace.duration_s()).abs() < 1e-9);
+        assert!(s.emergency_count as usize <= s.outage_durations_s.len());
+        assert!(s.longest_outage_s <= trace.duration_s() + 1e-12);
+        assert!(s.histogram(8).total() == s.outage_durations_s.len() as u64);
     }
+}
 
-    /// CSV round trip preserves every sample to the printed precision.
-    #[test]
-    fn csv_round_trip(trace in any_trace()) {
+/// CSV round trip preserves every sample to the printed precision.
+#[test]
+fn csv_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0xe9e_004);
+    for _ in 0..60 {
+        let trace = any_trace(&mut rng);
         let parsed = PowerTrace::from_csv(&trace.to_csv()).unwrap();
-        prop_assert_eq!(parsed.len(), trace.len());
+        assert_eq!(parsed.len(), trace.len());
         for (a, b) in parsed.samples().iter().zip(trace.samples()) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    /// Composition algebra: concat length/energy adds; repeat multiplies;
-    /// scaling scales energy linearly.
-    #[test]
-    fn composition_algebra(a in any_trace(), b in any_trace(), k in 0.0f64..4.0, n in 1usize..4) {
+/// Composition algebra: concat length/energy adds; repeat multiplies;
+/// scaling scales energy linearly.
+#[test]
+fn composition_algebra() {
+    let mut rng = StdRng::seed_from_u64(0xe9e_005);
+    for _ in 0..100 {
+        let a = any_trace(&mut rng);
+        let b = any_trace(&mut rng);
+        let k = rng.random::<f64>() * 4.0;
+        let n = 1 + rng.random::<u32>() as usize % 3;
         let joined = a.concat(&b);
-        prop_assert_eq!(joined.len(), a.len() + b.len());
-        prop_assert!((joined.total_energy_j() - a.total_energy_j() - b.total_energy_j()).abs() < 1e-12);
+        assert_eq!(joined.len(), a.len() + b.len());
+        assert!(
+            (joined.total_energy_j() - a.total_energy_j() - b.total_energy_j()).abs() < 1e-12
+        );
         let rep = a.repeated(n);
-        prop_assert_eq!(rep.len(), a.len() * n);
-        prop_assert!((rep.total_energy_j() - a.total_energy_j() * n as f64).abs() < 1e-9);
+        assert_eq!(rep.len(), a.len() * n);
+        assert!((rep.total_energy_j() - a.total_energy_j() * n as f64).abs() < 1e-9);
         let scaled = a.scaled(k);
-        prop_assert!((scaled.total_energy_j() - a.total_energy_j() * k).abs() < 1e-9);
+        assert!((scaled.total_energy_j() - a.total_energy_j() * k).abs() < 1e-9);
     }
 }

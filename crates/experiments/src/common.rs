@@ -1,4 +1,14 @@
 //! Shared helpers: standard platforms, kernels, and run plumbing.
+//!
+//! The standard inputs (synthetic frame, kernel instances, wearable
+//! traces, unconstrained task costs) are pure functions of their
+//! parameters and were historically rebuilt by every experiment. They
+//! are now memoized in process-wide caches so concurrent experiments
+//! share one instance; the caches are keyed on every parameter that
+//! influences the value, so results are unchanged.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use nvp_core::{
     measure_task, BackupModel, BackupPolicy, IntermittentSystem, RunReport, SystemConfig,
@@ -14,19 +24,52 @@ use crate::ExpConfig;
 /// matching the published chips' ~2 kbit backup payloads.
 pub(crate) const STATE_BITS: u64 = 2048;
 
-/// The standard frame for image kernels.
-pub(crate) fn frame(cfg: &ExpConfig) -> GrayImage {
-    GrayImage::synthetic(cfg.frame_seed, cfg.frame_w, cfg.frame_h)
+/// Frame identity: everything `GrayImage::synthetic` consumes.
+type FrameKey = (u64, usize, usize);
+
+fn frame_key(cfg: &ExpConfig) -> FrameKey {
+    (cfg.frame_seed, cfg.frame_w, cfg.frame_h)
 }
 
-/// Builds a kernel instance on the standard frame.
-pub(crate) fn kernel(cfg: &ExpConfig, kind: KernelKind) -> KernelInstance {
-    kind.build(&frame(cfg)).expect("kernel builds on standard frame")
+/// A lazily-initialized process-wide cache of shared values.
+type Memo<K, V> = OnceLock<Mutex<HashMap<K, Arc<V>>>>;
+
+/// Looks up `key` in a lazily-initialized process-wide cache, building
+/// the value with `make` on first use.
+fn memo<K, V>(cell: &'static Memo<K, V>, key: K, make: impl FnOnce() -> V) -> Arc<V>
+where
+    K: std::hash::Hash + Eq,
+{
+    let cache = cell.get_or_init(|| Mutex::new(HashMap::new()));
+    // Holding the lock across `make` keeps the code simple and means a
+    // value is only ever built once; entries are tiny and builds are
+    // fast relative to the simulations that consume them.
+    let mut map = cache.lock().unwrap();
+    Arc::clone(map.entry(key).or_insert_with(|| Arc::new(make())))
+}
+
+/// The standard frame for image kernels.
+pub(crate) fn frame(cfg: &ExpConfig) -> Arc<GrayImage> {
+    static CACHE: Memo<FrameKey, GrayImage> = OnceLock::new();
+    memo(&CACHE, frame_key(cfg), || {
+        GrayImage::synthetic(cfg.frame_seed, cfg.frame_w, cfg.frame_h)
+    })
+}
+
+/// Builds (or fetches) a kernel instance on the standard frame.
+pub(crate) fn kernel(cfg: &ExpConfig, kind: KernelKind) -> Arc<KernelInstance> {
+    static CACHE: Memo<(FrameKey, KernelKind), KernelInstance> = OnceLock::new();
+    memo(&CACHE, (frame_key(cfg), kind), || {
+        kind.build(&frame(cfg)).expect("kernel builds on standard frame")
+    })
 }
 
 /// The standard wearable trace for a profile seed.
-pub(crate) fn watch_trace(cfg: &ExpConfig, seed: u64) -> PowerTrace {
-    harvester::wrist_watch(seed, cfg.trace_duration_s)
+pub(crate) fn watch_trace(cfg: &ExpConfig, seed: u64) -> Arc<PowerTrace> {
+    static CACHE: Memo<(u64, u64), PowerTrace> = OnceLock::new();
+    memo(&CACHE, (seed, cfg.trace_duration_s.to_bits()), || {
+        harvester::wrist_watch(seed, cfg.trace_duration_s)
+    })
 }
 
 /// The reference hardware-NVP backup model (distributed FeRAM NVFFs).
@@ -57,10 +100,18 @@ pub(crate) fn system_config_for_tech(
     cfg
 }
 
-/// Unconstrained task cost of a kernel.
-pub(crate) fn task_cost(inst: &KernelInstance) -> TaskCost {
-    measure_task(inst.program(), &system_config_for(inst), 500_000_000)
-        .expect("kernel terminates under continuous power")
+/// Unconstrained task cost of the standard kernel for `kind`.
+///
+/// Keyed on the frame identity and kernel kind — the same key space as
+/// [`kernel`] — because the cost is a pure function of the generated
+/// program and its data.
+pub(crate) fn task_cost(cfg: &ExpConfig, kind: KernelKind) -> TaskCost {
+    static CACHE: Memo<(FrameKey, KernelKind), TaskCost> = OnceLock::new();
+    *memo(&CACHE, (frame_key(cfg), kind), || {
+        let inst = kernel(cfg, kind);
+        measure_task(inst.program(), &system_config_for(&inst), 500_000_000)
+            .expect("kernel terminates under continuous power")
+    })
 }
 
 /// Runs the hardware NVP over a trace.
@@ -81,12 +132,14 @@ pub(crate) fn run_nvp_with(
     system.run(trace).expect("workload does not fault")
 }
 
-/// Runs the wait-then-compute baseline, ESD sized for the kernel's task.
-pub(crate) fn run_wait(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
-    let cost = task_cost(inst);
-    let mut cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
-    cfg.dmem_words = cfg.dmem_words.max(inst.min_dmem_words());
-    let mut system = WaitComputeSystem::new(inst.program(), cfg).expect("platform builds");
+/// Runs the wait-then-compute baseline on the standard kernel for
+/// `kind`, ESD sized for the kernel's task.
+pub(crate) fn run_wait(cfg: &ExpConfig, kind: KernelKind, trace: &PowerTrace) -> RunReport {
+    let inst = kernel(cfg, kind);
+    let cost = task_cost(cfg, kind);
+    let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+    wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+    let mut system = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
     system.run(trace).expect("workload does not fault")
 }
 

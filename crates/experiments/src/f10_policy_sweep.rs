@@ -32,46 +32,34 @@ pub struct Row {
     pub rollbacks: u64,
 }
 
-/// Sweeps demand margins and periodic intervals.
+/// Sweeps demand margins and periodic intervals. Each policy point is
+/// an independent simulation; the combined policy list is evaluated on
+/// the shared thread pool with margins first, intervals after, as
+/// before.
 #[must_use]
 pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
     let sys = system_config_for(&inst);
     let trace = watch_trace(cfg, cfg.profile_seeds[0]);
-    let mut out = Vec::new();
-    for margin in MARGINS {
-        let r = run_nvp_with(
-            &inst,
-            &trace,
-            sys,
-            standard_backup(),
-            BackupPolicy::OnDemand { margin },
-        );
-        out.push(Row {
-            policy: format!("demand margin {margin:.1}"),
+    let policies: Vec<(String, BackupPolicy)> = MARGINS
+        .into_iter()
+        .map(|margin| {
+            (format!("demand margin {margin:.1}"), BackupPolicy::OnDemand { margin })
+        })
+        .chain(INTERVALS_S.into_iter().map(|interval_s| {
+            (format!("periodic {} ms", interval_s * 1e3), BackupPolicy::Periodic { interval_s })
+        }))
+        .collect();
+    crate::par::par_map(&policies, |(label, policy)| {
+        let r = run_nvp_with(&inst, &trace, sys, standard_backup(), *policy);
+        Row {
+            policy: label.clone(),
             fp: r.forward_progress(),
             lost: r.lost,
             backups: r.backups,
             rollbacks: r.rollbacks,
-        });
-    }
-    for interval_s in INTERVALS_S {
-        let r = run_nvp_with(
-            &inst,
-            &trace,
-            sys,
-            standard_backup(),
-            BackupPolicy::Periodic { interval_s },
-        );
-        out.push(Row {
-            policy: format!("periodic {} ms", interval_s * 1e3),
-            fp: r.forward_progress(),
-            lost: r.lost,
-            backups: r.backups,
-            rollbacks: r.rollbacks,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Renders the sweep.

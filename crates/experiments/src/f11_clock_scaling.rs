@@ -42,11 +42,14 @@ pub struct Row {
 fn measure(cfg: &ExpConfig, sys: SystemConfig, label: &str) -> Row {
     let inst = kernel(cfg, KernelKind::Sobel);
     let n = cfg.profile_seeds.len() as f64;
-    let mut fp_wrist = 0.0;
-    for &seed in &cfg.profile_seeds {
-        let r = run_nvp_with(&inst, &watch_trace(cfg, seed), sys, standard_backup(), BackupPolicy::demand());
-        fp_wrist += r.forward_progress() as f64;
-    }
+    // Per-seed runs are independent; summing the ordered results keeps
+    // the accumulation order (and thus the f64 value) identical to the
+    // sequential loop.
+    let fps = crate::par::par_map(&cfg.profile_seeds, |&seed| {
+        run_nvp_with(&inst, &watch_trace(cfg, seed), sys, standard_backup(), BackupPolicy::demand())
+            .forward_progress() as f64
+    });
+    let fp_wrist: f64 = fps.iter().sum();
     let solar = harvester::solar_indoor(cfg.profile_seeds[0], cfg.trace_duration_s);
     let rs = run_nvp_with(&inst, &solar, sys, standard_backup(), BackupPolicy::demand());
     Row {
@@ -63,16 +66,20 @@ fn measure(cfg: &ExpConfig, sys: SystemConfig, label: &str) -> Row {
 #[must_use]
 pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
-    let mut out = Vec::new();
-    for (mult, label) in
+    let variants: Vec<(SystemConfig, &str)> =
         [(1u32, "fixed 1 MHz"), (2, "fixed 2 MHz"), (4, "fixed 4 MHz"), (8, "fixed 8 MHz")]
-    {
-        let mut sys = system_config_for(&inst);
-        sys.clock_hz = 1e6 * f64::from(mult);
-        out.push(measure(cfg, sys, label));
-    }
-    let adaptive = system_config_for(&inst).with_clock_policy(ClockPolicy::adaptive());
-    out.push(measure(cfg, adaptive, "adaptive 1-8 MHz"));
+            .into_iter()
+            .map(|(mult, label)| {
+                let mut sys = system_config_for(&inst);
+                sys.clock_hz = 1e6 * f64::from(mult);
+                (sys, label)
+            })
+            .chain(std::iter::once((
+                system_config_for(&inst).with_clock_policy(ClockPolicy::adaptive()),
+                "adaptive 1-8 MHz",
+            )))
+            .collect();
+    let mut out = crate::par::par_map(&variants, |&(sys, label)| measure(cfg, sys, label));
     let base_combined = (out[0].fp_wrist + out[0].fp_solar).max(1.0);
     for r in &mut out {
         r.combined_gain = (r.fp_wrist + r.fp_solar) / base_combined;

@@ -29,7 +29,7 @@ pub struct Row {
 /// The raw trace for one profile (for CSV export / plotting).
 #[must_use]
 pub fn series(cfg: &ExpConfig, profile: u64) -> PowerTrace {
-    watch_trace(cfg, profile)
+    (*watch_trace(cfg, profile)).clone()
 }
 
 /// Summary rows for all configured profiles.

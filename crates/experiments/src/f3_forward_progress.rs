@@ -58,7 +58,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
                 kernel: kind.name().to_owned(),
                 profile: seed,
                 nvp_fp: run_nvp(&inst, &trace).forward_progress(),
-                wait_fp: run_wait(&inst, &trace).forward_progress(),
+                wait_fp: run_wait(cfg, kind, &trace).forward_progress(),
                 swckpt_fp: run_software_ckpt(&inst, &trace).forward_progress(),
             });
         }

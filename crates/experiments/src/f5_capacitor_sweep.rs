@@ -31,29 +31,29 @@ pub struct Row {
 }
 
 /// Sweeps storage size for both platforms on the first profile.
+/// Points are independent simulations and run on the shared thread
+/// pool; result order follows [`CAPACITANCES_F`] regardless.
 #[must_use]
 pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
     let trace = watch_trace(cfg, cfg.profile_seeds[0]);
-    let cost = crate::common::task_cost(&inst);
-    CAPACITANCES_F
-        .iter()
-        .map(|&c| {
-            let sys: SystemConfig = system_config_for(&inst).with_capacitance(c);
-            let nvp = run_nvp_with(&inst, &trace, sys, standard_backup(), nvp_core::BackupPolicy::demand());
-            // Wait-compute with the same storage size; the start threshold
-            // stays task-sized but is capped at 90 % of the ESD capacity
-            // (an undersized ESD forces early, risky starts).
-            let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
-            wcfg.capacitance_f = c;
-            wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
-            let capacity = 0.5 * c * wcfg.cap_voltage_v * wcfg.cap_voltage_v;
-            wcfg.start_energy_j = wcfg.start_energy_j.min(0.9 * capacity);
-            let mut wait = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
-            let wait_report = wait.run(&trace).expect("workload does not fault");
-            Row { cap_uf: c * 1e6, nvp_fp: nvp.forward_progress(), wait_fp: wait_report.forward_progress() }
-        })
-        .collect()
+    let cost = crate::common::task_cost(cfg, KernelKind::Sobel);
+    crate::par::par_map(&CAPACITANCES_F, |&c| {
+        let sys: SystemConfig = system_config_for(&inst).with_capacitance(c);
+        let nvp =
+            run_nvp_with(&inst, &trace, sys, standard_backup(), nvp_core::BackupPolicy::demand());
+        // Wait-compute with the same storage size; the start threshold
+        // stays task-sized but is capped at 90 % of the ESD capacity
+        // (an undersized ESD forces early, risky starts).
+        let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+        wcfg.capacitance_f = c;
+        wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+        let capacity = 0.5 * c * wcfg.cap_voltage_v * wcfg.cap_voltage_v;
+        wcfg.start_energy_j = wcfg.start_energy_j.min(0.9 * capacity);
+        let mut wait = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
+        let wait_report = wait.run(&trace).expect("workload does not fault");
+        Row { cap_uf: c * 1e6, nvp_fp: nvp.forward_progress(), wait_fp: wait_report.forward_progress() }
+    })
 }
 
 /// Renders the sweep.

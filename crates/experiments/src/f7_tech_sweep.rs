@@ -30,30 +30,32 @@ pub struct Row {
     pub lifetime_years: f64,
 }
 
-/// Runs the full technology × source grid.
+/// Runs the full technology × source grid. Every cell is an
+/// independent simulation, so the grid is flattened and evaluated on
+/// the shared thread pool; row order stays technology-major.
 #[must_use]
 pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
-    let mut out = Vec::new();
-    for tech in NvmTechnology::ALL {
+    let grid: Vec<(NvmTechnology, SourceKind)> = NvmTechnology::ALL
+        .into_iter()
+        .flat_map(|tech| SourceKind::ALL.into_iter().map(move |source| (tech, source)))
+        .collect();
+    crate::par::par_map(&grid, |&(tech, source)| {
         // Both the backup path *and* the NVM data memory use `tech`.
         let sys = system_config_for_tech(&inst, tech);
         let backup = BackupModel::distributed(tech, STATE_BITS);
-        for source in SourceKind::ALL {
-            let trace = source.generate(cfg.profile_seeds[0], cfg.trace_duration_s);
-            let r = run_nvp_with(&inst, &trace, sys, backup, BackupPolicy::demand());
-            let rate = r.backups as f64 / r.duration_s.max(1e-9);
-            let meter = EnduranceMeter::new(tech.params());
-            out.push(Row {
-                tech: tech.to_string(),
-                source: source.to_string(),
-                fp: r.forward_progress(),
-                backups_per_min: r.backups_per_minute(),
-                lifetime_years: meter.lifetime_years(rate),
-            });
+        let trace = source.generate(cfg.profile_seeds[0], cfg.trace_duration_s);
+        let r = run_nvp_with(&inst, &trace, sys, backup, BackupPolicy::demand());
+        let rate = r.backups as f64 / r.duration_s.max(1e-9);
+        let meter = EnduranceMeter::new(tech.params());
+        Row {
+            tech: tech.to_string(),
+            source: source.to_string(),
+            fp: r.forward_progress(),
+            backups_per_min: r.backups_per_minute(),
+            lifetime_years: meter.lifetime_years(rate),
         }
-    }
-    out
+    })
 }
 
 /// Renders the grid.

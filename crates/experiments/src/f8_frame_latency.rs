@@ -57,9 +57,9 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         .iter()
         .map(|&kind| {
             let inst = kernel(cfg, kind);
-            let cost = task_cost(&inst);
+            let cost = task_cost(cfg, kind);
             let nvp = run_nvp(&inst, &trace);
-            let wait = run_wait(&inst, &trace);
+            let wait = run_wait(cfg, kind, &trace);
             Row {
                 kernel: kind.name().to_owned(),
                 unconstrained_s: cost.time_s(1e6),

@@ -38,6 +38,7 @@
 
 mod common;
 mod config;
+mod par;
 mod report;
 mod runner;
 
@@ -58,4 +59,4 @@ pub mod t3_backup_strategies;
 
 pub use config::ExpConfig;
 pub use report::Table;
-pub use runner::{run_all, RunArtifacts};
+pub use runner::{run_all, run_all_sequential, RunArtifacts};

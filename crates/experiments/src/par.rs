@@ -1,0 +1,87 @@
+//! Minimal deterministic fork-join helper for the evaluation runner.
+//!
+//! [`par_map`] fans work items out over scoped std threads and returns
+//! results in input order, so parallel and sequential execution produce
+//! byte-identical artifacts. No external thread-pool dependency: the
+//! scope joins every worker before returning, and a worker panic (e.g.
+//! a failed assertion inside an experiment) propagates to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `work` items: the smaller of the item
+/// count and the hardware parallelism, overridable with `NVP_THREADS`
+/// (`NVP_THREADS=1` forces sequential execution).
+#[must_use]
+pub(crate) fn thread_count(work: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cap = std::env::var("NVP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(hw);
+    cap.min(work).max(1)
+}
+
+/// Maps `f` over `items` on a scoped thread pool, preserving input
+/// order in the output. Work is claimed via an atomic cursor, so
+/// uneven item costs balance automatically; ordering is restored by
+/// sorting on the original index, making the result independent of
+/// scheduling.
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                results.lock().unwrap().push((i, r));
+            });
+        }
+    });
+    let mut indexed = results.into_inner().unwrap();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item cost to scramble completion order.
+        let out = par_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_is_bounded() {
+        assert_eq!(thread_count(0), 1);
+        assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1000) >= 1);
+    }
+}

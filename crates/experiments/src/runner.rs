@@ -1,4 +1,10 @@
 //! Regenerates every table/figure and writes the artifacts.
+//!
+//! The 15 table builders are pure functions of the [`ExpConfig`], so
+//! [`run_all`] evaluates them concurrently on scoped threads and then
+//! writes the artifacts in the fixed experiment order —
+//! [`run_all_sequential`] produces byte-identical output one builder at
+//! a time (enforced by `tests/determinism.rs`).
 
 use std::fs;
 use std::io;
@@ -7,7 +13,7 @@ use std::path::{Path, PathBuf};
 use crate::{
     f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
     f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
-    f8_frame_latency, f9_retention_relaxation, t1_chip_gallery, t2_energy_distribution,
+    f8_frame_latency, f9_retention_relaxation, par, t1_chip_gallery, t2_energy_distribution,
     t3_backup_strategies, ExpConfig, Table,
 };
 
@@ -20,33 +26,72 @@ pub struct RunArtifacts {
     pub files: Vec<PathBuf>,
 }
 
+type Builder = fn(&ExpConfig) -> Table;
+
+fn f2_histogram(cfg: &ExpConfig) -> Table {
+    f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], 16)
+}
+
+/// The table builders, in artifact order.
+const BUILDERS: [Builder; 15] = [
+    t1_chip_gallery::table,
+    f1_power_profiles::table,
+    f2_outage_stats::table,
+    f2_histogram,
+    f3_forward_progress::table,
+    f4_backup_overhead::table,
+    f5_capacitor_sweep::table,
+    f6_restore_sensitivity::table,
+    f7_tech_sweep::table,
+    t2_energy_distribution::table,
+    f8_frame_latency::table,
+    t3_backup_strategies::table,
+    f9_retention_relaxation::table,
+    f10_policy_sweep::table,
+    f11_clock_scaling::table,
+];
+
 /// Regenerates the full evaluation and writes one CSV per table, one
 /// CSV per raw power-profile series, and a combined `RESULTS.md`, into
-/// `out_dir` (created if missing).
+/// `out_dir` (created if missing). Builders run concurrently; set
+/// `NVP_THREADS=1` to force a fully sequential run.
 ///
 /// # Errors
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
-    fs::create_dir_all(out_dir)?;
-    let tables = vec![
-        t1_chip_gallery::table(cfg),
-        f1_power_profiles::table(cfg),
-        f2_outage_stats::table(cfg),
-        f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], 16),
-        f3_forward_progress::table(cfg),
-        f4_backup_overhead::table(cfg),
-        f5_capacitor_sweep::table(cfg),
-        f6_restore_sensitivity::table(cfg),
-        f7_tech_sweep::table(cfg),
-        t2_energy_distribution::table(cfg),
-        f8_frame_latency::table(cfg),
-        t3_backup_strategies::table(cfg),
-        f9_retention_relaxation::table(cfg),
-        f10_policy_sweep::table(cfg),
-        f11_clock_scaling::table(cfg),
-    ];
+    let tables = par::par_map(&BUILDERS, |b| b(cfg));
+    let profiles = par::par_map(&cfg.profile_seeds, |&seed| {
+        (seed, f1_power_profiles::series(cfg, seed).to_csv())
+    });
+    write_artifacts(out_dir, tables, &profiles)
+}
 
+/// [`run_all`] with every builder evaluated in order on the calling
+/// thread — the reference implementation the parallel runner must
+/// byte-match. (Point sweeps inside individual experiments still use
+/// the shared pool unless `NVP_THREADS=1`.)
+///
+/// # Errors
+///
+/// Returns any filesystem error encountered while writing.
+pub fn run_all_sequential(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
+    let tables: Vec<Table> = BUILDERS.iter().map(|b| b(cfg)).collect();
+    let profiles: Vec<(u64, String)> = cfg
+        .profile_seeds
+        .iter()
+        .map(|&seed| (seed, f1_power_profiles::series(cfg, seed).to_csv()))
+        .collect();
+    write_artifacts(out_dir, tables, &profiles)
+}
+
+/// Writes all artifacts in the fixed order shared by both runners.
+fn write_artifacts(
+    out_dir: &Path,
+    tables: Vec<Table>,
+    profiles: &[(u64, String)],
+) -> io::Result<RunArtifacts> {
+    fs::create_dir_all(out_dir)?;
     let mut files = Vec::new();
     let mut combined = String::from("# nvp — regenerated evaluation results\n\n");
     for t in &tables {
@@ -56,9 +101,9 @@ pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
         combined.push_str(&t.to_markdown());
         combined.push('\n');
     }
-    for &seed in &cfg.profile_seeds {
+    for (seed, csv) in profiles {
         let path = out_dir.join(format!("f1_profile_{seed}.csv"));
-        fs::write(&path, f1_power_profiles::series(cfg, seed).to_csv())?;
+        fs::write(&path, csv)?;
         files.push(path);
     }
     let md_path = out_dir.join("RESULTS.md");
@@ -71,11 +116,19 @@ pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A temp dir unique to this process *and* call site, so concurrent
+    /// test invocations never race on `remove_dir_all`.
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+    }
 
     #[test]
     fn run_all_quick_writes_everything() {
-        let dir = std::env::temp_dir().join("nvp_exp_runner_test");
-        let _ = fs::remove_dir_all(&dir);
+        let dir = unique_dir("nvp_exp_runner_test");
         let artifacts = run_all(&ExpConfig::quick(), &dir).unwrap();
         assert_eq!(artifacts.tables.len(), 15);
         // 15 tables + 2 profile series + RESULTS.md

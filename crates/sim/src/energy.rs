@@ -74,9 +74,22 @@ impl InstClass {
     }
 
     /// Index of the class within [`InstClass::ALL`].
+    ///
+    /// A direct match rather than a search of `ALL`: this sits on the
+    /// simulator's per-instruction accounting path.
     #[must_use]
-    pub fn index(self) -> usize {
-        InstClass::ALL.iter().position(|c| *c == self).expect("class is in ALL")
+    pub const fn index(self) -> usize {
+        match self {
+            InstClass::Alu => 0,
+            InstClass::Mul => 1,
+            InstClass::Div => 2,
+            InstClass::Load => 3,
+            InstClass::Store => 4,
+            InstClass::Branch => 5,
+            InstClass::Jump => 6,
+            InstClass::Io => 7,
+            InstClass::System => 8,
+        }
     }
 }
 

@@ -38,7 +38,7 @@ mod energy;
 mod machine;
 
 pub use energy::{CycleModel, EnergyModel, InstClass};
-pub use machine::{ArchState, Counters, Machine, SimError, Step};
+pub use machine::{ArchState, BlockStats, Counters, Machine, SimError, Step};
 
 /// Default installed data-memory size in 16-bit words (8 Ki-words = 16 KiB).
 pub const DEFAULT_DMEM_WORDS: usize = 8192;

@@ -64,6 +64,52 @@ impl Counters {
     }
 }
 
+/// A predecoded code word: the instruction plus everything the
+/// per-step hot path would otherwise recompute from it — its class and
+/// the cycle/energy cost of both branch outcomes (identical for
+/// non-branches). Built once per imem word at load time.
+#[derive(Debug, Clone, Copy)]
+struct Decoded {
+    inst: Inst,
+    class: InstClass,
+    cycles_not_taken: u32,
+    cycles_taken: u32,
+    energy_not_taken_j: f64,
+    energy_taken_j: f64,
+}
+
+impl Decoded {
+    fn new(inst: Inst, cycle_model: &CycleModel, energy_model: &EnergyModel) -> Decoded {
+        let class = InstClass::of(&inst);
+        let cycles_not_taken = cycle_model.cycles(class, false);
+        let cycles_taken = cycle_model.cycles(class, true);
+        Decoded {
+            inst,
+            class,
+            cycles_not_taken,
+            cycles_taken,
+            energy_not_taken_j: energy_model.energy(class, cycles_not_taken),
+            energy_taken_j: energy_model.energy(class, cycles_taken),
+        }
+    }
+}
+
+/// Aggregate outcome of a bounded run of consecutive steps (see
+/// [`Machine::run_block`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockStats {
+    /// Instructions executed in the block.
+    pub executed: u64,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Total energy charged, joules.
+    pub energy_j: f64,
+    /// `true` if the machine is halted after the block.
+    pub halted: bool,
+    /// `true` if the block ended on a `ckpt` instruction.
+    pub checkpoint: bool,
+}
+
 /// The outcome of executing a single instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Step {
@@ -135,7 +181,9 @@ impl std::error::Error for SimError {
 /// [`reset_volatile`](Machine::reset_volatile) to implement their policies.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    insts: Vec<Inst>,
+    code: Vec<Decoded>,
+    max_step_cycles: u32,
+    max_step_energy_j: f64,
     regs: [u16; 16],
     pc: u32,
     entry: u32,
@@ -144,8 +192,6 @@ pub struct Machine {
     inputs: [u16; 16],
     out_log: Vec<(u8, u16)>,
     counters: Counters,
-    cycle_model: CycleModel,
-    energy_model: EnergyModel,
 }
 
 impl Machine {
@@ -176,12 +222,21 @@ impl Machine {
         cycle_model: CycleModel,
         energy_model: EnergyModel,
     ) -> Result<Machine, SimError> {
-        let mut insts = Vec::with_capacity(program.code().len());
+        let mut code = Vec::with_capacity(program.code().len());
         for (pc, &word) in program.code().iter().enumerate() {
-            insts.push(
-                Inst::decode(word).map_err(|source| SimError::Decode { pc: pc as u32, source })?,
-            );
+            let inst =
+                Inst::decode(word).map_err(|source| SimError::Decode { pc: pc as u32, source })?;
+            code.push(Decoded::new(inst, &cycle_model, &energy_model));
         }
+        // Worst-case single-step cost over this image, used by platform
+        // models to bound how many instructions can safely run as one
+        // batch before re-checking energy/time thresholds.
+        let max_step_cycles =
+            code.iter().map(|d| d.cycles_not_taken.max(d.cycles_taken)).max().unwrap_or(1);
+        let max_step_energy_j = code
+            .iter()
+            .map(|d| d.energy_not_taken_j.max(d.energy_taken_j))
+            .fold(0.0f64, f64::max);
         let mut dmem = vec![0u16; dmem_words];
         for seg in program.data_segments() {
             let start = usize::from(seg.addr);
@@ -195,7 +250,9 @@ impl Machine {
             dmem[start..end].copy_from_slice(&seg.words);
         }
         Ok(Machine {
-            insts,
+            code,
+            max_step_cycles,
+            max_step_energy_j,
             regs: [0; 16],
             pc: program.entry(),
             entry: program.entry(),
@@ -204,8 +261,6 @@ impl Machine {
             inputs: [0; 16],
             out_log: Vec::new(),
             counters: Counters::default(),
-            cycle_model,
-            energy_model,
         })
     }
 
@@ -228,17 +283,14 @@ impl Machine {
             });
         }
         let pc = self.pc;
-        let inst = *self
-            .insts
-            .get(pc as usize)
-            .ok_or(SimError::PcOutOfRange { pc })?;
-        let class = InstClass::of(&inst);
+        let decoded = *self.code.get(pc as usize).ok_or(SimError::PcOutOfRange { pc })?;
+        let class = decoded.class;
         let mut taken = false;
         let mut checkpoint = false;
         let mut next_pc = pc + 1;
 
         use Inst::*;
-        match inst {
+        match decoded.inst {
             Add { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1).wrapping_add(self.rd(rs2))),
             Sub { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1).wrapping_sub(self.rd(rs2))),
             And { rd, rs1, rs2 } => self.wr(rd, self.rd(rs1) & self.rd(rs2)),
@@ -343,8 +395,11 @@ impl Machine {
             In { rd, port } => self.wr(rd, self.inputs[usize::from(port & 0xF)]),
         }
 
-        let cycles = self.cycle_model.cycles(class, taken);
-        let energy = self.energy_model.energy(class, cycles);
+        let (cycles, energy) = if taken {
+            (decoded.cycles_taken, decoded.energy_taken_j)
+        } else {
+            (decoded.cycles_not_taken, decoded.energy_not_taken_j)
+        };
         self.counters.instructions += 1;
         self.counters.cycles += u64::from(cycles);
         self.counters.energy_j += energy;
@@ -372,6 +427,47 @@ impl Machine {
             executed += 1;
         }
         Ok(executed)
+    }
+
+    /// Runs up to `max_insts` instructions, stopping early on `halt` or
+    /// `ckpt`, and returns the block's aggregate cost instead of
+    /// per-step values — platform models use this to consult their
+    /// energy frontend once per block. Bound `max_insts` with
+    /// [`max_step_cycles`](Machine::max_step_cycles) /
+    /// [`max_step_energy_j`](Machine::max_step_energy_j) to keep
+    /// threshold checks exact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution fault (see [`Machine::step`]).
+    pub fn run_block(&mut self, max_insts: u64) -> Result<BlockStats, SimError> {
+        let mut stats = BlockStats::default();
+        while stats.executed < max_insts && !self.halted {
+            let step = self.step()?;
+            stats.executed += 1;
+            stats.cycles += u64::from(step.cycles);
+            stats.energy_j += step.energy_j;
+            if step.checkpoint {
+                stats.checkpoint = true;
+                break;
+            }
+        }
+        stats.halted = self.halted;
+        Ok(stats)
+    }
+
+    /// Worst-case cycles any single instruction in the loaded image can
+    /// take (taken-branch outcome included).
+    #[must_use]
+    pub fn max_step_cycles(&self) -> u32 {
+        self.max_step_cycles
+    }
+
+    /// Worst-case energy any single instruction in the loaded image can
+    /// draw, joules.
+    #[must_use]
+    pub fn max_step_energy_j(&self) -> f64 {
+        self.max_step_energy_j
     }
 
     #[inline]
@@ -499,7 +595,7 @@ impl Machine {
     /// Number of instructions in the loaded image.
     #[must_use]
     pub fn code_len(&self) -> usize {
-        self.insts.len()
+        self.code.len()
     }
 }
 

@@ -71,16 +71,66 @@ fn trace_csv_round_trip_preserves_simulation() {
     assert!(diff <= a.committed as f64 * 1e-3 + 1.0, "{} vs {}", a.committed, b.committed);
 }
 
+/// A temp dir unique to this process and call, so concurrent test
+/// invocations never race on `remove_dir_all`.
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
+/// Reads every artifact in `dir` as `(file name, bytes)`, sorted by name.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().into_string().unwrap();
+            let bytes = std::fs::read(e.path()).unwrap();
+            (name, bytes)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
 #[test]
 fn run_all_twice_is_identical() {
     let cfg = ExpConfig::quick();
-    let dir1 = std::env::temp_dir().join("nvp_det_1");
-    let dir2 = std::env::temp_dir().join("nvp_det_2");
+    let dir1 = unique_dir("nvp_det_rerun");
+    let dir2 = unique_dir("nvp_det_rerun");
     let a = nvp::experiments::run_all(&cfg, &dir1).unwrap();
     let b = nvp::experiments::run_all(&cfg, &dir2).unwrap();
     for (ta, tb) in a.tables.iter().zip(&b.tables) {
         assert_eq!(ta, tb, "table {} differs between runs", ta.id());
     }
-    let _ = std::fs::remove_dir_all(Path::new(&dir1));
-    let _ = std::fs::remove_dir_all(Path::new(&dir2));
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// The parallel runner must be byte-identical to the sequential
+/// reference: every CSV and `RESULTS.md`, for more than one seed set.
+#[test]
+fn parallel_run_all_matches_sequential_bytes() {
+    let mut shifted = ExpConfig::quick();
+    shifted.profile_seeds = vec![3, 4];
+    shifted.frame_seed = 11;
+    for (tag, cfg) in [("quick", ExpConfig::quick()), ("shifted", shifted)] {
+        let par_dir = unique_dir("nvp_det_par");
+        let seq_dir = unique_dir("nvp_det_seq");
+        let par = nvp::experiments::run_all(&cfg, &par_dir).unwrap();
+        let seq = nvp::experiments::run_all_sequential(&cfg, &seq_dir).unwrap();
+        assert_eq!(par.files.len(), seq.files.len(), "{tag}: file counts differ");
+
+        let par_bytes = artifact_bytes(&par_dir);
+        let seq_bytes = artifact_bytes(&seq_dir);
+        assert_eq!(par_bytes.len(), seq_bytes.len(), "{tag}: artifact counts differ");
+        for ((pn, pb), (sn, sb)) in par_bytes.iter().zip(&seq_bytes) {
+            assert_eq!(pn, sn, "{tag}: artifact names diverge");
+            assert_eq!(pb, sb, "{tag}: {pn} differs between parallel and sequential runs");
+        }
+        let _ = std::fs::remove_dir_all(&par_dir);
+        let _ = std::fs::remove_dir_all(&seq_dir);
+    }
 }

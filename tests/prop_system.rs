@@ -1,8 +1,10 @@
 //! Property-based system tests: invariants that must hold for *any*
-//! power trace, policy margin, and sensor frame.
+//! power trace, policy margin, and sensor frame. Deterministically
+//! seeded random sweeps replace the original proptest strategies.
 
 use nvp::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn counter_program() -> Program {
     assemble("start: addi r1, r1, 1\n sw r1, 0(r0)\n j start").unwrap()
@@ -10,26 +12,34 @@ fn counter_program() -> Program {
 
 /// Arbitrary piecewise-constant traces: up to 20 segments of 1–50 ms at
 /// 0–2 mW (the full wearable envelope).
-fn any_trace() -> impl Strategy<Value = PowerTrace> {
-    proptest::collection::vec((0.0f64..2e-3, 1e-3f64..0.05), 1..20)
-        .prop_map(|segments| PowerTrace::from_segments(1e-4, &segments))
-}
-
-fn any_frame() -> impl Strategy<Value = GrayImage> {
-    (8usize..=12, 8usize..=12)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<u8>(), w * h)
-                .prop_map(move |pixels| GrayImage::from_pixels(w, h, pixels))
+fn any_trace(rng: &mut StdRng) -> PowerTrace {
+    let n = 1 + rng.random::<u32>() as usize % 19;
+    let segments: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.random::<f64>() * 2e-3,
+                1e-3 + rng.random::<f64>() * (0.05 - 1e-3),
+            )
         })
+        .collect();
+    PowerTrace::from_segments(1e-4, &segments)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn any_frame(rng: &mut StdRng) -> GrayImage {
+    let w = 8 + rng.random::<u32>() as usize % 5;
+    let h = 8 + rng.random::<u32>() as usize % 5;
+    let pixels: Vec<u8> = (0..w * h).map(|_| rng.random::<u8>()).collect();
+    GrayImage::from_pixels(w, h, pixels)
+}
 
-    /// Accounting identity and energy conservation for any trace and any
-    /// safe demand margin.
-    #[test]
-    fn run_report_invariants(trace in any_trace(), margin in 1.5f64..5.0) {
+/// Accounting identity and energy conservation for any trace and any
+/// safe demand margin.
+#[test]
+fn run_report_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x5e5_001);
+    for _ in 0..24 {
+        let trace = any_trace(&mut rng);
+        let margin = 1.5 + rng.random::<f64>() * 3.5;
         let program = counter_program();
         let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
         let mut sys = IntermittentSystem::new(
@@ -37,57 +47,85 @@ proptest! {
             SystemConfig::default(),
             backup,
             BackupPolicy::OnDemand { margin },
-        ).unwrap();
+        )
+        .unwrap();
         let r = sys.run(&trace).unwrap();
 
-        prop_assert_eq!(r.committed + r.lost + r.uncommitted_at_end, r.executed);
-        prop_assert_eq!(r.lost, 0, "safe margins lose nothing");
-        prop_assert_eq!(r.rollbacks, 0);
-        prop_assert!(r.restores >= r.backups.saturating_sub(1),
-            "every completed backup is eventually restored (±the last)");
+        assert_eq!(r.committed + r.lost + r.uncommitted_at_end, r.executed);
+        assert_eq!(r.lost, 0, "safe margins lose nothing");
+        assert_eq!(r.rollbacks, 0);
+        assert!(
+            r.restores >= r.backups.saturating_sub(1),
+            "every completed backup is eventually restored (±the last)"
+        );
         let e = r.energy;
-        prop_assert!(e.converted_j <= e.harvested_j + 1e-15);
+        assert!(e.converted_j <= e.harvested_j + 1e-15);
         let spent = e.compute_j + e.backup_j + e.restore_j + e.sleep_j + e.regulator_j;
-        prop_assert!(spent <= e.converted_j + 1e-12);
-        prop_assert!(r.on_time_s <= r.duration_s + 1e-9);
+        assert!(spent <= e.converted_j + 1e-12);
+        assert!(r.on_time_s <= r.duration_s + 1e-9);
     }
+}
 
-    /// Runs are deterministic for any trace.
-    #[test]
-    fn runs_are_deterministic(trace in any_trace()) {
+/// Runs are deterministic for any trace.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x5e5_002);
+    for _ in 0..24 {
+        let trace = any_trace(&mut rng);
         let program = counter_program();
         let backup = BackupModel::distributed(NvmTechnology::Reram, 2048);
         let run = || {
             let mut sys = IntermittentSystem::new(
-                &program, SystemConfig::default(), backup, BackupPolicy::demand()).unwrap();
+                &program,
+                SystemConfig::default(),
+                backup,
+                BackupPolicy::demand(),
+            )
+            .unwrap();
             sys.run(&trace).unwrap()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// More harvested energy never reduces *surviving* work (the
-    /// commit-gated metric is deliberately not monotone: a supply that
-    /// never dips to the backup threshold never commits).
-    #[test]
-    fn surviving_work_monotone_in_power_scale(trace in any_trace(), scale in 1.1f64..4.0) {
+/// More harvested energy never reduces *surviving* work (the
+/// commit-gated metric is deliberately not monotone: a supply that never
+/// dips to the backup threshold never commits).
+#[test]
+fn surviving_work_monotone_in_power_scale() {
+    let mut rng = StdRng::seed_from_u64(0x5e5_003);
+    for _ in 0..24 {
+        let trace = any_trace(&mut rng);
+        let scale = 1.1 + rng.random::<f64>() * 2.9;
         let program = counter_program();
         let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
         let run = |t: &PowerTrace| {
             let mut sys = IntermittentSystem::new(
-                &program, SystemConfig::default(), backup, BackupPolicy::demand()).unwrap();
+                &program,
+                SystemConfig::default(),
+                backup,
+                BackupPolicy::demand(),
+            )
+            .unwrap();
             sys.run(t).unwrap().surviving_work()
         };
         let base = run(&trace);
         let boosted = run(&trace.scaled(scale));
         // Allow tiny threshold-alignment slack on pathological traces.
-        prop_assert!(boosted as f64 >= base as f64 * 0.98,
-            "scaling power by {scale} dropped surviving work {base} -> {boosted}");
+        assert!(
+            boosted as f64 >= base as f64 * 0.98,
+            "scaling power by {scale} dropped surviving work {base} -> {boosted}"
+        );
     }
+}
 
-    /// Every image kernel matches its reference on arbitrary frames, not
-    /// just the synthetic generator's output.
-    #[test]
-    fn kernels_match_reference_on_arbitrary_frames(frame in any_frame()) {
+/// Every image kernel matches its reference on arbitrary frames, not
+/// just the synthetic generator's output.
+#[test]
+fn kernels_match_reference_on_arbitrary_frames() {
+    let mut rng = StdRng::seed_from_u64(0x5e5_004);
+    for _ in 0..24 {
+        let frame = any_frame(&mut rng);
         for kind in [
             KernelKind::Sobel,
             KernelKind::Smooth,
@@ -99,18 +137,27 @@ proptest! {
         ] {
             let kernel = kind.build(&frame).unwrap();
             let out = kernel.run_to_completion().unwrap();
-            prop_assert_eq!(out, kernel.reference().to_vec(), "{}", kind);
+            assert_eq!(out, kernel.reference().to_vec(), "{}", kind);
         }
     }
+}
 
-    /// The persistent counter in NVM equals executed increments observed
-    /// by the program, no matter how power behaved.
-    #[test]
-    fn nvm_counter_consistent(trace in any_trace()) {
+/// The persistent counter in NVM equals executed increments observed by
+/// the program, no matter how power behaved.
+#[test]
+fn nvm_counter_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x5e5_005);
+    for _ in 0..24 {
+        let trace = any_trace(&mut rng);
         let program = counter_program();
         let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
         let mut sys = IntermittentSystem::new(
-            &program, SystemConfig::default(), backup, BackupPolicy::demand()).unwrap();
+            &program,
+            SystemConfig::default(),
+            backup,
+            BackupPolicy::demand(),
+        )
+        .unwrap();
         let r = sys.run(&trace).unwrap();
         let counter = u64::from(sys.machine().read_word(0).unwrap());
         // Each loop iteration is 3 instructions (addi, sw, j); the store
@@ -118,8 +165,8 @@ proptest! {
         // one and can never exceed it… modulo 16-bit wrap.
         if r.executed < 3 * 65_535 {
             let iterations = r.executed / 3;
-            prop_assert!(counter <= iterations + 1, "counter {counter} vs iterations {iterations}");
-            prop_assert!(counter + 1 >= iterations.min(65_535), "counter {counter} vs {iterations}");
+            assert!(counter <= iterations + 1, "counter {counter} vs iterations {iterations}");
+            assert!(counter + 1 >= iterations.min(65_535), "counter {counter} vs {iterations}");
         }
     }
 }
