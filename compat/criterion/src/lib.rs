@@ -44,10 +44,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // cargo passes `--bench` (and harness flags) to the binary;
         // everything that is not a flag is a name filter.
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         Criterion { filters }
     }
 }
@@ -175,9 +172,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         let line = format!(
             "{{\"id\":\"{id}\",\"median_ns\":{median_ns:.1},\"elems_per_sec\":{eps:.1}}}\n"
         );
-        if let Ok(mut file) =
-            std::fs::OpenOptions::new().create(true).append(true).open(&path)
-        {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = file.write_all(line.as_bytes());
         }
     }
@@ -214,9 +209,7 @@ mod tests {
         let mut group = c.benchmark_group("selftest");
         group.throughput(Throughput::Elements(100));
         group.sample_size(10);
-        group.bench_function("spin", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.finish();
     }
 

@@ -20,9 +20,7 @@ fn bench_assembler(c: &mut Criterion) {
     let src = big_source(500);
     let mut group = c.benchmark_group("toolchain");
     group.throughput(Throughput::Elements(1001));
-    group.bench_function("assemble_1k_insts", |b| {
-        b.iter(|| black_box(assemble(&src).unwrap()))
-    });
+    group.bench_function("assemble_1k_insts", |b| b.iter(|| black_box(assemble(&src).unwrap())));
 
     let program = assemble(&src).unwrap();
     let words: Vec<u32> = program.code().to_vec();
@@ -34,9 +32,7 @@ fn bench_assembler(c: &mut Criterion) {
             }
         })
     });
-    group.bench_function("disassemble_1k_insts", |b| {
-        b.iter(|| black_box(program.disassemble()))
-    });
+    group.bench_function("disassemble_1k_insts", |b| b.iter(|| black_box(program.disassemble())));
     group.finish();
 }
 
@@ -46,9 +42,7 @@ fn bench_trace_synthesis(c: &mut Criterion) {
     group.bench_function("wrist_watch_10s", |b| {
         b.iter(|| black_box(harvester::wrist_watch(1, 10.0)))
     });
-    group.bench_function("rf_wifi_10s", |b| {
-        b.iter(|| black_box(harvester::rf_wifi(1, 10.0)))
-    });
+    group.bench_function("rf_wifi_10s", |b| b.iter(|| black_box(harvester::rf_wifi(1, 10.0))));
     group.finish();
 }
 

@@ -46,9 +46,8 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("exp_f6_restore_sensitivity", |b| {
         b.iter(|| black_box(f6_restore_sensitivity::table(&tiny)))
     });
-    group.bench_function("exp_f7_tech_sweep", |b| {
-        b.iter(|| black_box(f7_tech_sweep::table(&tiny)))
-    });
+    group
+        .bench_function("exp_f7_tech_sweep", |b| b.iter(|| black_box(f7_tech_sweep::table(&tiny))));
     group.bench_function("exp_t2_energy_distribution", |b| {
         b.iter(|| black_box(t2_energy_distribution::table(&cfg)))
     });

@@ -38,7 +38,9 @@ fn unique_dir(tag: &str) -> PathBuf {
 }
 
 /// Best-of-`REPS` wall time of one `run_all` variant, seconds.
-fn time_runner(f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<nvp_experiments::RunArtifacts>) -> f64 {
+fn time_runner(
+    f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<nvp_experiments::RunArtifacts>,
+) -> f64 {
     let cfg = ExpConfig::quick();
     let mut best = f64::INFINITY;
     for _ in 0..REPS {

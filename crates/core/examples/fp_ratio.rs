@@ -22,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for seed in 1..=5 {
         let trace = harvester::wrist_watch(seed, 10.0);
         let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
-        let mut nvp =
-            IntermittentSystem::new(&program, SystemConfig::default(), backup, BackupPolicy::demand())?;
+        let mut nvp = IntermittentSystem::new(
+            &program,
+            SystemConfig::default(),
+            backup,
+            BackupPolicy::demand(),
+        )?;
         let nr = nvp.run(&trace)?;
         let mut wait =
             WaitComputeSystem::new(&program, WaitComputeConfig::default().sized_for(&cost, 1.3))?;

@@ -13,8 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How the core clock is chosen each trace tick.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ClockPolicy {
     /// Run at the configured base clock always.
     #[default]
@@ -84,7 +83,6 @@ impl ClockPolicy {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -9,12 +9,16 @@
 //!   checkpointing), built on the `nvp-device` technology menu,
 //! * [`BackupPolicy`] / [`Thresholds`] — when to back up and when it is
 //!   safe to start,
-//! * [`IntermittentSystem`] — the system-level simulator: a 0.1 ms energy
-//!   loop (harvest → rectify → capacitor → thresholds) driving the
-//!   instruction-level `nvp-sim` machine through
+//! * [`Platform`] / [`drive`] — the shared engine: one trace loop banks
+//!   income through the `nvp-energy` [`EnergyFrontEnd`] and ticks any
+//!   platform, with a [`SimObserver`] event seam (power-on, backup,
+//!   restore, rollback, brown-out, task commit),
+//! * [`IntermittentSystem`] — the system-level NVP platform: a 0.1 ms
+//!   energy loop driving the instruction-level `nvp-sim` machine through
 //!   off/restore/active/backup phases,
 //! * [`WaitComputeSystem`] — the conventional charge-then-compute
-//!   baseline the NVP is compared against,
+//!   baseline the NVP is compared against (same engine, different
+//!   front-end options and phase logic),
 //! * [`RunReport`] — forward progress, backup counts, rollbacks, and the
 //!   full energy breakdown,
 //! * [`AppProfile`] — the system energy-distribution model motivating
@@ -60,6 +64,7 @@
 mod appmodel;
 mod backup;
 mod clock;
+mod platform;
 mod policy;
 mod system;
 mod wait;
@@ -71,6 +76,10 @@ pub use backup::{
     BackupModel, BackupStyle, HW_BACKUP_OVERHEAD_J, HW_RESTORE_OVERHEAD_J, HW_SEQ_OVERHEAD_S,
 };
 pub use clock::ClockPolicy;
+pub use nvp_energy::{EnergyFrontEnd, FrontEndConfig, TickIncome};
+pub use platform::{
+    drive, drive_observed, NullObserver, Platform, SimEvent, SimObserver, TickOutcome,
+};
 pub use policy::{BackupPolicy, Thresholds};
 pub use system::{
     measure_task, EnergyBreakdown, IntermittentSystem, RunReport, SystemConfig, TaskCost,

@@ -1,0 +1,280 @@
+//! The shared platform engine: one trace loop for every platform.
+//!
+//! Every simulated platform — the hardware NVP, the software-checkpoint
+//! variants, the wait-then-compute baseline — consumes the same power
+//! traces through the same [`EnergyFrontEnd`] income path and is stepped
+//! by the same [`drive`] loop. A platform only implements
+//! [`Platform::tick`]: how it spends the tick (and the energy already
+//! banked into its storage) on phases, instructions, and checkpoints.
+//!
+//! The engine also carries a [`SimObserver`] event seam: discrete
+//! platform events (power-on, backup, restore, rollback, brown-out,
+//! task commit) are reported to an observer, with the no-op
+//! [`NullObserver`] used when nobody is listening.
+
+use nvp_energy::{EnergyFrontEnd, PowerTrace, TickIncome};
+use nvp_sim::{Machine, SimError};
+
+use crate::RunReport;
+
+/// A discrete platform event, reported to a [`SimObserver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimEvent {
+    /// Stored energy crossed the start threshold: the platform wakes.
+    PowerOn,
+    /// A checkpoint was successfully paid for and started.
+    Backup,
+    /// Saved state restoration was successfully paid for and started.
+    Restore,
+    /// Volatile state was lost and execution rolled back.
+    Rollback,
+    /// Storage was exhausted mid-operation (precedes a rollback).
+    BrownOut,
+    /// A complete program execution (frame) became durable.
+    TaskCommit,
+}
+
+/// Receives discrete platform events as the engine simulates.
+///
+/// The default implementation ignores every event, so observing costs
+/// nothing unless a method is overridden — events are rare (backup-rate
+/// scale, not instruction scale), so even an active observer is off the
+/// simulation hot path.
+pub trait SimObserver {
+    /// Called when `event` occurs at simulated time `t_s` (seconds since
+    /// the start of the run).
+    fn on_event(&mut self, t_s: f64, event: SimEvent) {
+        let _ = (t_s, event);
+    }
+}
+
+/// The observer used when no observer is supplied: ignores everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// What a platform did with one trace tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// Spent at least part of the tick executing instructions.
+    Ran,
+    /// Spent the whole tick off/charging/sleeping.
+    Idle,
+    /// The program has finished and the platform will not run again.
+    Done,
+}
+
+/// An intermittently powered platform that the shared [`drive`] loop can
+/// step over a power trace.
+///
+/// Implementations own an [`EnergyFrontEnd`] (the storage their tick
+/// logic draws from) and a [`RunReport`] (the bookkeeping the loop and
+/// the tick logic both write). The loop banks each tick's harvested
+/// income through the front end *before* calling [`tick`](Self::tick),
+/// so platform logic never touches the income path — that physics lives
+/// in exactly one place.
+pub trait Platform {
+    /// Read access to the power-provisioning front end.
+    fn front_end(&self) -> &EnergyFrontEnd;
+
+    /// Mutable access to the power-provisioning front end.
+    fn front_end_mut(&mut self) -> &mut EnergyFrontEnd;
+
+    /// Advances platform state by one tick of `dt_s` seconds. The tick's
+    /// `income` has already been banked into storage; implementations
+    /// spend it on restore/compute/backup/sleep and report events to
+    /// `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the workload itself faults — power
+    /// failures are *not* errors.
+    fn tick(
+        &mut self,
+        income: TickIncome,
+        dt_s: f64,
+        obs: &mut dyn SimObserver,
+    ) -> Result<TickOutcome, SimError>;
+
+    /// The accumulated report so far.
+    fn report(&self) -> &RunReport;
+
+    /// Mutable report access (the drive loop's shared bookkeeping).
+    fn report_mut(&mut self) -> &mut RunReport;
+
+    /// The instruction-level machine (for output/quality inspection).
+    fn machine(&self) -> &Machine;
+
+    /// Instructions executed since the last durable commit.
+    fn uncommitted(&self) -> u64;
+}
+
+/// Simulates `platform` over `trace` with no observer, accumulating into
+/// (and returning a copy of) the platform's report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the workload faults.
+pub fn drive<P: Platform + ?Sized>(
+    trace: &PowerTrace,
+    platform: &mut P,
+) -> Result<RunReport, SimError> {
+    drive_observed(trace, platform, &mut NullObserver)
+}
+
+/// [`drive`] with a [`SimObserver`] receiving platform events.
+///
+/// This is *the* trace loop: one tick of income through the front end,
+/// then one platform tick, for every sample. Can be called repeatedly
+/// with successive trace windows; the report accumulates.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the workload faults.
+pub fn drive_observed<P: Platform + ?Sized>(
+    trace: &PowerTrace,
+    platform: &mut P,
+    obs: &mut dyn SimObserver,
+) -> Result<RunReport, SimError> {
+    let dt = trace.dt_s();
+    for i in 0..trace.len() {
+        let income = platform.front_end_mut().tick(trace.power_at(i), dt);
+        let energy = &mut platform.report_mut().energy;
+        energy.harvested_j += income.harvested_j;
+        energy.converted_j += income.converted_j;
+        platform.tick(income, dt, obs)?;
+        platform.report_mut().duration_s += dt;
+    }
+    let uncommitted = platform.uncommitted();
+    let stored = platform.front_end().storage().energy_j();
+    let wasted = platform.front_end().storage().wasted_j();
+    let report = platform.report_mut();
+    report.uncommitted_at_end = uncommitted;
+    report.energy.stored_at_end_j = stored;
+    report.energy.storage_wasted_j = wasted;
+    Ok(*report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        measure_task, BackupModel, BackupPolicy, IntermittentSystem, SystemConfig,
+        WaitComputeConfig, WaitComputeSystem,
+    };
+    use nvp_device::NvmTechnology;
+    use nvp_energy::harvester;
+    use nvp_isa::asm::assemble;
+    use std::collections::HashMap;
+
+    /// Counts every event it sees.
+    #[derive(Default)]
+    struct Counter {
+        counts: HashMap<SimEvent, u64>,
+        last_t: f64,
+    }
+
+    impl SimObserver for Counter {
+        fn on_event(&mut self, t_s: f64, event: SimEvent) {
+            assert!(t_s >= self.last_t, "event times must be monotone");
+            self.last_t = t_s;
+            *self.counts.entry(event).or_insert(0) += 1;
+        }
+    }
+
+    impl Counter {
+        fn get(&self, e: SimEvent) -> u64 {
+            self.counts.get(&e).copied().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn observer_counts_match_nvp_report() {
+        let program = assemble("start: addi r1, r1, 1\n sw r1, 0(r0)\n j start").unwrap();
+        let mut sys = IntermittentSystem::new(
+            &program,
+            SystemConfig::default(),
+            BackupModel::distributed(NvmTechnology::Feram, 2048),
+            BackupPolicy::demand(),
+        )
+        .unwrap();
+        let trace = harvester::wrist_watch(2, 3.0);
+        let mut obs = Counter::default();
+        let r = sys.run_observed(&trace, &mut obs).unwrap();
+        assert!(r.backups > 0 && r.restores > 0);
+        assert_eq!(obs.get(SimEvent::Backup), r.backups);
+        assert_eq!(obs.get(SimEvent::Restore), r.restores);
+        assert_eq!(obs.get(SimEvent::PowerOn), r.restores);
+        assert_eq!(obs.get(SimEvent::Rollback), r.rollbacks);
+        assert_eq!(obs.get(SimEvent::TaskCommit), r.tasks_completed);
+    }
+
+    #[test]
+    fn observer_counts_match_wait_report() {
+        let program =
+            assemble("li r2, 2000\nloop: addi r1, r1, 1\nbne r1, r2, loop\nsw r1, 0(r0)\nhalt")
+                .unwrap();
+        let cost = measure_task(&program, &SystemConfig::default(), 10_000_000).unwrap();
+        let mut cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+        cfg.start_energy_j *= 0.3; // force mid-task brown-outs
+        let mut sys = WaitComputeSystem::new(&program, cfg).unwrap();
+        let trace = nvp_energy::PowerTrace::from_segments(
+            1e-4,
+            &[(60e-6, 2.0), (0.0, 1.0), (60e-6, 2.0), (0.0, 1.0), (60e-6, 2.0)],
+        );
+        let mut obs = Counter::default();
+        let r = sys.run_observed(&trace, &mut obs).unwrap();
+        assert!(r.rollbacks > 0);
+        assert_eq!(obs.get(SimEvent::Rollback), r.rollbacks);
+        assert_eq!(obs.get(SimEvent::BrownOut), r.rollbacks);
+        assert_eq!(obs.get(SimEvent::TaskCommit), r.tasks_completed);
+        assert_eq!(obs.get(SimEvent::Backup), 0, "wait-compute never checkpoints");
+        assert_eq!(obs.get(SimEvent::Restore), 0);
+    }
+
+    #[test]
+    fn observed_run_is_byte_identical_to_unobserved() {
+        let program = assemble("start: addi r1, r1, 1\n j start").unwrap();
+        let trace = harvester::wrist_watch(7, 2.0);
+        let build = || {
+            IntermittentSystem::new(
+                &program,
+                SystemConfig::default(),
+                BackupModel::distributed(NvmTechnology::Feram, 2048),
+                BackupPolicy::demand(),
+            )
+            .unwrap()
+        };
+        let plain = build().run(&trace).unwrap();
+        let mut obs = Counter::default();
+        let observed = build().run_observed(&trace, &mut obs).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(plain.energy.compute_j.to_bits(), observed.energy.compute_j.to_bits());
+    }
+
+    #[test]
+    fn drive_is_generic_over_platforms() {
+        // The same generic loop drives both platform types.
+        fn committed(p: &mut impl Platform, trace: &nvp_energy::PowerTrace) -> u64 {
+            drive(trace, p).unwrap().committed
+        }
+        let program =
+            assemble("li r2, 50\nloop: addi r1, r1, 1\nbne r1, r2, loop\nsw r1, 0(r0)\nhalt")
+                .unwrap();
+        let trace = nvp_energy::PowerTrace::constant(1e-4, 2e-3, 0.2);
+        let mut nvp = IntermittentSystem::new(
+            &program,
+            SystemConfig::default(),
+            BackupModel::distributed(NvmTechnology::Feram, 2048),
+            BackupPolicy::demand(),
+        )
+        .unwrap();
+        let cost = measure_task(&program, &SystemConfig::default(), 1_000_000).unwrap();
+        let wait_cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+        let mut wait = WaitComputeSystem::new(&program, wait_cfg).unwrap();
+        // Both make progress under strong constant power via the one loop.
+        assert!(committed(&mut nvp, &trace) > 0);
+        assert!(committed(&mut wait, &trace) > 0);
+    }
+}

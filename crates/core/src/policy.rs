@@ -129,10 +129,7 @@ mod tests {
     fn periodic_has_no_energy_floor() {
         let m = model();
         assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.reserve_j(&m), 0.0);
-        assert_eq!(
-            BackupPolicy::Periodic { interval_s: 0.01 }.interval_s(),
-            Some(0.01)
-        );
+        assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.interval_s(), Some(0.01));
         assert_eq!(BackupPolicy::demand().interval_s(), None);
     }
 

@@ -5,11 +5,12 @@
 //! capacitor, thresholds) drives the instruction-level machine, deciding
 //! when the core runs, backs up, restores, or sleeps.
 
-use nvp_energy::{Capacitor, PowerTrace, Rectifier};
+use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
 use nvp_sim::{ArchState, CycleModel, EnergyModel, Machine, SimError, DEFAULT_DMEM_WORDS};
 use serde::{Deserialize, Serialize};
 
+use crate::platform::{drive, drive_observed, Platform, SimEvent, SimObserver, TickOutcome};
 use crate::{BackupModel, BackupPolicy, ClockPolicy, Thresholds};
 
 /// Static platform configuration shared by the intermittent platforms.
@@ -219,13 +220,13 @@ impl TaskCost {
 ///
 /// Returns [`SimError`] if the program faults, or a synthetic
 /// [`SimError::PcOutOfRange`] if it exceeds `max_insts` without halting.
-pub fn measure_task(program: &Program, config: &SystemConfig, max_insts: u64) -> Result<TaskCost, SimError> {
-    let mut machine = Machine::with_config(
-        program,
-        config.dmem_words,
-        config.cycle_model,
-        config.energy_model,
-    )?;
+pub fn measure_task(
+    program: &Program,
+    config: &SystemConfig,
+    max_insts: u64,
+) -> Result<TaskCost, SimError> {
+    let mut machine =
+        Machine::with_config(program, config.dmem_words, config.cycle_model, config.energy_model)?;
     let executed = machine.run(max_insts)?;
     if !machine.halted() {
         return Err(SimError::PcOutOfRange { pc: machine.pc() });
@@ -238,9 +239,14 @@ pub fn measure_task(program: &Program, config: &SystemConfig, max_insts: u64) ->
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
     Off,
-    Restoring { left_s: f64 },
+    Restoring {
+        left_s: f64,
+    },
     Active,
-    BackingUp { left_s: f64, resume: bool },
+    BackingUp {
+        left_s: f64,
+        resume: bool,
+    },
     /// Program halted and `restart_on_halt` is false.
     Done,
 }
@@ -282,7 +288,7 @@ pub struct IntermittentSystem {
     thresholds: Thresholds,
     program: Program,
     machine: Machine,
-    cap: Capacitor,
+    fe: EnergyFrontEnd,
     phase: Phase,
     saved: Option<ArchState>,
     uncommitted: u64,
@@ -311,7 +317,14 @@ impl IntermittentSystem {
             config.energy_model,
         )?;
         let thresholds = Thresholds::derive(&backup, &policy, config.work_headroom_j);
-        let cap = Capacitor::new(config.capacitance_f, config.cap_voltage_v, config.cap_leak_tau_s);
+        // An NVP's buffer sits directly at the rectifier output: no
+        // trickle penalty, no charger input clipping.
+        let fe = EnergyFrontEnd::new(FrontEndConfig::direct(
+            config.rectifier,
+            config.capacitance_f,
+            config.cap_voltage_v,
+            config.cap_leak_tau_s,
+        ));
         Ok(IntermittentSystem {
             config,
             backup,
@@ -319,7 +332,7 @@ impl IntermittentSystem {
             thresholds,
             program: program.clone(),
             machine,
-            cap,
+            fe,
             phase: Phase::Off,
             saved: None,
             uncommitted: 0,
@@ -362,47 +375,44 @@ impl IntermittentSystem {
 
     /// Simulates the platform over a trace, accumulating into the report.
     ///
-    /// Can be called repeatedly with successive trace windows.
+    /// Can be called repeatedly with successive trace windows. This is
+    /// the shared engine loop: see [`drive`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if the workload itself faults (wild PC or
     /// memory access) — power failures are *not* errors.
     pub fn run(&mut self, trace: &PowerTrace) -> Result<RunReport, SimError> {
-        let dt = trace.dt_s();
-        for i in 0..trace.len() {
-            let p_in = trace.power_at(i);
-            let converted = self.config.rectifier.output_w(p_in) * dt;
-            self.report.energy.harvested_j += p_in * dt;
-            self.report.energy.converted_j += converted;
-            self.cap.charge_j(converted);
-            self.cap.leak(dt);
-            self.current_clock_hz = self.config.clock_policy.select_hz(
-                self.config.clock_hz,
-                self.active_power_estimate_w(),
-                converted / dt,
-                self.cap.fill_fraction(),
-            );
-            self.tick(dt)?;
-            self.report.duration_s += dt;
-        }
-        self.report.uncommitted_at_end = self.uncommitted;
-        self.report.energy.stored_at_end_j = self.cap.energy_j();
-        self.report.energy.storage_wasted_j = self.cap.wasted_j();
-        Ok(self.report)
+        drive(trace, self)
     }
 
-    /// Advances platform state by one tick of `dt` seconds.
-    fn tick(&mut self, dt: f64) -> Result<(), SimError> {
+    /// [`run`](Self::run) with a [`SimObserver`] receiving platform
+    /// events (power-on, backup, restore, rollback, brown-out, commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the workload itself faults.
+    pub fn run_observed(
+        &mut self,
+        trace: &PowerTrace,
+        obs: &mut dyn SimObserver,
+    ) -> Result<RunReport, SimError> {
+        drive_observed(trace, self, obs)
+    }
+
+    /// Advances the phase machine by one tick of `dt` seconds.
+    fn advance(&mut self, dt: f64, obs: &mut dyn SimObserver) -> Result<(), SimError> {
         let mut budget = dt - self.time_debt_s;
         self.time_debt_s = 0.0;
         while budget > 1e-12 {
             match self.phase {
                 Phase::Off => {
-                    if self.cap.energy_j() >= self.thresholds.start_j {
-                        if self.cap.draw_j(self.backup.restore_energy_j) {
+                    if self.fe.storage().energy_j() >= self.thresholds.start_j {
+                        if self.fe.storage_mut().draw_j(self.backup.restore_energy_j) {
                             self.report.energy.restore_j += self.backup.restore_energy_j;
                             self.report.restores += 1;
+                            obs.on_event(self.report.duration_s, SimEvent::PowerOn);
+                            obs.on_event(self.report.duration_s, SimEvent::Restore);
                             self.phase = Phase::Restoring { left_s: self.backup.restore_time_s };
                         } else {
                             // start_j should cover restore; sleep instead.
@@ -433,7 +443,7 @@ impl IntermittentSystem {
                     }
                 }
                 Phase::Active => {
-                    budget = self.run_active(budget)?;
+                    budget = self.run_active(budget, obs)?;
                 }
                 Phase::BackingUp { left_s, resume } => {
                     let t = left_s.min(budget);
@@ -473,27 +483,27 @@ impl IntermittentSystem {
     /// the block, so the threshold checks only need to run per block.
     /// When the remaining slack admits fewer than two instructions, the
     /// loop falls back to the exact single-step path.
-    fn run_active(&mut self, mut budget: f64) -> Result<f64, SimError> {
+    fn run_active(&mut self, mut budget: f64, obs: &mut dyn SimObserver) -> Result<f64, SimError> {
         let clock = self.current_clock_hz;
         let max_step_s = f64::from(self.machine.max_step_cycles()) / clock;
         let max_step_j = self.machine.max_step_energy_j();
         while budget > 1e-12 {
             // Demand backup when energy reaches the reserve floor.
             if self.thresholds.backup_reserve_j > 0.0
-                && self.cap.energy_j() <= self.thresholds.backup_reserve_j
+                && self.fe.storage().energy_j() <= self.thresholds.backup_reserve_j
             {
-                self.begin_backup(false);
+                self.begin_backup(false, obs);
                 return Ok(budget);
             }
             // Periodic checkpoint.
             if let Some(interval) = self.policy.interval_s() {
                 if self.since_ckpt_s >= interval {
-                    self.begin_backup(true);
+                    self.begin_backup(true, obs);
                     return Ok(budget);
                 }
             }
             if self.machine.halted() {
-                self.finish_task()?;
+                self.finish_task(obs)?;
                 if self.phase == Phase::Done {
                     return Ok(budget);
                 }
@@ -503,7 +513,7 @@ impl IntermittentSystem {
             // assuming every instruction costs the image's worst case.
             let mut block = safe_count(budget, max_step_s);
             let floor_j = self.thresholds.backup_reserve_j.max(0.0);
-            block = block.min(safe_count(self.cap.energy_j() - floor_j, max_step_j));
+            block = block.min(safe_count(self.fe.storage().energy_j() - floor_j, max_step_j));
             if let Some(interval) = self.policy.interval_s() {
                 block = block.min(safe_count(interval - self.since_ckpt_s, max_step_s));
             }
@@ -516,15 +526,16 @@ impl IntermittentSystem {
                 self.report.executed += stats.executed;
                 self.uncommitted += stats.executed;
                 self.report.energy.compute_j += stats.energy_j;
-                if !self.cap.draw_j(stats.energy_j) {
+                if !self.fe.storage_mut().draw_j(stats.energy_j) {
                     // Unreachable under the block bound, but kept so the
                     // brown-out path cannot be silently skipped.
-                    self.cap.deplete();
-                    self.rollback()?;
+                    self.fe.storage_mut().deplete();
+                    obs.on_event(self.report.duration_s, SimEvent::BrownOut);
+                    self.rollback(obs)?;
                     return Ok(budget);
                 }
                 if stats.checkpoint {
-                    self.begin_backup(true);
+                    self.begin_backup(true, obs);
                     return Ok(budget);
                 }
                 continue;
@@ -537,15 +548,16 @@ impl IntermittentSystem {
             self.report.executed += 1;
             self.uncommitted += 1;
             self.report.energy.compute_j += step.energy_j;
-            if !self.cap.draw_j(step.energy_j) {
+            if !self.fe.storage_mut().draw_j(step.energy_j) {
                 // Brown-out mid-instruction: volatile state is gone.
-                self.cap.deplete();
-                self.rollback()?;
+                self.fe.storage_mut().deplete();
+                obs.on_event(self.report.duration_s, SimEvent::BrownOut);
+                self.rollback(obs)?;
                 return Ok(budget);
             }
             if step.checkpoint {
                 // Program-requested checkpoint (`ckpt` instruction).
-                self.begin_backup(true);
+                self.begin_backup(true, obs);
                 return Ok(budget);
             }
         }
@@ -555,17 +567,19 @@ impl IntermittentSystem {
     /// Starts a backup; `resume` controls whether execution continues
     /// afterwards (periodic checkpoints) or the platform powers down
     /// (demand backups at the energy floor).
-    fn begin_backup(&mut self, resume: bool) {
-        if self.cap.draw_j(self.backup.backup_energy_j) {
+    fn begin_backup(&mut self, resume: bool, obs: &mut dyn SimObserver) {
+        if self.fe.storage_mut().draw_j(self.backup.backup_energy_j) {
             self.report.energy.backup_j += self.backup.backup_energy_j;
             self.report.backups += 1;
+            obs.on_event(self.report.duration_s, SimEvent::Backup);
             self.saved = Some(self.machine.snapshot());
             self.phase = Phase::BackingUp { left_s: self.backup.backup_time_s, resume };
         } else {
             // Not enough energy left to checkpoint — the greedy-policy
             // failure mode: everything since the last checkpoint is lost.
-            self.cap.deplete();
-            if let Err(e) = self.rollback() {
+            self.fe.storage_mut().deplete();
+            obs.on_event(self.report.duration_s, SimEvent::BrownOut);
+            if let Err(e) = self.rollback(obs) {
                 // rollback only errs on reload, which new() validated.
                 debug_assert!(false, "rollback failed: {e}");
             }
@@ -574,11 +588,12 @@ impl IntermittentSystem {
 
     /// Handles a program halt: the frame's results are durable, so the
     /// work commits; then either restart for the next frame or stop.
-    fn finish_task(&mut self) -> Result<(), SimError> {
+    fn finish_task(&mut self, obs: &mut dyn SimObserver) -> Result<(), SimError> {
         self.report.tasks_completed += 1;
         self.report.committed += self.uncommitted;
         self.uncommitted = 0;
         self.saved = None;
+        obs.on_event(self.report.duration_s, SimEvent::TaskCommit);
         if self.config.restart_on_halt {
             self.machine.reset_volatile();
         } else {
@@ -588,10 +603,11 @@ impl IntermittentSystem {
     }
 
     /// Loses all volatile state after a brown-out.
-    fn rollback(&mut self) -> Result<(), SimError> {
+    fn rollback(&mut self, obs: &mut dyn SimObserver) -> Result<(), SimError> {
         self.report.rollbacks += 1;
         self.report.lost += self.uncommitted;
         self.uncommitted = 0;
+        obs.on_event(self.report.duration_s, SimEvent::Rollback);
         if self.config.dmem_nonvolatile {
             self.machine.reset_volatile();
         } else {
@@ -623,8 +639,57 @@ impl IntermittentSystem {
 
     fn sleep(&mut self, duration_s: f64) {
         let draw = self.config.sleep_power_w * duration_s;
-        let got = self.cap.draw_up_to_j(draw);
+        let got = self.fe.storage_mut().draw_up_to_j(draw);
         self.report.energy.sleep_j += got;
+    }
+}
+
+impl Platform for IntermittentSystem {
+    fn front_end(&self) -> &EnergyFrontEnd {
+        &self.fe
+    }
+
+    fn front_end_mut(&mut self) -> &mut EnergyFrontEnd {
+        &mut self.fe
+    }
+
+    fn tick(
+        &mut self,
+        income: TickIncome,
+        dt_s: f64,
+        obs: &mut dyn SimObserver,
+    ) -> Result<TickOutcome, SimError> {
+        self.current_clock_hz = self.config.clock_policy.select_hz(
+            self.config.clock_hz,
+            self.active_power_estimate_w(),
+            income.converted_j / dt_s,
+            self.fe.storage().fill_fraction(),
+        );
+        let on_before = self.report.on_time_s;
+        self.advance(dt_s, obs)?;
+        Ok(if self.phase == Phase::Done {
+            TickOutcome::Done
+        } else if self.report.on_time_s > on_before {
+            TickOutcome::Ran
+        } else {
+            TickOutcome::Idle
+        })
+    }
+
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn uncommitted(&self) -> u64 {
+        self.uncommitted
     }
 }
 
@@ -646,10 +711,7 @@ mod tests {
     use nvp_isa::asm::assemble;
 
     fn counter_program() -> Program {
-        assemble(
-            "start:\n addi r1, r1, 1\n sw r1, 0(r0)\n j start",
-        )
-        .unwrap()
+        assemble("start:\n addi r1, r1, 1\n sw r1, 0(r0)\n j start").unwrap()
     }
 
     fn nvp(program: &Program) -> IntermittentSystem {
@@ -768,10 +830,9 @@ mod tests {
 
     #[test]
     fn halting_program_counts_tasks() {
-        let program = assemble(
-            "li r2, 50\nloop: addi r1, r1, 1\n bne r1, r2, loop\n sw r1, 0(r0)\n halt",
-        )
-        .unwrap();
+        let program =
+            assemble("li r2, 50\nloop: addi r1, r1, 1\n bne r1, r2, loop\n sw r1, 0(r0)\n halt")
+                .unwrap();
         let mut sys = nvp(&program);
         let r = sys.run(&PowerTrace::constant(1e-4, 2e-3, 0.2)).unwrap();
         assert!(r.tasks_completed > 100, "{}", r.tasks_completed);

@@ -8,11 +8,12 @@
 //! charge, and total loss of progress if the estimate was wrong or the
 //! outage outlasts the stored charge.
 
-use nvp_energy::{Capacitor, PowerTrace, Rectifier};
+use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
 use nvp_sim::{CycleModel, EnergyModel, Machine, SimError, DEFAULT_DMEM_WORDS};
 use serde::{Deserialize, Serialize};
 
+use crate::platform::{drive, drive_observed, Platform, SimEvent, SimObserver, TickOutcome};
 use crate::{RunReport, TaskCost};
 
 /// Configuration for the wait-then-compute platform.
@@ -101,8 +102,7 @@ impl WaitComputeConfig {
         let needed_capacity = self.start_energy_j * 1.25;
         let capacity = 0.5 * self.capacitance_f * self.cap_voltage_v * self.cap_voltage_v;
         if capacity < needed_capacity {
-            self.capacitance_f =
-                2.0 * needed_capacity / (self.cap_voltage_v * self.cap_voltage_v);
+            self.capacitance_f = 2.0 * needed_capacity / (self.cap_voltage_v * self.cap_voltage_v);
         }
         self
     }
@@ -124,7 +124,7 @@ pub struct WaitComputeSystem {
     config: WaitComputeConfig,
     program: Program,
     machine: Machine,
-    cap: Capacitor,
+    fe: EnergyFrontEnd,
     phase: WaitPhase,
     task_progress: u64,
     time_debt_s: f64,
@@ -144,12 +144,22 @@ impl WaitComputeSystem {
             config.cycle_model,
             config.energy_model,
         )?;
-        let cap = Capacitor::new(config.capacitance_f, config.cap_voltage_v, config.cap_leak_tau_s);
+        // A supercapacitor ESD behind a charger IC: the trickle and clip
+        // quirks are front-end *options*, not a forked income loop.
+        let fe = EnergyFrontEnd::new(FrontEndConfig {
+            rectifier: config.rectifier,
+            capacitance_f: config.capacitance_f,
+            cap_voltage_v: config.cap_voltage_v,
+            cap_leak_tau_s: config.cap_leak_tau_s,
+            min_charge_power_w: config.min_charge_power_w,
+            trickle_efficiency: config.trickle_efficiency,
+            max_charge_power_w: config.max_charge_power_w,
+        });
         Ok(WaitComputeSystem {
             config,
             program: program.clone(),
             machine,
-            cap,
+            fe,
             phase: WaitPhase::Charging,
             task_progress: 0,
             time_debt_s: 0.0,
@@ -169,53 +179,48 @@ impl WaitComputeSystem {
         &self.report
     }
 
-    /// Simulates over a trace, accumulating into the report.
+    /// Simulates over a trace, accumulating into the report. This is
+    /// the shared engine loop: see [`drive`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] only for genuine workload faults.
     pub fn run(&mut self, trace: &PowerTrace) -> Result<RunReport, SimError> {
-        let dt = trace.dt_s();
-        for i in 0..trace.len() {
-            let p_in = trace.power_at(i);
-            let mut out_w = self.config.rectifier.output_w(p_in);
-            if out_w < self.config.min_charge_power_w {
-                // Below the supercap's minimum charging current the bank
-                // barely accepts charge.
-                out_w *= self.config.trickle_efficiency;
-            }
-            // Spikes above the charger's input limit are clipped.
-            out_w = out_w.min(self.config.max_charge_power_w);
-            let converted = out_w * dt;
-            self.report.energy.harvested_j += p_in * dt;
-            self.report.energy.converted_j += converted;
-            self.cap.charge_j(converted);
-            self.cap.leak(dt);
-            self.tick(dt)?;
-            self.report.duration_s += dt;
-        }
-        self.report.uncommitted_at_end = self.task_progress;
-        self.report.energy.stored_at_end_j = self.cap.energy_j();
-        self.report.energy.storage_wasted_j = self.cap.wasted_j();
-        Ok(self.report)
+        drive(trace, self)
     }
 
-    fn tick(&mut self, dt: f64) -> Result<(), SimError> {
+    /// [`run`](Self::run) with a [`SimObserver`] receiving platform
+    /// events (power-on, rollback, brown-out, task commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] only for genuine workload faults.
+    pub fn run_observed(
+        &mut self,
+        trace: &PowerTrace,
+        obs: &mut dyn SimObserver,
+    ) -> Result<RunReport, SimError> {
+        drive_observed(trace, self, obs)
+    }
+
+    /// Advances the phase machine by one tick of `dt` seconds.
+    fn advance(&mut self, dt: f64, obs: &mut dyn SimObserver) -> Result<(), SimError> {
         let mut budget = dt - self.time_debt_s;
         self.time_debt_s = 0.0;
         while budget > 1e-12 {
             match self.phase {
                 WaitPhase::Charging => {
-                    if self.cap.energy_j() >= self.config.start_energy_j {
+                    if self.fe.storage().energy_j() >= self.config.start_energy_j {
+                        obs.on_event(self.report.duration_s, SimEvent::PowerOn);
                         self.phase = WaitPhase::Running;
                     } else {
                         let draw = self.config.sleep_power_w * budget;
-                        self.report.energy.sleep_j += self.cap.draw_up_to_j(draw);
+                        self.report.energy.sleep_j += self.fe.storage_mut().draw_up_to_j(draw);
                         budget = 0.0;
                     }
                 }
                 WaitPhase::Running => {
-                    budget = self.run_task(budget)?;
+                    budget = self.run_task(budget, obs)?;
                 }
             }
         }
@@ -225,15 +230,16 @@ impl WaitComputeSystem {
         Ok(())
     }
 
-    fn run_task(&mut self, mut budget: f64) -> Result<f64, SimError> {
+    fn run_task(&mut self, mut budget: f64, obs: &mut dyn SimObserver) -> Result<f64, SimError> {
         while budget > 1e-12 {
             if self.machine.halted() {
                 // Task done: commit, reload for the next frame.
                 self.report.tasks_completed += 1;
                 self.report.committed += self.task_progress;
                 self.task_progress = 0;
+                obs.on_event(self.report.duration_s, SimEvent::TaskCommit);
                 self.reload()?;
-                if self.cap.energy_j() < self.config.start_energy_j {
+                if self.fe.storage().energy_j() < self.config.start_energy_j {
                     self.phase = WaitPhase::Charging;
                     return Ok(budget);
                 }
@@ -250,12 +256,14 @@ impl WaitComputeSystem {
             // than the core consumes.
             let drawn = step.energy_j / self.config.discharge_efficiency;
             self.report.energy.regulator_j += drawn - step.energy_j;
-            if !self.cap.draw_j(drawn) {
+            if !self.fe.storage_mut().draw_j(drawn) {
                 // Mid-task brown-out: the whole attempt is lost.
-                self.cap.deplete();
+                self.fe.storage_mut().deplete();
                 self.report.rollbacks += 1;
                 self.report.lost += self.task_progress;
                 self.task_progress = 0;
+                obs.on_event(self.report.duration_s, SimEvent::BrownOut);
+                obs.on_event(self.report.duration_s, SimEvent::Rollback);
                 self.reload()?;
                 self.phase = WaitPhase::Charging;
                 return Ok(budget);
@@ -276,6 +284,43 @@ impl WaitComputeSystem {
     }
 }
 
+impl Platform for WaitComputeSystem {
+    fn front_end(&self) -> &EnergyFrontEnd {
+        &self.fe
+    }
+
+    fn front_end_mut(&mut self) -> &mut EnergyFrontEnd {
+        &mut self.fe
+    }
+
+    fn tick(
+        &mut self,
+        _income: TickIncome,
+        dt_s: f64,
+        obs: &mut dyn SimObserver,
+    ) -> Result<TickOutcome, SimError> {
+        let on_before = self.report.on_time_s;
+        self.advance(dt_s, obs)?;
+        Ok(if self.report.on_time_s > on_before { TickOutcome::Ran } else { TickOutcome::Idle })
+    }
+
+    fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    fn report_mut(&mut self) -> &mut RunReport {
+        &mut self.report
+    }
+
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn uncommitted(&self) -> u64 {
+        self.task_progress
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,8 +330,7 @@ mod tests {
 
     fn frame_program() -> Program {
         // A "frame": 2000 loop iterations, then halt.
-        assemble("li r2, 2000\nloop: addi r1, r1, 1\nbne r1, r2, loop\nsw r1, 0(r0)\nhalt")
-            .unwrap()
+        assemble("li r2, 2000\nloop: addi r1, r1, 1\nbne r1, r2, loop\nsw r1, 0(r0)\nhalt").unwrap()
     }
 
     fn sized_config(program: &Program) -> WaitComputeConfig {

@@ -133,7 +133,11 @@ mod tests {
         let small = NvffBank::new(NvmTechnology::Feram, 100);
         let large = NvffBank::new(NvmTechnology::Feram, 1000);
         assert!((large.backup_energy_j() / small.backup_energy_j() - 10.0).abs() < 1e-9);
-        assert_eq!(small.backup_time_s(), large.backup_time_s(), "parallel write time is size-independent");
+        assert_eq!(
+            small.backup_time_s(),
+            large.backup_time_s(),
+            "parallel write time is size-independent"
+        );
     }
 
     #[test]

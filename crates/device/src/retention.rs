@@ -32,12 +32,8 @@ pub enum RelaxPolicy {
 
 impl RelaxPolicy {
     /// All policies in reporting order.
-    pub const ALL: [RelaxPolicy; 4] = [
-        RelaxPolicy::Uniform,
-        RelaxPolicy::Linear,
-        RelaxPolicy::Log,
-        RelaxPolicy::Parabola,
-    ];
+    pub const ALL: [RelaxPolicy; 4] =
+        [RelaxPolicy::Uniform, RelaxPolicy::Linear, RelaxPolicy::Log, RelaxPolicy::Parabola];
 
     /// Display name.
     #[must_use]
@@ -142,7 +138,12 @@ impl RetentionShaper {
     /// Panics if `bits == 0`, or retentions are non-positive, or
     /// `min_retention_s > max_retention_s`.
     #[must_use]
-    pub fn new(policy: RelaxPolicy, bits: usize, min_retention_s: f64, max_retention_s: f64) -> Self {
+    pub fn new(
+        policy: RelaxPolicy,
+        bits: usize,
+        min_retention_s: f64,
+        max_retention_s: f64,
+    ) -> Self {
         assert!(bits > 0, "bits must be positive");
         assert!(min_retention_s > 0.0 && max_retention_s > 0.0, "retention must be positive");
         assert!(min_retention_s <= max_retention_s, "min retention exceeds max");
@@ -267,10 +268,7 @@ mod tests {
             low_flips += u32::from(out & 0x0F != 0);
             high_flips += u32::from(out & 0xF0 != 0);
         }
-        assert!(
-            low_flips > 4 * high_flips.max(1),
-            "low {low_flips} vs high {high_flips}"
-        );
+        assert!(low_flips > 4 * high_flips.max(1), "low {low_flips} vs high {high_flips}");
     }
 
     #[test]

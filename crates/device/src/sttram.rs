@@ -224,10 +224,7 @@ mod tests {
     fn day_to_10ms_saving_near_published_77_percent() {
         let m = SttModel::default();
         let saving = m.retention_energy_saving(DAY, 0.01);
-        assert!(
-            (0.6..0.9).contains(&saving),
-            "expected ≈0.77 saving, got {saving}"
-        );
+        assert!((0.6..0.9).contains(&saving), "expected ≈0.77 saving, got {saving}");
     }
 
     #[test]

@@ -29,12 +29,8 @@ pub enum NvmTechnology {
 
 impl NvmTechnology {
     /// All technologies, in reporting order.
-    pub const ALL: [NvmTechnology; 4] = [
-        NvmTechnology::Feram,
-        NvmTechnology::Reram,
-        NvmTechnology::SttMram,
-        NvmTechnology::Pcm,
-    ];
+    pub const ALL: [NvmTechnology; 4] =
+        [NvmTechnology::Feram, NvmTechnology::Reram, NvmTechnology::SttMram, NvmTechnology::Pcm];
 
     /// Returns the default device operating point for this technology.
     ///

@@ -14,7 +14,10 @@
 //!   (figure F2 of the reconstructed evaluation),
 //! * [`Rectifier`] and [`Capacitor`] — the AC-DC conversion-efficiency
 //!   curve and the energy-storage device with leakage, whose sizing
-//!   trade-off is the heart of the NVP-vs-wait-compute comparison.
+//!   trade-off is the heart of the NVP-vs-wait-compute comparison,
+//! * [`EnergyFrontEnd`] — the complete per-tick income path (rectifier →
+//!   trickle/clip options → capacitor charge + leak) shared by every
+//!   simulated platform, configured by a [`FrontEndConfig`].
 //!
 //! ## Example
 //!
@@ -35,7 +38,7 @@ pub mod harvester;
 mod stats;
 mod trace;
 
-pub use frontend::{Capacitor, Rectifier};
+pub use frontend::{Capacitor, EnergyFrontEnd, FrontEndConfig, Rectifier, TickIncome};
 pub use stats::{Histogram, OutageStats};
 pub use trace::{PowerTrace, TraceError};
 

@@ -27,10 +27,7 @@ impl Histogram {
             let bin = ((v / width) as usize).min(n - 1);
             counts[bin] += 1;
         }
-        Histogram {
-            bin_edges_s: (0..n).map(|i| i as f64 * width).collect(),
-            counts,
-        }
+        Histogram { bin_edges_s: (0..n).map(|i| i as f64 * width).collect(), counts }
     }
 
     /// Total number of counted values.
@@ -106,11 +103,8 @@ impl OutageStats {
         } else {
             outages.iter().sum::<f64>() / outages.len() as f64
         };
-        let above_fraction = if trace.is_empty() {
-            0.0
-        } else {
-            above_samples as f64 / trace.len() as f64
-        };
+        let above_fraction =
+            if trace.is_empty() { 0.0 } else { above_samples as f64 / trace.len() as f64 };
         OutageStats {
             threshold_w,
             emergency_count,

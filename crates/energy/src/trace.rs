@@ -222,10 +222,7 @@ impl PowerTrace {
     #[must_use]
     pub fn scaled(&self, factor: f64) -> PowerTrace {
         assert!(factor >= 0.0, "scale factor must be non-negative");
-        PowerTrace {
-            dt_s: self.dt_s,
-            samples: self.samples.iter().map(|p| p * factor).collect(),
-        }
+        PowerTrace { dt_s: self.dt_s, samples: self.samples.iter().map(|p| p * factor).collect() }
     }
 
     /// Returns this trace followed by `other`.
@@ -264,10 +261,7 @@ impl PowerTrace {
     #[must_use]
     pub fn with_offset(&self, offset_w: f64) -> PowerTrace {
         let samples: Vec<f64> = self.samples.iter().map(|p| p + offset_w).collect();
-        assert!(
-            samples.iter().all(|p| *p >= 0.0),
-            "offset must not make power negative"
-        );
+        assert!(samples.iter().all(|p| *p >= 0.0), "offset must not make power negative");
         PowerTrace { dt_s: self.dt_s, samples }
     }
 }

@@ -127,9 +127,7 @@ fn composition_algebra() {
         let n = 1 + rng.random::<u32>() as usize % 3;
         let joined = a.concat(&b);
         assert_eq!(joined.len(), a.len() + b.len());
-        assert!(
-            (joined.total_energy_j() - a.total_energy_j() - b.total_energy_j()).abs() < 1e-12
-        );
+        assert!((joined.total_energy_j() - a.total_energy_j() - b.total_energy_j()).abs() < 1e-12);
         let rep = a.repeated(n);
         assert_eq!(rep.len(), a.len() * n);
         assert!((rep.total_energy_j() - a.total_energy_j() * n as f64).abs() < 1e-9);

@@ -1,22 +1,34 @@
-//! Regenerates every table/figure of the reconstructed evaluation.
+//! Regenerates the reconstructed evaluation's tables and figures.
 //!
-//! Usage: `cargo run --release -p nvp-experiments --bin repro [out_dir] [--quick]`
+//! Usage: `cargo run --release -p nvp-experiments --bin repro -- --help`
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nvp_experiments::{run_all, ExpConfig};
+use nvp_experiments::cli::{self, Command};
+use nvp_experiments::{run_all, run_only};
 
 fn main() -> ExitCode {
-    let mut out_dir = PathBuf::from("results");
-    let mut cfg = ExpConfig::default();
-    for arg in std::env::args().skip(1) {
-        if arg == "--quick" {
-            cfg = ExpConfig::quick();
-        } else {
-            out_dir = PathBuf::from(arg);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", cli::USAGE);
+            return ExitCode::from(2);
         }
-    }
+    };
+    let (out_dir, only, quick) = match cmd {
+        Command::Help => {
+            println!("{}", cli::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Command::List => {
+            print!("{}", cli::list_text());
+            return ExitCode::SUCCESS;
+        }
+        Command::Run { out_dir, only, quick } => (out_dir, only, quick),
+    };
+
+    let cfg = Command::config(quick);
     eprintln!(
         "regenerating evaluation ({}s traces, {} profiles, {}x{} frames) into {} ...",
         cfg.trace_duration_s,
@@ -25,7 +37,11 @@ fn main() -> ExitCode {
         cfg.frame_h,
         out_dir.display()
     );
-    match run_all(&cfg, &out_dir) {
+    let result = match &only {
+        Some(ids) => run_only(&cfg, &out_dir, ids),
+        None => run_all(&cfg, &out_dir),
+    };
+    match result {
         Ok(artifacts) => {
             for t in &artifacts.tables {
                 println!("{}", t.to_markdown());

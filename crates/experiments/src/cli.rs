@@ -1,0 +1,205 @@
+//! Argument parsing for the `repro` binary.
+//!
+//! Kept in the library (rather than the binary) so the parser is unit
+//! tested like everything else. The grammar is deliberately tiny:
+//!
+//! ```text
+//! repro [out_dir] [--quick] [--only IDS] [--list] [--help]
+//! ```
+//!
+//! Unknown `--flags` are rejected with a usage error instead of being
+//! silently treated as the output directory.
+
+use std::path::PathBuf;
+
+use crate::registry::{find, registry};
+use crate::ExpConfig;
+
+/// Usage text shared by `--help` and parse errors.
+pub const USAGE: &str = "\
+Usage: repro [out_dir] [options]
+
+Regenerates the reconstructed DATE'17 NVP evaluation artifacts.
+
+Arguments:
+  out_dir            output directory (default: results)
+
+Options:
+  --quick            small traces/frames for a fast smoke run
+  --only IDS         comma-separated experiment ids (e.g. --only f5,t1)
+  --list             list registered experiments and exit
+  --help             show this help and exit";
+
+/// What the command line asked for.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Print [`USAGE`] and exit successfully.
+    Help,
+    /// Print the experiment registry and exit successfully.
+    List,
+    /// Regenerate artifacts into `out_dir`; `only: None` means all.
+    Run {
+        /// Output directory for CSV/Markdown artifacts.
+        out_dir: PathBuf,
+        /// Selected experiment ids (registry-validated, lowercase), or
+        /// `None` for the full evaluation.
+        only: Option<Vec<String>>,
+        /// Use the quick configuration instead of the default.
+        quick: bool,
+    },
+}
+
+impl Command {
+    /// The [`ExpConfig`] a `Run` command asked for.
+    #[must_use]
+    pub fn config(quick: bool) -> ExpConfig {
+        if quick {
+            ExpConfig::quick()
+        } else {
+            ExpConfig::default()
+        }
+    }
+}
+
+/// Renders the registry as an aligned `id  title` listing for `--list`.
+#[must_use]
+pub fn list_text() -> String {
+    let width = registry().iter().map(|e| e.id().len()).max().unwrap_or(0);
+    let mut out = String::from("registered experiments (artifact order):\n");
+    for e in registry() {
+        out.push_str(&format!("  {:width$}  {}\n", e.id(), e.title()));
+    }
+    out
+}
+
+/// Parses `repro` arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a one-line message (without usage text — callers append
+/// [`USAGE`]) for unknown flags, duplicate positional arguments,
+/// missing or unknown `--only` ids.
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut only: Option<Vec<String>> = None;
+    let mut quick = false;
+    let mut iter = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--list" => return Ok(Command::List),
+            "--quick" => quick = true,
+            "--only" => {
+                let ids = iter.next().ok_or("--only needs a comma-separated id list")?;
+                only = Some(parse_only(ids)?);
+            }
+            _ if arg.starts_with("--only=") => {
+                only = Some(parse_only(&arg["--only=".len()..])?);
+            }
+            _ if arg.starts_with('-') && arg.len() > 1 => {
+                return Err(format!("unknown option `{arg}`"));
+            }
+            _ => {
+                if let Some(prev) = &out_dir {
+                    return Err(format!(
+                        "unexpected argument `{arg}` (out_dir already set to `{}`)",
+                        prev.display()
+                    ));
+                }
+                out_dir = Some(PathBuf::from(arg));
+            }
+        }
+    }
+    Ok(Command::Run { out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")), only, quick })
+}
+
+/// Splits and registry-validates an `--only` id list.
+fn parse_only(ids: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for raw in ids.split(',') {
+        let id = raw.trim();
+        if id.is_empty() {
+            continue;
+        }
+        match find(id) {
+            Some(e) => out.push(e.id().to_string()),
+            None => return Err(format!("unknown experiment id `{id}` (see --list)")),
+        }
+    }
+    if out.is_empty() {
+        return Err("--only needs a comma-separated id list".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_run_everything_into_results() {
+        let cmd = parse::<&str>(&[]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run { out_dir: PathBuf::from("results"), only: None, quick: false }
+        );
+    }
+
+    #[test]
+    fn positional_quick_and_only_combine() {
+        let cmd = parse(&["out", "--quick", "--only", "F5,t1"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                out_dir: PathBuf::from("out"),
+                only: Some(vec!["f5".into(), "t1".into()]),
+                quick: true,
+            }
+        );
+    }
+
+    #[test]
+    fn only_equals_form_works() {
+        let cmd = parse(&["--only=f2h"]).unwrap();
+        match cmd {
+            Command::Run { only, .. } => assert_eq!(only, Some(vec!["f2h".to_string()])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_and_list_short_circuit() {
+        assert_eq!(parse(&["--help", "whatever"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["-h"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--list", "--bogus"]).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse(&["--fast"]).unwrap_err();
+        assert!(err.contains("--fast"), "{err}");
+        // The old parser treated any non---quick argument as out_dir;
+        // a second positional is now an error too.
+        let err = parse(&["a", "b"]).unwrap_err();
+        assert!(err.contains('b'), "{err}");
+    }
+
+    #[test]
+    fn only_validates_ids_against_registry() {
+        let err = parse(&["--only", "f99"]).unwrap_err();
+        assert!(err.contains("f99"), "{err}");
+        let err = parse(&["--only"]).unwrap_err();
+        assert!(err.contains("--only"), "{err}");
+        let err = parse(&["--only", ","]).unwrap_err();
+        assert!(err.contains("--only"), "{err}");
+    }
+
+    #[test]
+    fn list_text_names_every_experiment() {
+        let text = list_text();
+        for e in registry() {
+            assert!(text.contains(e.id()), "missing {}", e.id());
+            assert!(text.contains(e.title()), "missing title for {}", e.id());
+        }
+    }
+}

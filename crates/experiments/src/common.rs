@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use nvp_core::{
-    measure_task, BackupModel, BackupPolicy, IntermittentSystem, RunReport, SystemConfig,
-    TaskCost, WaitComputeConfig, WaitComputeSystem,
+    measure_task, BackupModel, BackupPolicy, IntermittentSystem, RunReport, SystemConfig, TaskCost,
+    WaitComputeConfig, WaitComputeSystem,
 };
 use nvp_device::NvmTechnology;
 use nvp_energy::{harvester, PowerTrace};
@@ -51,9 +51,7 @@ where
 /// The standard frame for image kernels.
 pub(crate) fn frame(cfg: &ExpConfig) -> Arc<GrayImage> {
     static CACHE: Memo<FrameKey, GrayImage> = OnceLock::new();
-    memo(&CACHE, frame_key(cfg), || {
-        GrayImage::synthetic(cfg.frame_seed, cfg.frame_w, cfg.frame_h)
-    })
+    memo(&CACHE, frame_key(cfg), || GrayImage::synthetic(cfg.frame_seed, cfg.frame_w, cfg.frame_h))
 }
 
 /// Builds (or fetches) a kernel instance on the standard frame.
@@ -127,8 +125,8 @@ pub(crate) fn run_nvp_with(
     backup: BackupModel,
     policy: BackupPolicy,
 ) -> RunReport {
-    let mut system = IntermittentSystem::new(inst.program(), sys, backup, policy)
-        .expect("platform builds");
+    let mut system =
+        IntermittentSystem::new(inst.program(), sys, backup, policy).expect("platform builds");
     system.run(trace).expect("workload does not fault")
 }
 

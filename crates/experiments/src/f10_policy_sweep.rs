@@ -43,9 +43,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let trace = watch_trace(cfg, cfg.profile_seeds[0]);
     let policies: Vec<(String, BackupPolicy)> = MARGINS
         .into_iter()
-        .map(|margin| {
-            (format!("demand margin {margin:.1}"), BackupPolicy::OnDemand { margin })
-        })
+        .map(|margin| (format!("demand margin {margin:.1}"), BackupPolicy::OnDemand { margin }))
         .chain(INTERVALS_S.into_iter().map(|interval_s| {
             (format!("periodic {} ms", interval_s * 1e3), BackupPolicy::Periodic { interval_s })
         }))

@@ -78,7 +78,12 @@ mod tests {
     fn profiles_match_published_envelope() {
         let cfg = ExpConfig::default();
         for r in rows(&cfg) {
-            assert!(r.average_uw > 8.0 && r.average_uw < 60.0, "profile {}: {}", r.profile, r.average_uw);
+            assert!(
+                r.average_uw > 8.0 && r.average_uw < 60.0,
+                "profile {}: {}",
+                r.profile,
+                r.average_uw
+            );
             assert!(r.peak_uw > 500.0 && r.peak_uw <= 2200.0, "profile {}", r.profile);
         }
     }

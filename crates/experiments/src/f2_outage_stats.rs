@@ -53,11 +53,7 @@ pub fn histogram_table(cfg: &ExpConfig, profile: u64, bins: usize) -> Table {
     let trace = watch_trace(cfg, profile);
     let stats = OutageStats::analyze(&trace, OPERATING_THRESHOLD_W);
     let hist = stats.histogram(bins);
-    let mut t = Table::new(
-        "F2h",
-        "Outage-duration histogram",
-        &["bin_start_ms", "count"],
-    );
+    let mut t = Table::new("F2h", "Outage-duration histogram", &["bin_start_ms", "count"]);
     for (edge, count) in hist.bin_edges_s.iter().zip(&hist.counts) {
         t.push_row(vec![fmt(edge * 1e3, 2), count.to_string()]);
     }

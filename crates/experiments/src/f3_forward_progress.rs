@@ -9,7 +9,7 @@ use nvp_workloads::KernelKind;
 use serde::{Deserialize, Serialize};
 
 use crate::common::{kernel, run_nvp, run_software_ckpt, run_wait, watch_trace};
-use crate::report::{fmt_ratio};
+use crate::report::fmt_ratio;
 use crate::{ExpConfig, Table};
 
 /// Kernels used for the headline comparison (frame-scale workloads).

@@ -52,7 +52,11 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         wcfg.start_energy_j = wcfg.start_energy_j.min(0.9 * capacity);
         let mut wait = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
         let wait_report = wait.run(&trace).expect("workload does not fault");
-        Row { cap_uf: c * 1e6, nvp_fp: nvp.forward_progress(), wait_fp: wait_report.forward_progress() }
+        Row {
+            cap_uf: c * 1e6,
+            nvp_fp: nvp.forward_progress(),
+            wait_fp: wait_report.forward_progress(),
+        }
     })
 }
 

@@ -92,9 +92,6 @@ mod tests {
         }
         assert!(rows[0].mean_fp > 0.0);
         let last = rows.last().unwrap();
-        assert!(
-            last.mean_fp <= rows[0].mean_fp,
-            "200 µs wake-up cannot beat 400 ns overall"
-        );
+        assert!(last.mean_fp <= rows[0].mean_fp, "200 µs wake-up cannot beat 400 ns overall");
     }
 }

@@ -72,13 +72,7 @@ pub fn table(cfg: &ExpConfig) -> Table {
         } else {
             ">1e6".to_owned()
         };
-        t.push_row(vec![
-            r.tech,
-            r.source,
-            r.fp.to_string(),
-            fmt(r.backups_per_min, 0),
-            life,
-        ]);
+        t.push_row(vec![r.tech, r.source, r.fp.to_string(), fmt(r.backups_per_min, 0), life]);
     }
     t
 }
@@ -94,10 +88,7 @@ mod tests {
         // Solar (strong source) beats thermal (weak) for every tech.
         for tech in NvmTechnology::ALL {
             let f = |src: &str| {
-                rows.iter()
-                    .find(|r| r.tech == tech.to_string() && r.source == src)
-                    .unwrap()
-                    .fp
+                rows.iter().find(|r| r.tech == tech.to_string() && r.source == src).unwrap().fp
             };
             assert!(
                 f("solar-indoor") > f("thermal-body"),
@@ -111,9 +102,7 @@ mod tests {
     #[test]
     fn feram_cheap_writes_beat_pcm() {
         let rows = rows(&ExpConfig::quick());
-        let fp = |tech: &str| -> u64 {
-            rows.iter().filter(|r| r.tech == tech).map(|r| r.fp).sum()
-        };
+        let fp = |tech: &str| -> u64 { rows.iter().filter(|r| r.tech == tech).map(|r| r.fp).sum() };
         assert!(fp("FeRAM") >= fp("PCM"), "FeRAM {} vs PCM {}", fp("FeRAM"), fp("PCM"));
     }
 }

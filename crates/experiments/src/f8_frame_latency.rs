@@ -107,11 +107,7 @@ mod tests {
             assert!(r.unconstrained_s > 0.0);
             let nvp = r.nvp_s_per_frame.unwrap_or(f64::INFINITY);
             let wait = r.wait_s_per_frame.unwrap_or(f64::INFINITY);
-            assert!(
-                nvp <= wait * 1.05,
-                "{}: nvp {nvp} vs wait {wait}",
-                r.kernel
-            );
+            assert!(nvp <= wait * 1.05, "{}: nvp {nvp} vs wait {wait}", r.kernel);
         }
         // At least the light kernels complete frames on the NVP.
         assert!(rows.iter().filter(|r| r.nvp_s_per_frame.is_some()).count() >= 3);

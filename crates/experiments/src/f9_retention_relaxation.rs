@@ -74,11 +74,8 @@ fn degraded_psnr(cfg: &ExpConfig, policy: RelaxPolicy, outage_s: f64, seed: u64)
     let shaper = RetentionShaper::new(policy, FIELD_BITS, MIN_RETENTION_S, MAX_RETENTION_S);
     let retention = shaper.bit_retention();
     let mut rng = StdRng::seed_from_u64(seed);
-    let degraded: Vec<u16> = inst
-        .reference()
-        .iter()
-        .map(|&w| retention.degrade(w, outage_s, &mut rng).0)
-        .collect();
+    let degraded: Vec<u16> =
+        inst.reference().iter().map(|&w| retention.degrade(w, outage_s, &mut rng).0).collect();
     metrics::psnr(inst.reference(), &degraded, 255.0)
 }
 
@@ -108,11 +105,8 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         }
         let shaper = RetentionShaper::new(policy, FIELD_BITS, MIN_RETENTION_S, MAX_RETENTION_S);
         let retention = shaper.bit_retention();
-        let at_risk: u64 = outages
-            .outage_durations_s
-            .iter()
-            .map(|&d| u64::from(retention.at_risk_bits(d)))
-            .sum();
+        let at_risk: u64 =
+            outages.outage_durations_s.iter().map(|&d| u64::from(retention.at_risk_bits(d))).sum();
         out.push(Row {
             policy: policy.to_string(),
             energy_scale: scale,

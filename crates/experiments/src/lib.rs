@@ -36,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 mod common;
 mod config;
 mod par;
+mod registry;
 mod report;
 mod runner;
 
@@ -58,5 +60,6 @@ pub mod t2_energy_distribution;
 pub mod t3_backup_strategies;
 
 pub use config::ExpConfig;
+pub use registry::{find, registry, Experiment};
 pub use report::Table;
-pub use runner::{run_all, run_all_sequential, RunArtifacts};
+pub use runner::{run_all, run_all_sequential, run_only, RunArtifacts};

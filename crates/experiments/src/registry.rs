@@ -1,0 +1,180 @@
+//! The declarative experiment registry.
+//!
+//! Every table/figure of the reconstructed evaluation registers here
+//! once, as an [`Experiment`]; the runner, the `repro` binary
+//! (`--list` / `--only`), and the examples all consult this one list.
+//! Adding experiment 16 means writing its module and appending one
+//! entry — no runner, binary, or example changes.
+
+use crate::{
+    f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
+    f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
+    f8_frame_latency, f9_retention_relaxation, t1_chip_gallery, t2_energy_distribution,
+    t3_backup_strategies, ExpConfig, Table,
+};
+
+/// A table/figure builder registered with the evaluation harness.
+///
+/// Implementations must be pure: [`build`](Self::build) is a
+/// deterministic function of the [`ExpConfig`], which is what lets the
+/// runner evaluate experiments concurrently yet write byte-identical
+/// artifacts.
+pub trait Experiment: Sync {
+    /// Stable lower-case identifier (e.g. `"f5"`) — also the artifact
+    /// file stem (`f5.csv`) and the handle `repro --only` accepts.
+    fn id(&self) -> &'static str;
+
+    /// One-line human-readable title (shown by `repro --list`).
+    fn title(&self) -> &'static str;
+
+    /// Builds the experiment's table for a configuration.
+    fn build(&self, cfg: &ExpConfig) -> Table;
+}
+
+/// An experiment backed by a plain builder function.
+struct FnExperiment {
+    id: &'static str,
+    title: &'static str,
+    build: fn(&ExpConfig) -> Table,
+}
+
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn build(&self, cfg: &ExpConfig) -> Table {
+        (self.build)(cfg)
+    }
+}
+
+fn f2_histogram(cfg: &ExpConfig) -> Table {
+    f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], 16)
+}
+
+/// Every registered experiment, in artifact order.
+static REGISTRY: [&dyn Experiment; 15] = [
+    &FnExperiment {
+        id: "t1",
+        title: "NVP chip & technology gallery (published silicon vs framework models)",
+        build: t1_chip_gallery::table,
+    },
+    &FnExperiment {
+        id: "f1",
+        title: "Wearable harvester power profiles (synthetic, seeded)",
+        build: f1_power_profiles::table,
+    },
+    &FnExperiment {
+        id: "f2",
+        title: "Power-emergency statistics at the 33 µW operating threshold",
+        build: f2_outage_stats::table,
+    },
+    &FnExperiment { id: "f2h", title: "Outage-duration histogram", build: f2_histogram },
+    &FnExperiment {
+        id: "f3",
+        title: "Forward progress: hardware NVP vs wait-compute vs software checkpointing",
+        build: f3_forward_progress::table,
+    },
+    &FnExperiment {
+        id: "f4",
+        title: "Backup overheads (published: 1400-1700 backups/min, 20-33% of income energy)",
+        build: f4_backup_overhead::table,
+    },
+    &FnExperiment {
+        id: "f5",
+        title: "Forward progress vs storage capacitance (NVP buffer vs wait-compute ESD)",
+        build: f5_capacitor_sweep::table,
+    },
+    &FnExperiment {
+        id: "f6",
+        title: "Forward progress vs restore (wake-up) latency",
+        build: f6_restore_sensitivity::table,
+    },
+    &FnExperiment {
+        id: "f7",
+        title: "Forward progress and endurance by NVM technology and harvester class",
+        build: f7_tech_sweep::table,
+    },
+    &FnExperiment {
+        id: "t2",
+        title: "System energy distribution by application class",
+        build: t2_energy_distribution::table,
+    },
+    &FnExperiment {
+        id: "f8",
+        title: "Seconds per processed frame on harvested power (NVP vs wait-compute)",
+        build: f8_frame_latency::table,
+    },
+    &FnExperiment {
+        id: "t3",
+        title: "Backup strategies: distributed NVFF vs centralized copy vs software",
+        build: t3_backup_strategies::table,
+    },
+    &FnExperiment {
+        id: "f9",
+        title: "Retention-relaxed backup: energy saved, forward-progress gain, decay risk",
+        build: f9_retention_relaxation::table,
+    },
+    &FnExperiment {
+        id: "f10",
+        title: "Backup-policy sweep: demand margins vs periodic checkpointing",
+        build: f10_policy_sweep::table,
+    },
+    &FnExperiment {
+        id: "f11",
+        title: "Clock scaling: fixed frequencies vs income-adaptive",
+        build: f11_clock_scaling::table,
+    },
+];
+
+/// The registered experiments, in artifact order.
+#[must_use]
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
+}
+
+/// Looks up an experiment by id, case-insensitively.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().find(|e| e.id().eq_ignore_ascii_case(id)).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for e in registry() {
+            assert_eq!(e.id(), e.id().to_lowercase(), "registry ids are lowercase");
+            assert!(seen.insert(e.id()), "duplicate experiment id {}", e.id());
+            assert!(!e.title().is_empty());
+        }
+        assert_eq!(registry().len(), 15);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert!(find("f5").is_some());
+        assert!(find("F5").is_some());
+        assert!(find("F2H").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    /// Registry ids must match the table ids the builders emit — the
+    /// artifact file stem is derived from the table, the `--only`
+    /// handle from the registry, and they must agree.
+    #[test]
+    fn registry_ids_match_table_ids() {
+        let cfg = ExpConfig::quick();
+        // The two cheapest builders cover both naming styles (T*/F*);
+        // the runner test checks the full set on a complete run.
+        assert_eq!(find("t1").unwrap().build(&cfg).id().to_lowercase(), "t1");
+        assert_eq!(find("f2h").unwrap().build(&cfg).id().to_lowercase(), "f2h");
+    }
+}

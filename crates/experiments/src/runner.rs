@@ -1,55 +1,27 @@
-//! Regenerates every table/figure and writes the artifacts.
+//! Regenerates tables/figures from the registry and writes artifacts.
 //!
-//! The 15 table builders are pure functions of the [`ExpConfig`], so
-//! [`run_all`] evaluates them concurrently on scoped threads and then
-//! writes the artifacts in the fixed experiment order —
-//! [`run_all_sequential`] produces byte-identical output one builder at
-//! a time (enforced by `tests/determinism.rs`).
+//! The experiments come from the [`crate::registry`] — pure functions
+//! of the [`ExpConfig`] — so [`run_all`] evaluates them concurrently on
+//! scoped threads and then writes the artifacts in the fixed registry
+//! order. [`run_all_sequential`] produces byte-identical output one
+//! builder at a time (enforced by `tests/determinism.rs`), and
+//! [`run_only`] regenerates any subset by id (`repro --only f5,t1`).
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::{
-    f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
-    f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
-    f8_frame_latency, f9_retention_relaxation, par, t1_chip_gallery, t2_energy_distribution,
-    t3_backup_strategies, ExpConfig, Table,
-};
+use crate::registry::{find, registry, Experiment};
+use crate::{f1_power_profiles, par, ExpConfig, Table};
 
-/// What [`run_all`] produced.
+/// What a runner call produced.
 #[derive(Debug)]
 pub struct RunArtifacts {
-    /// Every regenerated table, in experiment order.
+    /// Every regenerated table, in registry order.
     pub tables: Vec<Table>,
     /// Paths of the files written.
     pub files: Vec<PathBuf>,
 }
-
-type Builder = fn(&ExpConfig) -> Table;
-
-fn f2_histogram(cfg: &ExpConfig) -> Table {
-    f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], 16)
-}
-
-/// The table builders, in artifact order.
-const BUILDERS: [Builder; 15] = [
-    t1_chip_gallery::table,
-    f1_power_profiles::table,
-    f2_outage_stats::table,
-    f2_histogram,
-    f3_forward_progress::table,
-    f4_backup_overhead::table,
-    f5_capacitor_sweep::table,
-    f6_restore_sensitivity::table,
-    f7_tech_sweep::table,
-    t2_energy_distribution::table,
-    f8_frame_latency::table,
-    t3_backup_strategies::table,
-    f9_retention_relaxation::table,
-    f10_policy_sweep::table,
-    f11_clock_scaling::table,
-];
 
 /// Regenerates the full evaluation and writes one CSV per table, one
 /// CSV per raw power-profile series, and a combined `RESULTS.md`, into
@@ -60,23 +32,23 @@ const BUILDERS: [Builder; 15] = [
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
-    let tables = par::par_map(&BUILDERS, |b| b(cfg));
+    let tables = par::par_map(registry(), |e| e.build(cfg));
     let profiles = par::par_map(&cfg.profile_seeds, |&seed| {
         (seed, f1_power_profiles::series(cfg, seed).to_csv())
     });
     write_artifacts(out_dir, tables, &profiles)
 }
 
-/// [`run_all`] with every builder evaluated in order on the calling
-/// thread — the reference implementation the parallel runner must
-/// byte-match. (Point sweeps inside individual experiments still use
-/// the shared pool unless `NVP_THREADS=1`.)
+/// [`run_all`] with every builder evaluated in registry order on the
+/// calling thread — the reference implementation the parallel runner
+/// must byte-match. (Point sweeps inside individual experiments still
+/// use the shared pool unless `NVP_THREADS=1`.)
 ///
 /// # Errors
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all_sequential(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
-    let tables: Vec<Table> = BUILDERS.iter().map(|b| b(cfg)).collect();
+    let tables: Vec<Table> = registry().iter().map(|e| e.build(cfg)).collect();
     let profiles: Vec<(u64, String)> = cfg
         .profile_seeds
         .iter()
@@ -85,7 +57,48 @@ pub fn run_all_sequential(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArti
     write_artifacts(out_dir, tables, &profiles)
 }
 
-/// Writes all artifacts in the fixed order shared by both runners.
+/// Regenerates only the experiments named by `ids` (case-insensitive
+/// registry ids, e.g. `["f5", "t1"]`), writing their CSVs and a
+/// `RESULTS.md` covering the selection. Artifact order follows the
+/// registry regardless of the order ids are given in; the raw `f1`
+/// profile series are written only when `f1` is selected.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] for an unknown id, or any
+/// filesystem error encountered while writing.
+pub fn run_only<S: AsRef<str>>(
+    cfg: &ExpConfig,
+    out_dir: &Path,
+    ids: &[S],
+) -> io::Result<RunArtifacts> {
+    let mut selected: Vec<&'static dyn Experiment> = Vec::new();
+    for id in ids {
+        let id = id.as_ref();
+        let exp = find(id).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown experiment id `{id}` (try `repro --list`)"),
+            )
+        })?;
+        if !selected.iter().any(|e| e.id() == exp.id()) {
+            selected.push(exp);
+        }
+    }
+    // Registry order, independent of the order ids were given in.
+    selected.sort_by_key(|e| registry().iter().position(|r| r.id() == e.id()));
+    let tables = par::par_map(&selected, |e| e.build(cfg));
+    let profiles: Vec<(u64, String)> = if selected.iter().any(|e| e.id() == "f1") {
+        par::par_map(&cfg.profile_seeds, |&seed| {
+            (seed, f1_power_profiles::series(cfg, seed).to_csv())
+        })
+    } else {
+        Vec::new()
+    };
+    write_artifacts(out_dir, tables, &profiles)
+}
+
+/// Writes all artifacts in the fixed order shared by every runner.
 fn write_artifacts(
     out_dir: &Path,
     tables: Vec<Table>,
@@ -130,13 +143,40 @@ mod tests {
     fn run_all_quick_writes_everything() {
         let dir = unique_dir("nvp_exp_runner_test");
         let artifacts = run_all(&ExpConfig::quick(), &dir).unwrap();
-        assert_eq!(artifacts.tables.len(), 15);
+        assert_eq!(artifacts.tables.len(), registry().len());
         // 15 tables + 2 profile series + RESULTS.md
         assert_eq!(artifacts.files.len(), 18);
         for f in &artifacts.files {
             assert!(f.exists(), "{}", f.display());
             assert!(fs::metadata(f).unwrap().len() > 0, "{}", f.display());
         }
+        // Every artifact file stem agrees with its registry id.
+        for (table, exp) in artifacts.tables.iter().zip(registry()) {
+            assert_eq!(table.id().to_lowercase(), exp.id(), "table/registry id mismatch");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_only_selects_and_orders_by_registry() {
+        let dir = unique_dir("nvp_exp_only_test");
+        // Ids out of order, mixed case, duplicated: output is still
+        // registry-ordered and deduplicated.
+        let artifacts = run_only(&ExpConfig::quick(), &dir, &["f2h", "T1", "f2h"]).unwrap();
+        assert_eq!(artifacts.tables.len(), 2);
+        assert_eq!(artifacts.tables[0].id(), "T1");
+        assert_eq!(artifacts.tables[1].id(), "F2h");
+        // 2 tables + RESULTS.md, no profile series without f1.
+        assert_eq!(artifacts.files.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_only_unknown_id_is_invalid_input() {
+        let dir = unique_dir("nvp_exp_only_bad");
+        let err = run_only(&ExpConfig::quick(), &dir, &["f99"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("f99"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

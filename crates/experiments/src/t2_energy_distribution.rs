@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         for r in rows(&ExpConfig::quick()) {
-            assert!((r.compute_share + r.radio_share + r.sense_share - 1.0).abs() < 1e-9, "{}", r.app);
+            assert!(
+                (r.compute_share + r.radio_share + r.sense_share - 1.0).abs() < 1e-9,
+                "{}",
+                r.app
+            );
         }
     }
 }

@@ -102,9 +102,8 @@ mod tests {
         let rows = rows(&ExpConfig::quick());
         assert_eq!(rows.len(), 6);
         for tech in ["FeRAM", "STT-MRAM"] {
-            let fp = |style: &str| {
-                rows.iter().find(|r| r.tech == tech && r.style == style).unwrap().fp
-            };
+            let fp =
+                |style: &str| rows.iter().find(|r| r.tech == tech && r.style == style).unwrap().fp;
             let t = |style: &str| {
                 rows.iter().find(|r| r.tech == tech && r.style == style).unwrap().backup_us
             };

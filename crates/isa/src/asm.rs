@@ -195,9 +195,7 @@ fn to_i16(value: i64, what: &str, line: usize) -> Result<i16> {
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg> {
-    tok.trim()
-        .parse::<Reg>()
-        .map_err(|e| AsmError::new(line, e.to_string()))
+    tok.trim().parse::<Reg>().map_err(|e| AsmError::new(line, e.to_string()))
 }
 
 /// Splits `offset(reg)` into its parts; the offset may be empty (= 0).
@@ -227,11 +225,8 @@ fn parse_stmt<'a>(line_num: usize, text: &'a str) -> Stmt<'a> {
         Some(pos) => (&text[..pos], text[pos..].trim()),
         None => (text, ""),
     };
-    let operands: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let operands: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     Stmt { line: line_num, mnemonic: mnemonic.to_ascii_lowercase(), operands }
 }
 
@@ -308,8 +303,11 @@ pub fn assemble(src: &str) -> Result<Program> {
                 ".data" => {
                     section = Section::Data;
                     if let Some(addr) = stmt.operands.first() {
-                        data_addr =
-                            u32::from(to_u16(eval_expr(addr, &symbols, line.num)?, ".data address", line.num)?);
+                        data_addr = u32::from(to_u16(
+                            eval_expr(addr, &symbols, line.num)?,
+                            ".data address",
+                            line.num,
+                        )?);
                     }
                 }
                 ".org" => {
@@ -387,19 +385,27 @@ pub fn assemble(src: &str) -> Result<Program> {
                     &symbols,
                     line.num,
                 )?;
-                entry = Some(u32::try_from(target).map_err(|_| {
-                    AsmError::new(line.num, ".entry target is negative")
-                })?);
+                entry = Some(
+                    u32::try_from(target)
+                        .map_err(|_| AsmError::new(line.num, ".entry target is negative"))?,
+                );
             }
             ".data" => {
                 if let Some(addr) = stmt.operands.first() {
-                    data_addr =
-                        u32::from(to_u16(eval_expr(addr, &symbols, line.num)?, ".data address", line.num)?);
+                    data_addr = u32::from(to_u16(
+                        eval_expr(addr, &symbols, line.num)?,
+                        ".data address",
+                        line.num,
+                    )?);
                 }
                 segments.push(DataSegment::new(data_addr as u16, Vec::new()));
             }
             ".org" => {
-                let target = eval_expr(stmt.operands.first().expect("checked in pass 1"), &symbols, line.num)?;
+                let target = eval_expr(
+                    stmt.operands.first().expect("checked in pass 1"),
+                    &symbols,
+                    line.num,
+                )?;
                 while (code.len() as u32) < target as u32 {
                     code.push(Inst::Nop.encode());
                 }
@@ -407,13 +413,18 @@ pub fn assemble(src: &str) -> Result<Program> {
             ".word" => {
                 let seg = ensure_segment(&mut segments, data_addr);
                 for operand in &stmt.operands {
-                    let v = to_u16(eval_expr(operand, &symbols, line.num)?, ".word value", line.num)?;
+                    let v =
+                        to_u16(eval_expr(operand, &symbols, line.num)?, ".word value", line.num)?;
                     seg.words.push(v);
                     data_addr += 1;
                 }
             }
             ".space" => {
-                let n = eval_expr(stmt.operands.first().expect("checked in pass 1"), &symbols, line.num)?;
+                let n = eval_expr(
+                    stmt.operands.first().expect("checked in pass 1"),
+                    &symbols,
+                    line.num,
+                )?;
                 let seg = ensure_segment(&mut segments, data_addr);
                 seg.words.extend(std::iter::repeat_n(0u16, n as usize));
                 data_addr += n as u32;
@@ -897,9 +908,7 @@ mod tests {
 
     #[test]
     fn multiple_data_segments() {
-        let p = assemble(
-            ".data 0\n.word 1\n.data 0x80\n.word 2, 3\nhalt",
-        );
+        let p = assemble(".data 0\n.word 1\n.data 0x80\n.word 2, 3\nhalt");
         // `halt` after .data must fail (instruction in data section).
         assert!(p.is_err());
         let p = assemble(".text\nhalt\n.data 0\n.word 1\n.data 0x80\n.word 2, 3").unwrap();

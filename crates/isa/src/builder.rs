@@ -314,9 +314,8 @@ impl ProgramBuilder {
                 Slot::Branch { kind, rs1, rs2, target } => {
                     let dest = resolve(target)?;
                     let displacement = i64::from(dest) - pc as i64 - 1;
-                    let offset = i16::try_from(displacement).map_err(|_| {
-                        BuildError::BranchTooFar { at: pc as u32, displacement }
-                    })?;
+                    let offset = i16::try_from(displacement)
+                        .map_err(|_| BuildError::BranchTooFar { at: pc as u32, displacement })?;
                     match kind {
                         BranchKind::Beq => Inst::Beq { rs1, rs2, offset },
                         BranchKind::Bne => Inst::Bne { rs1, rs2, offset },
@@ -380,8 +379,14 @@ mod tests {
         b.bne(Reg::R1, Reg::R0, back); // backward -1
         b.halt();
         let p = b.build().unwrap();
-        assert_eq!(p.decode_at(0).unwrap().unwrap(), Inst::Beq { rs1: Reg::R0, rs2: Reg::R0, offset: 1 });
-        assert_eq!(p.decode_at(2).unwrap().unwrap(), Inst::Bne { rs1: Reg::R1, rs2: Reg::R0, offset: -1 });
+        assert_eq!(
+            p.decode_at(0).unwrap().unwrap(),
+            Inst::Beq { rs1: Reg::R0, rs2: Reg::R0, offset: 1 }
+        );
+        assert_eq!(
+            p.decode_at(2).unwrap().unwrap(),
+            Inst::Bne { rs1: Reg::R1, rs2: Reg::R0, offset: -1 }
+        );
     }
 
     #[test]
@@ -429,9 +434,6 @@ mod tests {
         for addr in 0..p.code().len() as u32 {
             assert!(p.decode_at(addr).unwrap().is_ok());
         }
-        assert_eq!(
-            p.decode_at(0).unwrap().unwrap(),
-            Inst::Jal { rd: crate::LINK_REG, target: 2 }
-        );
+        assert_eq!(p.decode_at(0).unwrap().unwrap(), Inst::Jal { rd: crate::LINK_REG, target: 2 });
     }
 }

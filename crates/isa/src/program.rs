@@ -70,10 +70,7 @@ impl Program {
     /// Creates a program from a sequence of instructions, entry point 0.
     #[must_use]
     pub fn from_insts(insts: Vec<Inst>) -> Self {
-        Program {
-            code: insts.into_iter().map(Inst::encode).collect(),
-            ..Self::default()
-        }
+        Program { code: insts.into_iter().map(Inst::encode).collect(), ..Self::default() }
     }
 
     /// The encoded instruction words.

@@ -86,8 +86,7 @@ fn disassemble_reassemble() {
         let insts: Vec<Inst> = (0..n).map(|_| any_inst(&mut rng)).collect();
         let text: String = insts.iter().map(|i| format!("{i}\n")).collect();
         let program = assemble(&text).unwrap();
-        let rebuilt: Vec<Inst> =
-            program.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
+        let rebuilt: Vec<Inst> = program.code().iter().map(|&w| Inst::decode(w).unwrap()).collect();
         assert_eq!(rebuilt, insts);
     }
 }

@@ -56,10 +56,25 @@ impl InstClass {
     pub fn of(inst: &Inst) -> InstClass {
         use Inst::*;
         match inst {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
-            | Srl { .. } | Sra { .. } | Slt { .. } | Sltu { .. } | Addi { .. } | Andi { .. }
-            | Ori { .. } | Xori { .. } | Slli { .. } | Srli { .. } | Srai { .. }
-            | Slti { .. } | Li { .. } => InstClass::Alu,
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Addi { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Slli { .. }
+            | Srli { .. }
+            | Srai { .. }
+            | Slti { .. }
+            | Li { .. } => InstClass::Alu,
             Mul { .. } | Mulh { .. } => InstClass::Mul,
             Divu { .. } | Remu { .. } => InstClass::Div,
             Lw { .. } => InstClass::Load,

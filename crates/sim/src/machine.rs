@@ -12,8 +12,7 @@ use crate::{CycleModel, EnergyModel, InstClass, DEFAULT_DMEM_WORDS};
 ///
 /// [`ArchState::BITS`] is the raw payload size used by backup-cost models;
 /// platform models add their own pipeline/SFR overhead on top.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct ArchState {
     /// Register file contents (`r0` slot is always zero).
     pub regs: [u16; 16],
@@ -26,7 +25,6 @@ impl ArchState {
     /// a 32-bit program counter).
     pub const BITS: u32 = 16 * 16 + 32;
 }
-
 
 /// Per-run performance and energy counters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -233,10 +231,8 @@ impl Machine {
         // batch before re-checking energy/time thresholds.
         let max_step_cycles =
             code.iter().map(|d| d.cycles_not_taken.max(d.cycles_taken)).max().unwrap_or(1);
-        let max_step_energy_j = code
-            .iter()
-            .map(|d| d.energy_not_taken_j.max(d.energy_taken_j))
-            .fold(0.0f64, f64::max);
+        let max_step_energy_j =
+            code.iter().map(|d| d.energy_not_taken_j.max(d.energy_taken_j)).fold(0.0f64, f64::max);
         let mut dmem = vec![0u16; dmem_words];
         for seg in program.data_segments() {
             let start = usize::from(seg.addr);

@@ -63,8 +63,7 @@ fn interrupted_equals_uninterrupted() {
     for _ in 0..120 {
         let data = any_data(&mut rng);
         let n_cuts = rng.random::<u32>() as usize % 6;
-        let cut_points: Vec<u64> =
-            (0..n_cuts).map(|_| 1 + rng.random::<u64>() % 499).collect();
+        let cut_points: Vec<u64> = (0..n_cuts).map(|_| 1 + rng.random::<u64>() % 499).collect();
 
         // Reference: run to completion without interruptions.
         let mut reference = fresh_machine(&data);

@@ -55,12 +55,8 @@ skip{idx}:",
         )
     };
     let offsets = ["0-W-1", "0-W", "0-W+1", "0-1", "1", "W-1", "W", "W+1"];
-    let body: String = offsets
-        .iter()
-        .enumerate()
-        .map(|(i, off)| neighbor(i, off))
-        .collect::<Vec<_>>()
-        .join("\n");
+    let body: String =
+        offsets.iter().enumerate().map(|(i, off)| neighbor(i, off)).collect::<Vec<_>>().join("\n");
     let src = format!(
         r"
 .equ W, {w}

@@ -27,9 +27,9 @@ fn dct_matrix() -> Vec<i16> {
     for u in 0..B {
         let a = if u == 0 { (1.0 / B as f64).sqrt() } else { (2.0 / B as f64).sqrt() };
         for v in 0..B {
-            let val = a * ((2.0 * v as f64 + 1.0) * u as f64 * std::f64::consts::PI
-                / (2.0 * B as f64))
-                .cos();
+            let val = a
+                * ((2.0 * v as f64 + 1.0) * u as f64 * std::f64::consts::PI / (2.0 * B as f64))
+                    .cos();
             c.push((val * Q).round() as i16);
         }
     }
@@ -220,15 +220,7 @@ p2k:
     program.add_data(lay.input, &img.to_words());
     program.add_data(cmat, &dct_matrix().iter().map(|&v| v as u16).collect::<Vec<_>>());
     program.add_data(qsh_addr, &quant_shifts());
-    Ok(KernelInstance::new(
-        KernelKind::Dct8,
-        program,
-        lay.out,
-        reference(img),
-        lay.min_dmem,
-        w,
-        h,
-    ))
+    Ok(KernelInstance::new(KernelKind::Dct8, program, lay.out, reference(img), lay.min_dmem, w, h))
 }
 
 #[cfg(test)]
@@ -246,10 +238,7 @@ mod tests {
     fn dct_matrix_rows_orthonormal() {
         let c = dct_matrix();
         for u in 0..B {
-            let dot: f64 = (0..B)
-                .map(|v| f64::from(c[u * B + v]) / Q)
-                .map(|x| x * x)
-                .sum();
+            let dot: f64 = (0..B).map(|v| f64::from(c[u * B + v]) / Q).map(|x| x * x).sum();
             assert!((dot - 1.0).abs() < 0.01, "row {u} norm {dot}");
         }
     }

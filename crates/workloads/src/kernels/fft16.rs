@@ -233,9 +233,7 @@ mod tests {
     fn single_tone_peaks_at_its_bin() {
         // x[n] = 100 + 100·cos(2πn/16) → peaks at bins 1 and 15.
         let pixels: Vec<u8> = (0..16)
-            .map(|n| {
-                (100.0 + 100.0 * (2.0 * std::f64::consts::PI * n as f64 / 16.0).cos()) as u8
-            })
+            .map(|n| (100.0 + 100.0 * (2.0 * std::f64::consts::PI * n as f64 / 16.0).cos()) as u8)
             .collect();
         let img = GrayImage::from_pixels(16, 1, pixels);
         let out = reference(&img);

@@ -17,9 +17,7 @@ fn reference(img: &GrayImage) -> Vec<u16> {
     let n = data.len();
     let mut out = vec![0u16; n];
     for i in 0..=n.saturating_sub(TAPS) {
-        let sum: u16 = data[i..i + TAPS]
-            .iter()
-            .fold(0u16, |acc, &v| acc.wrapping_add(v));
+        let sum: u16 = data[i..i + TAPS].iter().fold(0u16, |acc, &v| acc.wrapping_add(v));
         out[i] = sum >> 3;
     }
     out

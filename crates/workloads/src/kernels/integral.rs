@@ -98,10 +98,7 @@ mod tests {
     #[test]
     fn bottom_right_is_wrapped_total() {
         let img = GrayImage::synthetic(16, 16, 16);
-        let total: u16 = img
-            .pixels()
-            .iter()
-            .fold(0u16, |acc, &p| acc.wrapping_add(u16::from(p)));
+        let total: u16 = img.pixels().iter().fold(0u16, |acc, &p| acc.wrapping_add(u16::from(p)));
         let r = reference(&img);
         assert_eq!(r[16 * 16 - 1], total);
     }

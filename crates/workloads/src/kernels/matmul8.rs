@@ -28,10 +28,7 @@ fn reference(img: &GrayImage) -> Vec<u16> {
 }
 
 pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
-    assert!(
-        img.width() >= 2 * B && img.height() >= B,
-        "matmul8 needs a frame at least 16x8"
-    );
+    assert!(img.width() >= 2 * B && img.height() >= B, "matmul8 needs a frame at least 16x8");
     let lay = Layout::for_image(img, B * B, 0);
     let src = format!(
         r"
@@ -123,9 +120,7 @@ mod tests {
     fn wrapping_is_intentional() {
         // 255 * 255 * 8 overflows 16 bits; both sides must agree.
         let img = GrayImage::from_pixels(16, 8, vec![255; 128]);
-        let expected = (0..8).fold(0u16, |acc, _| {
-            acc.wrapping_add(255u16.wrapping_mul(255))
-        });
+        let expected = (0..8).fold(0u16, |acc, _| acc.wrapping_add(255u16.wrapping_mul(255)));
         assert!(reference(&img).iter().all(|&v| v == expected));
     }
 }

@@ -9,7 +9,10 @@ use crate::{GrayImage, KernelInstance, KernelKind, WorkloadError};
 /// Emits the shared Sobel-gradient program. With `threshold == None` the
 /// clamped magnitude is stored (sobel); with `Some(t)` the output is a
 /// binary edge map (`mag > t ? 255 : 0`, the susan.edges proxy).
-pub(super) fn gradient_program(lay: &Layout, threshold: Option<u16>) -> Result<Program, WorkloadError> {
+pub(super) fn gradient_program(
+    lay: &Layout,
+    threshold: Option<u16>,
+) -> Result<Program, WorkloadError> {
     let epilogue = match threshold {
         None => "\
     li   r8, 255

@@ -12,27 +12,18 @@ const PAT_LEN: usize = 4;
 const PAT_OFFSET: usize = 5;
 
 fn pattern(img: &GrayImage) -> Vec<u16> {
-    img.pixels()[PAT_OFFSET..PAT_OFFSET + PAT_LEN]
-        .iter()
-        .map(|&p| u16::from(p))
-        .collect()
+    img.pixels()[PAT_OFFSET..PAT_OFFSET + PAT_LEN].iter().map(|&p| u16::from(p)).collect()
 }
 
 fn reference(img: &GrayImage) -> Vec<u16> {
     let data = img.to_words();
     let pat = pattern(img);
-    let count = data
-        .windows(PAT_LEN)
-        .filter(|window| *window == pat.as_slice())
-        .count() as u16;
+    let count = data.windows(PAT_LEN).filter(|window| *window == pat.as_slice()).count() as u16;
     vec![count]
 }
 
 pub(crate) fn build(img: &GrayImage) -> Result<KernelInstance, WorkloadError> {
-    assert!(
-        img.width() * img.height() >= PAT_OFFSET + PAT_LEN,
-        "frame too small for strsearch"
-    );
+    assert!(img.width() * img.height() >= PAT_OFFSET + PAT_LEN, "frame too small for strsearch");
     let lay = Layout::for_image(img, 1, PAT_LEN);
     let pat_addr = lay.scr;
     let src = format!(

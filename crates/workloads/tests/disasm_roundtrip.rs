@@ -23,11 +23,7 @@ fn every_kernel_disassembles_and_reassembles() {
             .collect();
         let rebuilt = assemble(&text)
             .unwrap_or_else(|e| panic!("{kind}: disassembly does not reassemble: {e}"));
-        assert_eq!(
-            rebuilt.code(),
-            inst.program().code(),
-            "{kind}: reassembled code differs"
-        );
+        assert_eq!(rebuilt.code(), inst.program().code(), "{kind}: reassembled code differs");
     }
 }
 
@@ -38,12 +34,8 @@ fn kernel_programs_are_nontrivial() {
     let frame = GrayImage::synthetic(99, 16, 16);
     for kind in KernelKind::ALL {
         let inst = kind.build(&frame).expect("kernel builds");
-        let decoded: Vec<nvp_isa::Inst> = inst
-            .program()
-            .code()
-            .iter()
-            .map(|&w| nvp_isa::Inst::decode(w).unwrap())
-            .collect();
+        let decoded: Vec<nvp_isa::Inst> =
+            inst.program().code().iter().map(|&w| nvp_isa::Inst::decode(w).unwrap()).collect();
         assert!(decoded.len() >= 10, "{kind}: only {} instructions", decoded.len());
         let has_backward_edge = decoded.iter().enumerate().any(|(pc, i)| match i {
             nvp_isa::Inst::Beq { offset, .. }
@@ -57,9 +49,6 @@ fn kernel_programs_are_nontrivial() {
         });
         assert!(has_backward_edge, "{kind}: no loop found");
         assert!(decoded.iter().any(nvp_isa::Inst::is_mem), "{kind}: no memory traffic");
-        assert!(
-            decoded.iter().any(|i| matches!(i, nvp_isa::Inst::Halt)),
-            "{kind}: no halt"
-        );
+        assert!(decoded.iter().any(|i| matches!(i, nvp_isa::Inst::Halt)), "{kind}: no halt");
     }
 }

@@ -8,10 +8,7 @@ use nvp::device::{published_chips, EnduranceMeter, NvmTechnology};
 
 fn main() {
     println!("== published NVP silicon ==");
-    println!(
-        "{:<48} {:>9} {:>11} {:>11} {:>10}",
-        "chip", "tech", "backup", "wake-up", "state"
-    );
+    println!("{:<48} {:>9} {:>11} {:>11} {:>10}", "chip", "tech", "backup", "wake-up", "state");
     for chip in published_chips() {
         println!(
             "{:<48} {:>9} {:>9.1}us {:>9.2}us {:>7}b",
@@ -40,10 +37,8 @@ fn main() {
         print!(" {name:>10}");
     }
     println!();
-    let series: Vec<Vec<(f64, f64)>> = retentions
-        .iter()
-        .map(|&(_, ret)| model.current_vs_pulse(ret, 8))
-        .collect();
+    let series: Vec<Vec<(f64, f64)>> =
+        retentions.iter().map(|&(_, ret)| model.current_vs_pulse(ret, 8)).collect();
     for i in 0..8 {
         print!("{:>10.2}", series[0][i].0 * 1e9);
         for s in &series {

@@ -24,12 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             BackupPolicy::OnDemand { margin },
         )?;
         let r = sys.run(&trace)?;
-        println!(
-            "{margin:>8.1} {:>12} {:>9} {:>10}",
-            r.forward_progress(),
-            r.backups,
-            r.rollbacks
-        );
+        println!("{margin:>8.1} {:>12} {:>9} {:>10}", r.forward_progress(), r.backups, r.rollbacks);
     }
 
     println!("\n== storage capacitance sweep (demand policy, margin 1.5) ==");

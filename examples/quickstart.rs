@@ -19,12 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A hardware NVP: distributed FeRAM NV flip-flops, demand backup.
     let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
-    let mut nvp = IntermittentSystem::new(
-        &program,
-        SystemConfig::default(),
-        backup,
-        BackupPolicy::demand(),
-    )?;
+    let mut nvp =
+        IntermittentSystem::new(&program, SystemConfig::default(), backup, BackupPolicy::demand())?;
 
     // Ten seconds of turbulent wearable power (≈20-40 µW average,
     // thousands of power emergencies).
@@ -37,17 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let report = nvp.run(&trace)?;
-    println!(
-        "forward progress : {} instructions committed",
-        report.forward_progress()
-    );
+    println!("forward progress : {} instructions committed", report.forward_progress());
     println!("backups/restores : {} / {}", report.backups, report.restores);
     println!("rollbacks        : {} (demand policy loses nothing)", report.rollbacks);
     println!("system-on time   : {:.1} %", report.on_fraction() * 100.0);
-    println!(
-        "backup overhead  : {:.1} % of income energy",
-        report.backup_energy_share() * 100.0
-    );
+    println!("backup overhead  : {:.1} % of income energy", report.backup_energy_share() * 100.0);
     println!(
         "persistent counter after {} power cycles: {}",
         report.restores,

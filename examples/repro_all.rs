@@ -5,11 +5,12 @@
 
 use std::path::Path;
 
-use nvp::experiments::{run_all, ExpConfig};
+use nvp::experiments::{registry, run_all, ExpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+    eprintln!("regenerating {} registered experiments ...", registry().len());
     let artifacts = run_all(&cfg, Path::new("results"))?;
     for table in &artifacts.tables {
         println!("{}", table.to_markdown());

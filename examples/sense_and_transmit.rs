@@ -8,9 +8,9 @@
 //! Run with: `cargo run --release --example sense_and_transmit`
 
 use nvp::isa::builder::ProgramBuilder;
+use nvp::isa::Reg;
 use nvp::platform::AppProfile;
 use nvp::prelude::*;
-use nvp::isa::Reg;
 
 fn build_app(threshold: u16) -> Result<nvp::isa::Program, Box<dyn std::error::Error>> {
     let mut b = ProgramBuilder::new();
@@ -44,12 +44,8 @@ fn build_app(threshold: u16) -> Result<nvp::isa::Program, Box<dyn std::error::Er
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = build_app(90)?;
     let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
-    let mut sys = IntermittentSystem::new(
-        &program,
-        SystemConfig::default(),
-        backup,
-        BackupPolicy::demand(),
-    )?;
+    let mut sys =
+        IntermittentSystem::new(&program, SystemConfig::default(), backup, BackupPolicy::demand())?;
     // A slowly rising "temperature" on the sensor port, body-heat power.
     sys.run(&harvester::thermal_body(1, 2.0))?;
     // Change the latched sensor value between windows.
@@ -59,12 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let report = *sys.report();
     let samples = sys.machine().read_word(1).unwrap_or(0);
-    let packets = sys
-        .machine()
-        .out_log()
-        .iter()
-        .filter(|(port, _)| *port == 1)
-        .count();
+    let packets = sys.machine().out_log().iter().filter(|(port, _)| *port == 1).count();
 
     println!(
         "ran {:.0} s on body heat: {} samples, {} alert packets, {} power cycles",

@@ -32,19 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Hardware NVP ---
     let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
-    let mut nvp = IntermittentSystem::new(kernel.program(), sys_cfg, backup, BackupPolicy::demand())?;
+    let mut nvp =
+        IntermittentSystem::new(kernel.program(), sys_cfg, backup, BackupPolicy::demand())?;
     let nr = nvp.run(&trace)?;
-    println!("NVP : {} frames, fp {}, {} backups, {} rollbacks",
-        nr.tasks_completed, nr.forward_progress(), nr.backups, nr.rollbacks);
+    println!(
+        "NVP : {} frames, fp {}, {} backups, {} rollbacks",
+        nr.tasks_completed,
+        nr.forward_progress(),
+        nr.backups,
+        nr.rollbacks
+    );
 
     // The frame completed across many power failures must still be exact.
     if nr.tasks_completed > 0 {
         let output = kernel.output_of(nvp.machine());
-        assert_eq!(
-            output,
-            kernel.reference(),
-            "intermittent execution corrupted the output!"
-        );
+        assert_eq!(output, kernel.reference(), "intermittent execution corrupted the output!");
         println!("      output verified bit-exact against the reference");
     }
 
@@ -55,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wr = wait.run(&trace)?;
     println!(
         "wait: {} frames, fp {}, {} mid-frame losses",
-        wr.tasks_completed, wr.forward_progress(), wr.rollbacks
+        wr.tasks_completed,
+        wr.forward_progress(),
+        wr.rollbacks
     );
 
     let ratio = nr.forward_progress() as f64 / wr.forward_progress().max(1) as f64;

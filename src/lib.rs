@@ -50,11 +50,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use nvp_core as platform;
 pub use nvp_device as device;
 pub use nvp_energy as energy;
 pub use nvp_experiments as experiments;
 pub use nvp_isa as isa;
-pub use nvp_core as platform;
 pub use nvp_sim as sim;
 pub use nvp_workloads as workloads;
 

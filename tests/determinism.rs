@@ -27,8 +27,7 @@ fn full_platform_runs_are_reproducible() {
         let mut cfg = SystemConfig::default();
         cfg.dmem_words = cfg.dmem_words.max(kernel.min_dmem_words());
         let mut sys =
-            IntermittentSystem::new(kernel.program(), cfg, backup, BackupPolicy::demand())
-                .unwrap();
+            IntermittentSystem::new(kernel.program(), cfg, backup, BackupPolicy::demand()).unwrap();
         let report = sys.run(&trace).unwrap();
         (report, kernel.output_of(sys.machine()))
     };

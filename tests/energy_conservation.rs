@@ -1,0 +1,97 @@
+//! Energy-conservation property shared by both platforms.
+//!
+//! Whatever the phase logic does, the unified `EnergyFrontEnd` must
+//! keep the books balanced: nothing is converted that was not
+//! harvested, and every converted joule is either spent on a named
+//! account (compute, backup, restore, sleep, regulator), still stored
+//! at the end, counted as storage waste (overflow + leak), or was the
+//! residual charge discarded by a brown-out. The only unaccounted term
+//! is that brown-out residual, so the imbalance must be non-negative
+//! and bounded by `rollbacks × (largest single draw)`.
+
+use nvp::prelude::*;
+
+/// Per-rollback bound on the charge a brown-out may discard beyond the
+/// failed request itself: generous headroom over any single
+/// instruction's draw (pJ–nJ scale) in either platform.
+const STEP_DRAW_BOUND_J: f64 = 1e-6;
+
+/// Asserts the conservation invariant for one finished run.
+fn assert_conserved(label: &str, e: &nvp::platform::EnergyBreakdown, rollbacks: u64, slack_j: f64) {
+    assert!(
+        e.harvested_j + 1e-12 >= e.converted_j,
+        "{label}: converted {} exceeds harvested {}",
+        e.converted_j,
+        e.harvested_j
+    );
+    let accounted = e.compute_j
+        + e.backup_j
+        + e.restore_j
+        + e.sleep_j
+        + e.regulator_j
+        + e.stored_at_end_j
+        + e.storage_wasted_j;
+    let residual = e.converted_j - accounted;
+    let tol = 1e-9 * e.converted_j + 1e-12;
+    assert!(residual >= -tol, "{label}: over-accounted by {residual} J");
+    let bound = rollbacks as f64 * slack_j + tol;
+    assert!(
+        residual <= bound,
+        "{label}: {residual} J unaccounted exceeds brown-out bound {bound} J \
+         ({rollbacks} rollbacks)"
+    );
+}
+
+/// Seeded traces spanning calm and turbulent supplies.
+fn traces() -> Vec<(String, PowerTrace)> {
+    let mut out = Vec::new();
+    for seed in [1u64, 7, 42] {
+        out.push((format!("wrist_watch[{seed}]"), harvester::wrist_watch(seed, 4.0)));
+        out.push((format!("solar_indoor[{seed}]"), harvester::solar_indoor(seed, 4.0)));
+        out.push((format!("rf_wifi[{seed}]"), harvester::rf_wifi(seed, 4.0)));
+    }
+    out
+}
+
+fn workload() -> Program {
+    assemble("li r2, 400\nloop: addi r1, r1, 1\nbne r1, r2, loop\nhalt").unwrap()
+}
+
+#[test]
+fn intermittent_system_conserves_energy() {
+    let program = workload();
+    for (label, trace) in traces() {
+        for tech in [NvmTechnology::Feram, NvmTechnology::SttMram] {
+            let backup = BackupModel::distributed(tech, 2048);
+            let slack = backup.backup_energy_j + STEP_DRAW_BOUND_J;
+            let mut sys = IntermittentSystem::new(
+                &program,
+                SystemConfig::default(),
+                backup,
+                BackupPolicy::demand(),
+            )
+            .unwrap();
+            let report = sys.run(&trace).unwrap();
+            assert_conserved(
+                &format!("nvp/{tech:?}/{label}"),
+                &report.energy,
+                report.rollbacks,
+                slack,
+            );
+        }
+    }
+}
+
+#[test]
+fn wait_compute_system_conserves_energy() {
+    let program = workload();
+    let cost = measure_task(&program, &SystemConfig::default(), 1_000_000).unwrap();
+    for (label, trace) in traces() {
+        let cfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+        // Each wait-compute draw is one regulator-inflated instruction.
+        let slack = STEP_DRAW_BOUND_J / cfg.discharge_efficiency;
+        let mut sys = WaitComputeSystem::new(&program, cfg).unwrap();
+        let report = sys.run(&trace).unwrap();
+        assert_conserved(&format!("wait/{label}"), &report.energy, report.rollbacks, slack);
+    }
+}

@@ -1,0 +1,192 @@
+//! Golden digests: the evaluation artifacts are pinned byte-for-byte.
+//!
+//! `run_all(ExpConfig::quick())` — at the default seeds and at a
+//! shifted seed set — must produce exactly the SHA-256 digests recorded
+//! below. Any change to the simulation, the experiments, or the CSV
+//! formatting shows up here as a digest mismatch; a PR that *means* to
+//! change the output must re-pin these constants and say so.
+//!
+//! SHA-256 is implemented inline (FIPS 180-4) because the workspace is
+//! offline and takes no hashing dependency; it is checked against the
+//! standard test vectors first.
+
+use std::path::PathBuf;
+
+use nvp::experiments::{run_all, ExpConfig};
+
+/// Minimal FIPS 180-4 SHA-256, sufficient for hashing artifact files.
+mod sha256 {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+
+    fn compress(h: &mut [u32; 8], block: &[u8]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    /// Hex-encoded SHA-256 of `data`.
+    pub fn hex(data: &[u8]) -> String {
+        let mut h: [u32; 8] = [
+            0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+            0x5be0cd19,
+        ];
+        let mut msg = data.to_vec();
+        msg.push(0x80);
+        while msg.len() % 64 != 56 {
+            msg.push(0);
+        }
+        msg.extend_from_slice(&(u64::try_from(data.len()).unwrap() * 8).to_be_bytes());
+        for block in msg.chunks_exact(64) {
+            compress(&mut h, block);
+        }
+        h.iter().map(|w| format!("{w:08x}")).collect()
+    }
+}
+
+#[test]
+fn sha256_matches_fips_vectors() {
+    assert_eq!(
+        sha256::hex(b""),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    );
+    assert_eq!(
+        sha256::hex(b"abc"),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    );
+    assert_eq!(
+        sha256::hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    );
+    // Multi-block input (>64 bytes), exercising the chunk loop.
+    assert_eq!(sha256::hex(&[b'a'; 200]), sha256::hex(&"a".repeat(200).into_bytes()),);
+}
+
+/// `ExpConfig::quick()` at its default seeds (profiles 1,2 / frame 7).
+const GOLDEN_QUICK: &[(&str, &str)] = &[
+    ("RESULTS.md", "703a9dbf94493803f75772d756ef380c9db2f621ffcafa29d81652d33e4b796c"),
+    ("f1.csv", "9cbaa881470c9bc1b0e6828622627433ca248c6c22cb9ab03a6b74a1f9f1a772"),
+    ("f10.csv", "56af3235ae90e1aa759a6f6d09d2d6b8f85587d0cac37650db15b9021329273f"),
+    ("f11.csv", "bae0b4c19dff11fbbef61e57c2918d8434375c1db38e37c284a7881a01f5bdbf"),
+    ("f1_profile_1.csv", "c0a486e4bf6a8221a851fb50a2a55e24b670a2ae922827889545484adb163c23"),
+    ("f1_profile_2.csv", "58890087758b81c4c76af5f50a0a5fb2234af03073a114dd9223d5ec1a0dae92"),
+    ("f2.csv", "b75330f03b7b755d6a623d70dfe0af8600c70cedd24aefd5f493839644d5ac21"),
+    ("f2h.csv", "a401c181c2eda4ee331d6a8a1d606f81d25af037f6ff370ef8bd35a66b51c9d6"),
+    ("f3.csv", "28a7c39da135029504886ba549749aab8b974b1b6ce83c4694dabe7e08ac72a8"),
+    ("f4.csv", "7334fe7d1b82952339be97b64c3016a50b272f55a2fa6e7fec18ca891219f6dc"),
+    ("f5.csv", "f687e2b501dbd8ab504563424bf8b21b405f18a1f9e507041e597d7deed3c0d9"),
+    ("f6.csv", "374d63c7eac56d86f6fc78e1ab38e93b4efb8b971a4c072b56facab7dd3acfb6"),
+    ("f7.csv", "3aae5c3f7e427b1f8f69efe4aed97b55743114ab20c0ea10262d5e63c2e1f05a"),
+    ("f8.csv", "487f3f61f36ad35b510bcdf9b14ab4d38c66c4f0d410aea322011564494fb62f"),
+    ("f9.csv", "f20de2ea09e4d9ddaa8642458d4ed8248fef6d9dacb0bc083bf8d261e401729a"),
+    ("t1.csv", "50337ca83cc003a948355e07286931c45f6e989d8423ba3677c1a3c8664f99de"),
+    ("t2.csv", "ba4ce41782253c514394d5fc9d589048a04588aa288ed3b437512cbe334434d6"),
+    ("t3.csv", "63b03c2b7fc8b59fe3eb0afba8f60267bbc06bf2c010d0f6a06f2f61766f7b86"),
+];
+
+/// `ExpConfig::quick()` with `profile_seeds = [3, 4]`, `frame_seed = 11`.
+const GOLDEN_SHIFTED: &[(&str, &str)] = &[
+    ("RESULTS.md", "e3b412057f0f278b027f46aadbcaab9b12cad544e1e80d77a49075b3f22d6de9"),
+    ("f1.csv", "4ec4c0e28260df636f41b6d11b09122f163a1e117ace66e86ed166f1605575b0"),
+    ("f10.csv", "4ed59152337b3cf2a5f2635af9f7677b179e7b8f9ff719045f5081f7f94f9312"),
+    ("f11.csv", "21d1853cc31eb53b41db540e801ab7a0c24d94ee818efa6b5ecffc5fbc5ef700"),
+    ("f1_profile_3.csv", "1fbd3cb89d1d97d4d9a6c007a3e5edaeb04222a98b23883877e5352cc69e8aa4"),
+    ("f1_profile_4.csv", "47a2ce861e93ae38a1d7ad3ac9de7f71cecfb6594938c1d155fa36774907e9e6"),
+    ("f2.csv", "d66a25d68ac764569de3db1b01e64c50e3a0639ca429135e8157dd75cb3ca42f"),
+    ("f2h.csv", "4fadd5edb1edf1774c48311a9b55d3dbfae8d0f1a42bcabb069c8f704a7252f0"),
+    ("f3.csv", "c06e1e904a51085b759c151d591aafde56347de9cd8e925becb8402b3da23324"),
+    ("f4.csv", "f97a5a61e0a0b056c04700c822907b5c0b4880e70eaa85bdf0daf1a6fc2c8418"),
+    ("f5.csv", "d844e805d4ad5d4f0d9aa096325a47398aad22dbb28b077046559bf70ac3a1cb"),
+    ("f6.csv", "30158130ab5e1855dd82af1919b8c1490cea74d424d02f9a808a94787d570260"),
+    ("f7.csv", "4d0f49408a7c8049c9ebcdcdf0e3fe727edeb0d9d88abb32bd9dda0819242214"),
+    ("f8.csv", "1ad4bebcb9d002c869d5023cdc0b8f75273388604fb2e29b280d3cc0e78f4df9"),
+    ("f9.csv", "bc9305497e173b241bb6b90e537fbd41fda288be3f5966a43b942910196efbaa"),
+    ("t1.csv", "50337ca83cc003a948355e07286931c45f6e989d8423ba3677c1a3c8664f99de"),
+    ("t2.csv", "ba4ce41782253c514394d5fc9d589048a04588aa288ed3b437512cbe334434d6"),
+    ("t3.csv", "b3bfa70b5ec89723ac2e6081544173cfe7490bb8deda7152934e84369cf8a2a3"),
+];
+
+/// A temp dir unique to this process and call, so concurrent test
+/// invocations never race on `remove_dir_all`.
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
+fn assert_digests(tag: &str, cfg: &ExpConfig, golden: &[(&str, &str)]) {
+    let dir = unique_dir("nvp_golden");
+    run_all(cfg, &dir).unwrap();
+    let mut actual: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().into_string().unwrap();
+            let digest = sha256::hex(&std::fs::read(e.path()).unwrap());
+            (name, digest)
+        })
+        .collect();
+    actual.sort();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let actual_names: Vec<&str> = actual.iter().map(|(n, _)| n.as_str()).collect();
+    let golden_names: Vec<&str> = golden.iter().map(|(n, _)| *n).collect();
+    assert_eq!(actual_names, golden_names, "{tag}: artifact set changed");
+    for ((name, digest), (_, want)) in actual.iter().zip(golden) {
+        assert_eq!(
+            digest, want,
+            "{tag}: {name} changed — evaluation output is no longer byte-identical; \
+             if the change is intentional, re-pin the digest"
+        );
+    }
+}
+
+#[test]
+fn quick_artifacts_match_golden_digests() {
+    assert_digests("quick", &ExpConfig::quick(), GOLDEN_QUICK);
+}
+
+#[test]
+fn shifted_seed_artifacts_match_golden_digests() {
+    let mut cfg = ExpConfig::quick();
+    cfg.profile_seeds = vec![3, 4];
+    cfg.frame_seed = 11;
+    assert_digests("shifted", &cfg, GOLDEN_SHIFTED);
+}

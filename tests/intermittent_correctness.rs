@@ -26,7 +26,8 @@ fn run_intermittent(kernel: &KernelInstance) -> nvp::platform::RunReport {
         .expect("platform builds");
     let report = sys.run(&bursty_trace(40)).expect("workload does not fault");
     assert_eq!(
-        report.tasks_completed, 1,
+        report.tasks_completed,
+        1,
         "{}: task should complete exactly once within the trace",
         kernel.kind()
     );

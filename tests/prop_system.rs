@@ -15,12 +15,7 @@ fn counter_program() -> Program {
 fn any_trace(rng: &mut StdRng) -> PowerTrace {
     let n = 1 + rng.random::<u32>() as usize % 19;
     let segments: Vec<(f64, f64)> = (0..n)
-        .map(|_| {
-            (
-                rng.random::<f64>() * 2e-3,
-                1e-3 + rng.random::<f64>() * (0.05 - 1e-3),
-            )
-        })
+        .map(|_| (rng.random::<f64>() * 2e-3, 1e-3 + rng.random::<f64>() * (0.05 - 1e-3)))
         .collect();
     PowerTrace::from_segments(1e-4, &segments)
 }
