@@ -2,6 +2,8 @@
 //! stay in the source (documenting intent and keeping types ready for
 //! real serde), but the derives expand to nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the `serde` stand-in's `Serialize` is a marker.

@@ -2,3 +2,5 @@
 //! regenerate every table and figure of the reconstructed evaluation
 //! (`benches/experiments.rs`) and the micro-benchmarks for the simulator
 //! and assembler substrates.
+
+#![forbid(unsafe_code)]

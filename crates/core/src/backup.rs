@@ -2,6 +2,7 @@
 
 use nvp_device::sttram::SttModel;
 use nvp_device::{ChipProfile, NvffBank, NvmTechnology, RetentionShaper};
+use nvp_energy::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// How processor state is preserved across power failures.
@@ -52,7 +53,7 @@ impl std::fmt::Display for BackupStyle {
 ///
 /// let nvp = BackupModel::distributed(NvmTechnology::Feram, 2048);
 /// let sw = BackupModel::software(NvmTechnology::Feram, 2048, 1024, 1e6);
-/// assert!(sw.backup_time_s > 10.0 * nvp.backup_time_s,
+/// assert!(sw.backup_time > 10.0 * nvp.backup_time,
 ///         "software checkpointing is orders of magnitude slower");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,22 +64,22 @@ pub struct BackupModel {
     pub tech: NvmTechnology,
     /// State bits covered by a checkpoint.
     pub state_bits: u64,
-    /// Energy per backup operation, joules.
-    pub backup_energy_j: f64,
-    /// Wall-clock time per backup operation, seconds.
-    pub backup_time_s: f64,
-    /// Energy per restore operation, joules.
-    pub restore_energy_j: f64,
-    /// Wall-clock time per restore operation, seconds.
-    pub restore_time_s: f64,
+    /// Energy per backup operation.
+    pub backup_energy: Joules,
+    /// Wall-clock time per backup operation.
+    pub backup_time: Seconds,
+    /// Energy per restore operation.
+    pub restore_energy: Joules,
+    /// Wall-clock time per restore operation.
+    pub restore_time: Seconds,
 }
 
-/// Fixed controller/analog overhead per hardware backup, joules.
-pub const HW_BACKUP_OVERHEAD_J: f64 = 150e-9;
-/// Fixed controller/analog overhead per hardware restore, joules.
-pub const HW_RESTORE_OVERHEAD_J: f64 = 80e-9;
-/// Fixed sequencing overhead per hardware backup/restore, seconds.
-pub const HW_SEQ_OVERHEAD_S: f64 = 1e-6;
+/// Fixed controller/analog overhead per hardware backup.
+pub const HW_BACKUP_OVERHEAD: Joules = Joules::new(150e-9);
+/// Fixed controller/analog overhead per hardware restore.
+pub const HW_RESTORE_OVERHEAD: Joules = Joules::new(80e-9);
+/// Fixed sequencing overhead per hardware backup/restore.
+pub const HW_SEQ_OVERHEAD: Seconds = Seconds::new(1e-6);
 
 impl BackupModel {
     /// Distributed NV flip-flop backup (the NVP approach): every state
@@ -90,10 +91,10 @@ impl BackupModel {
             style: BackupStyle::Distributed,
             tech,
             state_bits,
-            backup_energy_j: bank.backup_energy_j() + HW_BACKUP_OVERHEAD_J,
-            backup_time_s: bank.backup_time_s() + HW_SEQ_OVERHEAD_S,
-            restore_energy_j: bank.restore_energy_j() + HW_RESTORE_OVERHEAD_J,
-            restore_time_s: bank.restore_time_s() + HW_SEQ_OVERHEAD_S,
+            backup_energy: bank.backup_energy() + HW_BACKUP_OVERHEAD,
+            backup_time: bank.backup_time() + HW_SEQ_OVERHEAD,
+            restore_energy: bank.restore_energy() + HW_RESTORE_OVERHEAD,
+            restore_time: bank.restore_time() + HW_SEQ_OVERHEAD,
         }
     }
 
@@ -107,11 +108,11 @@ impl BackupModel {
             style: BackupStyle::Centralized,
             tech,
             state_bits,
-            backup_energy_j: p.write_energy_j(state_bits) * 2.0 // array + mux/bus
-                + HW_BACKUP_OVERHEAD_J,
-            backup_time_s: words as f64 * p.write_latency_s + HW_SEQ_OVERHEAD_S,
-            restore_energy_j: p.read_energy_j(state_bits) * 2.0 + HW_RESTORE_OVERHEAD_J,
-            restore_time_s: words as f64 * p.read_latency_s + HW_SEQ_OVERHEAD_S,
+            backup_energy: p.write_energy(state_bits) * 2.0 // array + mux/bus
+                + HW_BACKUP_OVERHEAD,
+            backup_time: words as f64 * p.write_latency() + HW_SEQ_OVERHEAD,
+            restore_energy: p.read_energy(state_bits) * 2.0 + HW_RESTORE_OVERHEAD,
+            restore_time: words as f64 * p.read_latency() + HW_SEQ_OVERHEAD,
         }
     }
 
@@ -125,16 +126,16 @@ impl BackupModel {
         let total_bits = total_words * 16;
         // ~4 cycles per copied word (load, store, pointer bump, loop).
         let cpu_cycles = total_words * 4;
-        let cpu_energy = cpu_cycles as f64 * 209e-12; // 0.209 mW @ 1 MHz core
-        let cpu_time = cpu_cycles as f64 / clock_hz;
+        let cpu_energy = Joules::new(cpu_cycles as f64 * 209e-12); // 0.209 mW @ 1 MHz core
+        let cpu_time = Seconds::new(cpu_cycles as f64 / clock_hz);
         BackupModel {
             style: BackupStyle::Software,
             tech,
             state_bits: total_bits,
-            backup_energy_j: cpu_energy + p.write_energy_j(total_bits),
-            backup_time_s: cpu_time + total_words as f64 * p.write_latency_s,
-            restore_energy_j: cpu_energy + p.read_energy_j(total_bits),
-            restore_time_s: cpu_time + total_words as f64 * p.read_latency_s,
+            backup_energy: cpu_energy + p.write_energy(total_bits),
+            backup_time: cpu_time + total_words as f64 * p.write_latency(),
+            restore_energy: cpu_energy + p.read_energy(total_bits),
+            restore_time: cpu_time + total_words as f64 * p.read_latency(),
         }
     }
 
@@ -149,10 +150,10 @@ impl BackupModel {
             },
             tech: chip.tech,
             state_bits: chip.state_bits,
-            backup_energy_j: chip.backup_energy_j,
-            backup_time_s: chip.backup_time_s,
-            restore_energy_j: chip.restore_energy_j,
-            restore_time_s: chip.restore_time_s,
+            backup_energy: Joules::new(chip.backup_energy_j),
+            backup_time: Seconds::new(chip.backup_time_s),
+            restore_energy: Joules::new(chip.restore_energy_j),
+            restore_time: Seconds::new(chip.restore_time_s),
         }
     }
 
@@ -165,8 +166,8 @@ impl BackupModel {
     #[must_use]
     pub fn with_relaxation(mut self, shaper: &RetentionShaper, model: &SttModel) -> Self {
         let scale = shaper.write_energy_scale(model);
-        let array = (self.backup_energy_j - HW_BACKUP_OVERHEAD_J).max(0.0);
-        self.backup_energy_j = array * scale + HW_BACKUP_OVERHEAD_J;
+        let array = (self.backup_energy - HW_BACKUP_OVERHEAD).max(Joules::ZERO);
+        self.backup_energy = array * scale + HW_BACKUP_OVERHEAD;
         self
     }
 
@@ -174,25 +175,25 @@ impl BackupModel {
     /// `factor` (for sensitivity sweeps).
     #[must_use]
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.backup_energy_j *= factor;
-        self.backup_time_s *= factor;
-        self.restore_energy_j *= factor;
-        self.restore_time_s *= factor;
+        self.backup_energy = self.backup_energy * factor;
+        self.backup_time = self.backup_time * factor;
+        self.restore_energy = self.restore_energy * factor;
+        self.restore_time = self.restore_time * factor;
         self
     }
 
     /// Returns a copy with the restore time replaced (wake-up-latency
     /// sensitivity study F6).
     #[must_use]
-    pub fn with_restore_time(mut self, seconds: f64) -> Self {
-        self.restore_time_s = seconds;
+    pub fn with_restore_time(mut self, restore_time: Seconds) -> Self {
+        self.restore_time = restore_time;
         self
     }
 
-    /// Combined energy of one backup + one restore pair, joules.
+    /// Combined energy of one backup + one restore pair.
     #[must_use]
-    pub fn round_trip_energy_j(&self) -> f64 {
-        self.backup_energy_j + self.restore_energy_j
+    pub fn round_trip_energy(&self) -> Joules {
+        self.backup_energy + self.restore_energy
     }
 }
 
@@ -206,16 +207,16 @@ mod tests {
         let d = BackupModel::distributed(NvmTechnology::Feram, 2048);
         let c = BackupModel::centralized(NvmTechnology::Feram, 2048);
         let s = BackupModel::software(NvmTechnology::Feram, 2048, 1024, 1e6);
-        assert!(d.backup_time_s < c.backup_time_s);
-        assert!(c.backup_time_s < s.backup_time_s);
-        assert!(d.backup_energy_j < s.backup_energy_j);
+        assert!(d.backup_time < c.backup_time);
+        assert!(c.backup_time < s.backup_time);
+        assert!(d.backup_energy < s.backup_energy);
     }
 
     #[test]
     fn software_checkpoint_is_milliseconds() {
         let s = BackupModel::software(NvmTechnology::Feram, 2048, 1024, 1e6);
-        assert!(s.backup_time_s > 1e-3, "{}", s.backup_time_s);
-        assert!(s.backup_time_s < 0.1);
+        assert!(s.backup_time > Seconds::new(1e-3), "{}", s.backup_time);
+        assert!(s.backup_time < Seconds::new(0.1));
     }
 
     #[test]
@@ -224,8 +225,8 @@ mod tests {
         // high-nanojoule range so 1400-1700 backups/min consume 20-33 %
         // of a ~25 µW income.
         let d = BackupModel::distributed(NvmTechnology::Feram, 2048);
-        let rt = d.round_trip_energy_j();
-        assert!(rt > 150e-9 && rt < 500e-9, "{rt}");
+        let rt = d.round_trip_energy();
+        assert!(rt > Joules::new(150e-9) && rt < Joules::new(500e-9), "{rt}");
     }
 
     #[test]
@@ -233,10 +234,10 @@ mod tests {
         let base = BackupModel::distributed(NvmTechnology::SttMram, 2048);
         let shaper = RetentionShaper::new(RelaxPolicy::Log, 8, 0.01, 86_400.0);
         let relaxed = base.with_relaxation(&shaper, &SttModel::default());
-        assert!(relaxed.backup_energy_j < base.backup_energy_j);
-        assert!(relaxed.backup_energy_j >= HW_BACKUP_OVERHEAD_J);
-        assert_eq!(relaxed.restore_energy_j, base.restore_energy_j);
-        assert_eq!(relaxed.backup_time_s, base.backup_time_s);
+        assert!(relaxed.backup_energy < base.backup_energy);
+        assert!(relaxed.backup_energy >= HW_BACKUP_OVERHEAD);
+        assert_eq!(relaxed.restore_energy, base.restore_energy);
+        assert_eq!(relaxed.backup_time, base.backup_time);
     }
 
     #[test]
@@ -244,8 +245,8 @@ mod tests {
         let chips = nvp_device::published_chips();
         for chip in &chips {
             let m = BackupModel::from_chip(chip);
-            assert_eq!(m.backup_time_s, chip.backup_time_s, "{}", chip.name);
-            assert_eq!(m.restore_time_s, chip.restore_time_s, "{}", chip.name);
+            assert_eq!(m.backup_time.get(), chip.backup_time_s, "{}", chip.name);
+            assert_eq!(m.restore_time.get(), chip.restore_time_s, "{}", chip.name);
         }
     }
 
@@ -253,9 +254,9 @@ mod tests {
     fn scaling_helpers() {
         let base = BackupModel::distributed(NvmTechnology::Reram, 1024);
         let double = base.scaled(2.0);
-        assert!((double.backup_energy_j / base.backup_energy_j - 2.0).abs() < 1e-12);
-        let slow = base.with_restore_time(46e-6);
-        assert_eq!(slow.restore_time_s, 46e-6);
-        assert_eq!(slow.backup_time_s, base.backup_time_s);
+        assert!((double.backup_energy / base.backup_energy - 2.0).abs() < 1e-12);
+        let slow = base.with_restore_time(Seconds::new(46e-6));
+        assert_eq!(slow.restore_time, Seconds::new(46e-6));
+        assert_eq!(slow.backup_time, base.backup_time);
     }
 }

@@ -73,7 +73,7 @@ pub use appmodel::{
     AppProfile, EnergyShares, CORE_CLOCK_HZ, CORE_POWER_W, RADIO_POWER_W, RADIO_RATE_BPS,
 };
 pub use backup::{
-    BackupModel, BackupStyle, HW_BACKUP_OVERHEAD_J, HW_RESTORE_OVERHEAD_J, HW_SEQ_OVERHEAD_S,
+    BackupModel, BackupStyle, HW_BACKUP_OVERHEAD, HW_RESTORE_OVERHEAD, HW_SEQ_OVERHEAD,
 };
 pub use clock::ClockPolicy;
 pub use nvp_energy::{EnergyFrontEnd, FrontEndConfig, TickIncome};

@@ -12,13 +12,14 @@
 //! task commit) are reported to an observer, with the no-op
 //! [`NullObserver`] used when nobody is listening.
 
+use nvp_energy::units::{Seconds, Watts};
 use nvp_energy::{EnergyFrontEnd, PowerTrace, TickIncome};
 use nvp_sim::{Machine, SimError};
 
 use crate::RunReport;
 
 /// A discrete platform event, reported to a [`SimObserver`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SimEvent {
     /// Stored energy crossed the start threshold: the platform wakes.
     PowerOn,
@@ -139,20 +140,20 @@ pub fn drive_observed<P: Platform + ?Sized>(
 ) -> Result<RunReport, SimError> {
     let dt = trace.dt_s();
     for i in 0..trace.len() {
-        let income = platform.front_end_mut().tick(trace.power_at(i), dt);
+        let income = platform.front_end_mut().tick(Watts::new(trace.power_at(i)), Seconds::new(dt));
         let energy = &mut platform.report_mut().energy;
-        energy.harvested_j += income.harvested_j;
-        energy.converted_j += income.converted_j;
+        energy.harvested += income.harvested;
+        energy.converted += income.converted;
         platform.tick(income, dt, obs)?;
         platform.report_mut().duration_s += dt;
     }
     let uncommitted = platform.uncommitted();
-    let stored = platform.front_end().storage().energy_j();
-    let wasted = platform.front_end().storage().wasted_j();
+    let stored = platform.front_end().storage().energy();
+    let wasted = platform.front_end().storage().wasted();
     let report = platform.report_mut();
     report.uncommitted_at_end = uncommitted;
-    report.energy.stored_at_end_j = stored;
-    report.energy.storage_wasted_j = wasted;
+    report.energy.stored_at_end = stored;
+    report.energy.storage_wasted = wasted;
     Ok(*report)
 }
 
@@ -166,12 +167,13 @@ mod tests {
     use nvp_device::NvmTechnology;
     use nvp_energy::harvester;
     use nvp_isa::asm::assemble;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
-    /// Counts every event it sees.
+    /// Counts every event it sees; the map iterates in a deterministic
+    /// (declaration) order so summaries are stable.
     #[derive(Default)]
     struct Counter {
-        counts: HashMap<SimEvent, u64>,
+        counts: BTreeMap<SimEvent, u64>,
         last_t: f64,
     }
 
@@ -250,7 +252,7 @@ mod tests {
         let mut obs = Counter::default();
         let observed = build().run_observed(&trace, &mut obs).unwrap();
         assert_eq!(plain, observed);
-        assert_eq!(plain.energy.compute_j.to_bits(), observed.energy.compute_j.to_bits());
+        assert_eq!(plain.energy.compute.get().to_bits(), observed.energy.compute.get().to_bits());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Backup-trigger policies and operating thresholds.
 
+use nvp_energy::units::Joules;
 use serde::{Deserialize, Serialize};
 
 use crate::BackupModel;
@@ -37,15 +38,15 @@ impl BackupPolicy {
         BackupPolicy::OnDemand { margin: 1.5 }
     }
 
-    /// Energy floor at which a demand backup triggers, joules
-    /// (0 for purely periodic policies).
+    /// Energy floor at which a demand backup triggers
+    /// ([`Joules::ZERO`] for purely periodic policies).
     #[must_use]
-    pub fn reserve_j(&self, backup: &BackupModel) -> f64 {
+    pub fn reserve(&self, backup: &BackupModel) -> Joules {
         match *self {
             BackupPolicy::OnDemand { margin } | BackupPolicy::Hybrid { margin, .. } => {
-                margin * backup.backup_energy_j
+                margin * backup.backup_energy
             }
-            BackupPolicy::Periodic { .. } => 0.0,
+            BackupPolicy::Periodic { .. } => Joules::ZERO,
         }
     }
 
@@ -64,45 +65,46 @@ impl BackupPolicy {
 /// Operating thresholds derived from a backup model and policy.
 ///
 /// * the platform leaves the off state once stored energy reaches
-///   `start_j` (enough to restore, do useful work, and still afford the
+///   `start` (enough to restore, do useful work, and still afford the
 ///   next backup),
-/// * a demand backup triggers when energy falls to `backup_reserve_j`.
+/// * a demand backup triggers when energy falls to `backup_reserve`.
 ///
 /// # Example
 ///
 /// ```
 /// use nvp_core::{BackupModel, BackupPolicy, Thresholds};
 /// use nvp_device::NvmTechnology;
+/// use nvp_energy::units::Joules;
 ///
 /// let model = BackupModel::distributed(NvmTechnology::Feram, 2048);
-/// let th = Thresholds::derive(&model, &BackupPolicy::demand(), 500e-9);
-/// assert!(th.start_j > th.backup_reserve_j);
+/// let th = Thresholds::derive(&model, &BackupPolicy::demand(), Joules::new(500e-9));
+/// assert!(th.start > th.backup_reserve);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Thresholds {
-    /// Stored energy required to begin (or resume) execution, joules.
-    pub start_j: f64,
-    /// Stored-energy floor that triggers a demand backup, joules.
-    pub backup_reserve_j: f64,
+    /// Stored energy required to begin (or resume) execution.
+    pub start: Joules,
+    /// Stored-energy floor that triggers a demand backup.
+    pub backup_reserve: Joules,
 }
 
 impl Thresholds {
     /// Derives thresholds: the reserve comes from the policy, and the
-    /// start level adds the restore cost plus `work_headroom_j` of
+    /// start level adds the restore cost plus `work_headroom` of
     /// useful-work budget so the platform does not thrash on/off.
     #[must_use]
-    pub fn derive(backup: &BackupModel, policy: &BackupPolicy, work_headroom_j: f64) -> Self {
-        let reserve = policy.reserve_j(backup).max(backup.backup_energy_j);
+    pub fn derive(backup: &BackupModel, policy: &BackupPolicy, work_headroom: Joules) -> Self {
+        let reserve = policy.reserve(backup).max(backup.backup_energy);
         Thresholds {
-            start_j: reserve + backup.restore_energy_j + work_headroom_j,
-            backup_reserve_j: reserve,
+            start: reserve + backup.restore_energy + work_headroom,
+            backup_reserve: reserve,
         }
     }
 
-    /// Returns a copy with the start threshold raised to at least `min_j`.
+    /// Returns a copy with the start threshold raised to at least `min`.
     #[must_use]
-    pub fn with_min_start(mut self, min_j: f64) -> Self {
-        self.start_j = self.start_j.max(min_j);
+    pub fn with_min_start(mut self, min: Joules) -> Self {
+        self.start = self.start.max(min);
         self
     }
 }
@@ -121,14 +123,14 @@ mod tests {
         let m = model();
         let tight = BackupPolicy::OnDemand { margin: 1.0 };
         let safe = BackupPolicy::OnDemand { margin: 2.0 };
-        assert!(safe.reserve_j(&m) > tight.reserve_j(&m));
-        assert!((tight.reserve_j(&m) - m.backup_energy_j).abs() < 1e-15);
+        assert!(safe.reserve(&m) > tight.reserve(&m));
+        assert!((tight.reserve(&m) - m.backup_energy).abs() < Joules::new(1e-15));
     }
 
     #[test]
     fn periodic_has_no_energy_floor() {
         let m = model();
-        assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.reserve_j(&m), 0.0);
+        assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.reserve(&m), Joules::ZERO);
         assert_eq!(BackupPolicy::Periodic { interval_s: 0.01 }.interval_s(), Some(0.01));
         assert_eq!(BackupPolicy::demand().interval_s(), None);
     }
@@ -136,23 +138,24 @@ mod tests {
     #[test]
     fn thresholds_ordering() {
         let m = model();
-        let th = Thresholds::derive(&m, &BackupPolicy::demand(), 1e-6);
-        assert!(th.start_j > th.backup_reserve_j + m.restore_energy_j * 0.99);
-        assert!(th.backup_reserve_j >= m.backup_energy_j);
+        let th = Thresholds::derive(&m, &BackupPolicy::demand(), Joules::new(1e-6));
+        assert!(th.start > th.backup_reserve + m.restore_energy * 0.99);
+        assert!(th.backup_reserve >= m.backup_energy);
     }
 
     #[test]
     fn reserve_never_below_backup_cost() {
         let m = model();
         // A sub-unity margin must still reserve at least one backup.
-        let th = Thresholds::derive(&m, &BackupPolicy::OnDemand { margin: 0.1 }, 0.0);
-        assert!(th.backup_reserve_j >= m.backup_energy_j);
+        let th = Thresholds::derive(&m, &BackupPolicy::OnDemand { margin: 0.1 }, Joules::ZERO);
+        assert!(th.backup_reserve >= m.backup_energy);
     }
 
     #[test]
     fn min_start_clamp() {
         let m = model();
-        let th = Thresholds::derive(&m, &BackupPolicy::demand(), 0.0).with_min_start(1.0);
-        assert_eq!(th.start_j, 1.0);
+        let th = Thresholds::derive(&m, &BackupPolicy::demand(), Joules::ZERO)
+            .with_min_start(Joules::new(1.0));
+        assert_eq!(th.start, Joules::new(1.0));
     }
 }

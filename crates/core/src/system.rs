@@ -5,6 +5,7 @@
 //! capacitor, thresholds) drives the instruction-level machine, deciding
 //! when the core runs, backs up, restores, or sleeps.
 
+use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
 use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
 use nvp_sim::{ArchState, CycleModel, EnergyModel, Machine, SimError, DEFAULT_DMEM_WORDS};
@@ -88,30 +89,30 @@ impl SystemConfig {
     }
 }
 
-/// Where the platform's energy went over a run (all joules).
+/// Where the platform's energy went over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Raw harvested energy offered by the trace.
-    pub harvested_j: f64,
+    pub harvested: Joules,
     /// Energy delivered past the rectifier into storage.
-    pub converted_j: f64,
+    pub converted: Joules,
     /// Energy spent executing instructions.
-    pub compute_j: f64,
+    pub compute: Joules,
     /// Energy spent on backup operations.
-    pub backup_j: f64,
+    pub backup: Joules,
     /// Energy spent on restore operations.
-    pub restore_j: f64,
+    pub restore: Joules,
     /// Energy spent sleeping (standby draw while off).
-    pub sleep_j: f64,
+    pub sleep: Joules,
     /// Energy lost in the output regulator between storage and load
     /// (only platforms that feed the core through a regulator, i.e. the
     /// wait-compute baseline, incur this).
-    pub regulator_j: f64,
+    pub regulator: Joules,
     /// Energy still held in storage when the run ended (snapshot).
-    pub stored_at_end_j: f64,
+    pub stored_at_end: Joules,
     /// Energy lost to capacitor leakage and overcharge spill (snapshot
     /// of the storage device's cumulative waste).
-    pub storage_wasted_j: f64,
+    pub storage_wasted: Joules,
 }
 
 /// The outcome of simulating a platform over a power trace.
@@ -187,8 +188,8 @@ impl RunReport {
     /// Share of converted income energy spent on backup + restore.
     #[must_use]
     pub fn backup_energy_share(&self) -> f64 {
-        if self.energy.converted_j > 0.0 {
-            (self.energy.backup_j + self.energy.restore_j) / self.energy.converted_j
+        if self.energy.converted > Joules::ZERO {
+            (self.energy.backup + self.energy.restore) / self.energy.converted
         } else {
             0.0
         }
@@ -316,14 +317,14 @@ impl IntermittentSystem {
             config.cycle_model,
             config.energy_model,
         )?;
-        let thresholds = Thresholds::derive(&backup, &policy, config.work_headroom_j);
+        let thresholds = Thresholds::derive(&backup, &policy, Joules::new(config.work_headroom_j));
         // An NVP's buffer sits directly at the rectifier output: no
         // trickle penalty, no charger input clipping.
         let fe = EnergyFrontEnd::new(FrontEndConfig::direct(
             config.rectifier,
-            config.capacitance_f,
-            config.cap_voltage_v,
-            config.cap_leak_tau_s,
+            Farads::new(config.capacitance_f),
+            Volts::new(config.cap_voltage_v),
+            Seconds::new(config.cap_leak_tau_s),
         ));
         Ok(IntermittentSystem {
             config,
@@ -407,15 +408,17 @@ impl IntermittentSystem {
         while budget > 1e-12 {
             match self.phase {
                 Phase::Off => {
-                    if self.fe.storage().energy_j() >= self.thresholds.start_j {
-                        if self.fe.storage_mut().draw_j(self.backup.restore_energy_j) {
-                            self.report.energy.restore_j += self.backup.restore_energy_j;
+                    if self.fe.storage().energy() >= self.thresholds.start {
+                        if self.fe.storage_mut().draw(self.backup.restore_energy) {
+                            self.report.energy.restore += self.backup.restore_energy;
                             self.report.restores += 1;
                             obs.on_event(self.report.duration_s, SimEvent::PowerOn);
                             obs.on_event(self.report.duration_s, SimEvent::Restore);
-                            self.phase = Phase::Restoring { left_s: self.backup.restore_time_s };
+                            self.phase =
+                                Phase::Restoring { left_s: self.backup.restore_time.get() };
                         } else {
-                            // start_j should cover restore; sleep instead.
+                            // The start threshold should cover restore;
+                            // sleep instead.
                             self.sleep(budget);
                             budget = 0.0;
                         }
@@ -489,8 +492,8 @@ impl IntermittentSystem {
         let max_step_j = self.machine.max_step_energy_j();
         while budget > 1e-12 {
             // Demand backup when energy reaches the reserve floor.
-            if self.thresholds.backup_reserve_j > 0.0
-                && self.fe.storage().energy_j() <= self.thresholds.backup_reserve_j
+            if self.thresholds.backup_reserve > Joules::ZERO
+                && self.fe.storage().energy() <= self.thresholds.backup_reserve
             {
                 self.begin_backup(false, obs);
                 return Ok(budget);
@@ -512,8 +515,8 @@ impl IntermittentSystem {
             // Largest block that cannot cross any threshold mid-block,
             // assuming every instruction costs the image's worst case.
             let mut block = safe_count(budget, max_step_s);
-            let floor_j = self.thresholds.backup_reserve_j.max(0.0);
-            block = block.min(safe_count(self.fe.storage().energy_j() - floor_j, max_step_j));
+            let floor = self.thresholds.backup_reserve.max(Joules::ZERO);
+            block = block.min(safe_count((self.fe.storage().energy() - floor).get(), max_step_j));
             if let Some(interval) = self.policy.interval_s() {
                 block = block.min(safe_count(interval - self.since_ckpt_s, max_step_s));
             }
@@ -525,7 +528,7 @@ impl IntermittentSystem {
                 self.since_ckpt_s += t;
                 self.report.executed += stats.executed;
                 self.uncommitted += stats.executed;
-                self.report.energy.compute_j += stats.energy_j;
+                self.report.energy.compute += Joules::new(stats.energy_j);
                 if !self.fe.storage_mut().draw_j(stats.energy_j) {
                     // Unreachable under the block bound, but kept so the
                     // brown-out path cannot be silently skipped.
@@ -547,7 +550,7 @@ impl IntermittentSystem {
             self.since_ckpt_s += t;
             self.report.executed += 1;
             self.uncommitted += 1;
-            self.report.energy.compute_j += step.energy_j;
+            self.report.energy.compute += Joules::new(step.energy_j);
             if !self.fe.storage_mut().draw_j(step.energy_j) {
                 // Brown-out mid-instruction: volatile state is gone.
                 self.fe.storage_mut().deplete();
@@ -568,12 +571,12 @@ impl IntermittentSystem {
     /// afterwards (periodic checkpoints) or the platform powers down
     /// (demand backups at the energy floor).
     fn begin_backup(&mut self, resume: bool, obs: &mut dyn SimObserver) {
-        if self.fe.storage_mut().draw_j(self.backup.backup_energy_j) {
-            self.report.energy.backup_j += self.backup.backup_energy_j;
+        if self.fe.storage_mut().draw(self.backup.backup_energy) {
+            self.report.energy.backup += self.backup.backup_energy;
             self.report.backups += 1;
             obs.on_event(self.report.duration_s, SimEvent::Backup);
             self.saved = Some(self.machine.snapshot());
-            self.phase = Phase::BackingUp { left_s: self.backup.backup_time_s, resume };
+            self.phase = Phase::BackingUp { left_s: self.backup.backup_time.get(), resume };
         } else {
             // Not enough energy left to checkpoint — the greedy-policy
             // failure mode: everything since the last checkpoint is lost.
@@ -638,9 +641,9 @@ impl IntermittentSystem {
     }
 
     fn sleep(&mut self, duration_s: f64) {
-        let draw = self.config.sleep_power_w * duration_s;
-        let got = self.fe.storage_mut().draw_up_to_j(draw);
-        self.report.energy.sleep_j += got;
+        let draw = Watts::new(self.config.sleep_power_w) * Seconds::new(duration_s);
+        let got = self.fe.storage_mut().draw_up_to(draw);
+        self.report.energy.sleep += got;
     }
 }
 
@@ -662,7 +665,7 @@ impl Platform for IntermittentSystem {
         self.current_clock_hz = self.config.clock_policy.select_hz(
             self.config.clock_hz,
             self.active_power_estimate_w(),
-            income.converted_j / dt_s,
+            (income.converted / Seconds::new(dt_s)).get(),
             self.fe.storage().fill_fraction(),
         );
         let on_before = self.report.on_time_s;
@@ -864,10 +867,14 @@ mod tests {
         let mut sys = nvp(&program);
         let r = sys.run(&harvester::wrist_watch(4, 3.0)).unwrap();
         let e = r.energy;
-        assert!(e.harvested_j >= e.converted_j);
-        let spent = e.compute_j + e.backup_j + e.restore_j + e.sleep_j;
+        assert!(e.harvested >= e.converted);
+        let spent = e.compute + e.backup + e.restore + e.sleep;
         // Spending cannot exceed what was converted (cap may hold some).
-        assert!(spent <= e.converted_j + 1e-9, "spent {spent} vs converted {}", e.converted_j);
+        assert!(
+            spent <= e.converted + Joules::new(1e-9),
+            "spent {spent} vs converted {}",
+            e.converted
+        );
     }
 
     #[test]

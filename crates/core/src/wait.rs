@@ -8,6 +8,7 @@
 //! charge, and total loss of progress if the estimate was wrong or the
 //! outage outlasts the stored charge.
 
+use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
 use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
 use nvp_sim::{CycleModel, EnergyModel, Machine, SimError, DEFAULT_DMEM_WORDS};
@@ -148,12 +149,12 @@ impl WaitComputeSystem {
         // quirks are front-end *options*, not a forked income loop.
         let fe = EnergyFrontEnd::new(FrontEndConfig {
             rectifier: config.rectifier,
-            capacitance_f: config.capacitance_f,
-            cap_voltage_v: config.cap_voltage_v,
-            cap_leak_tau_s: config.cap_leak_tau_s,
-            min_charge_power_w: config.min_charge_power_w,
+            capacitance: Farads::new(config.capacitance_f),
+            cap_voltage: Volts::new(config.cap_voltage_v),
+            cap_leak_tau: Seconds::new(config.cap_leak_tau_s),
+            min_charge_power: Watts::new(config.min_charge_power_w),
             trickle_efficiency: config.trickle_efficiency,
-            max_charge_power_w: config.max_charge_power_w,
+            max_charge_power: Watts::new(config.max_charge_power_w),
         });
         Ok(WaitComputeSystem {
             config,
@@ -210,12 +211,12 @@ impl WaitComputeSystem {
         while budget > 1e-12 {
             match self.phase {
                 WaitPhase::Charging => {
-                    if self.fe.storage().energy_j() >= self.config.start_energy_j {
+                    if self.fe.storage().energy() >= Joules::new(self.config.start_energy_j) {
                         obs.on_event(self.report.duration_s, SimEvent::PowerOn);
                         self.phase = WaitPhase::Running;
                     } else {
-                        let draw = self.config.sleep_power_w * budget;
-                        self.report.energy.sleep_j += self.fe.storage_mut().draw_up_to_j(draw);
+                        let draw = Watts::new(self.config.sleep_power_w) * Seconds::new(budget);
+                        self.report.energy.sleep += self.fe.storage_mut().draw_up_to(draw);
                         budget = 0.0;
                     }
                 }
@@ -239,7 +240,7 @@ impl WaitComputeSystem {
                 self.task_progress = 0;
                 obs.on_event(self.report.duration_s, SimEvent::TaskCommit);
                 self.reload()?;
-                if self.fe.storage().energy_j() < self.config.start_energy_j {
+                if self.fe.storage().energy() < Joules::new(self.config.start_energy_j) {
                     self.phase = WaitPhase::Charging;
                     return Ok(budget);
                 }
@@ -251,12 +252,12 @@ impl WaitComputeSystem {
             self.report.on_time_s += t;
             self.report.executed += 1;
             self.task_progress += 1;
-            self.report.energy.compute_j += step.energy_j;
+            self.report.energy.compute += Joules::new(step.energy_j);
             // The load is fed through a regulator: the ESD gives up more
             // than the core consumes.
-            let drawn = step.energy_j / self.config.discharge_efficiency;
-            self.report.energy.regulator_j += drawn - step.energy_j;
-            if !self.fe.storage_mut().draw_j(drawn) {
+            let drawn = Joules::new(step.energy_j) / self.config.discharge_efficiency;
+            self.report.energy.regulator += drawn - Joules::new(step.energy_j);
+            if !self.fe.storage_mut().draw(drawn) {
                 // Mid-task brown-out: the whole attempt is lost.
                 self.fe.storage_mut().deplete();
                 self.report.rollbacks += 1;

@@ -8,6 +8,7 @@
 //! groups (writing thousands of NVM bits truly simultaneously would exceed
 //! the on-chip capacitor's peak current).
 
+use nvp_energy::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 use crate::{NvmParams, NvmTechnology};
@@ -121,6 +122,30 @@ impl NvffBank {
     pub fn with_write_energy_scaled(mut self, factor: f64) -> Self {
         self.params = self.params.with_write_energy_scaled(factor);
         self
+    }
+
+    /// Typed variant of [`backup_energy_j`](Self::backup_energy_j).
+    #[must_use]
+    pub fn backup_energy(&self) -> Joules {
+        Joules::new(self.backup_energy_j())
+    }
+
+    /// Typed variant of [`backup_time_s`](Self::backup_time_s).
+    #[must_use]
+    pub fn backup_time(&self) -> Seconds {
+        Seconds::new(self.backup_time_s())
+    }
+
+    /// Typed variant of [`restore_energy_j`](Self::restore_energy_j).
+    #[must_use]
+    pub fn restore_energy(&self) -> Joules {
+        Joules::new(self.restore_energy_j())
+    }
+
+    /// Typed variant of [`restore_time_s`](Self::restore_time_s).
+    #[must_use]
+    pub fn restore_time(&self) -> Seconds {
+        Seconds::new(self.restore_time_s())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use nvp_energy::units::{Joules, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// The nonvolatile memory technologies NVP silicon has been built from.
@@ -141,6 +142,30 @@ impl NvmParams {
     #[must_use]
     pub fn read_energy_j(&self, bits: u64) -> f64 {
         self.read_energy_per_bit_j * bits as f64
+    }
+
+    /// Typed variant of [`write_energy_j`](Self::write_energy_j).
+    #[must_use]
+    pub fn write_energy(&self, bits: u64) -> Joules {
+        Joules::new(self.write_energy_j(bits))
+    }
+
+    /// Typed variant of [`read_energy_j`](Self::read_energy_j).
+    #[must_use]
+    pub fn read_energy(&self, bits: u64) -> Joules {
+        Joules::new(self.read_energy_j(bits))
+    }
+
+    /// Write pulse latency as a typed duration.
+    #[must_use]
+    pub fn write_latency(&self) -> Seconds {
+        Seconds::new(self.write_latency_s)
+    }
+
+    /// Read latency as a typed duration.
+    #[must_use]
+    pub fn read_latency(&self) -> Seconds {
+        Seconds::new(self.read_latency_s)
     }
 
     /// Returns a copy with write energy scaled by `factor` (used by

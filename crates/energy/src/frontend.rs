@@ -1,6 +1,12 @@
 //! Power-provisioning front end: rectifier and storage capacitor.
+//!
+//! All stored/flowing quantities are carried by the dimensional
+//! newtypes in [`crate::units`]; the `_j`/`_f`/`_v` suffixed methods
+//! are thin untyped accessors kept for formatting and tests.
 
 use serde::{Deserialize, Serialize};
+
+use crate::units::{Farads, Joules, Seconds, Volts, Watts};
 
 /// AC-DC rectifier / power-conditioning efficiency model.
 ///
@@ -56,12 +62,18 @@ impl Rectifier {
     pub fn output_w(&self, input_w: f64) -> f64 {
         input_w * self.efficiency(input_w)
     }
+
+    /// Typed variant of [`output_w`](Self::output_w).
+    #[must_use]
+    pub fn output(&self, input: Watts) -> Watts {
+        Watts::new(self.output_w(input.get()))
+    }
 }
 
 /// An energy-storage capacitor tracked in the energy domain.
 ///
 /// Capacity is `½·C·V²` at the rated voltage; leakage is exponential
-/// self-discharge with time constant `leak_tau_s` (≈ `R_leak·C`). Small
+/// self-discharge with time constant `leak_tau` (≈ `R_leak·C`). Small
 /// on-chip backup capacitors have τ of hours; large supercapacitor ESDs
 /// have τ of minutes-to-hours *and* waste charge every cycle — the core
 /// energy trade-off between NVP and wait-then-compute platforms.
@@ -69,116 +81,184 @@ impl Rectifier {
 /// # Example
 ///
 /// ```
+/// use nvp_energy::units::{Joules, Seconds};
 /// use nvp_energy::Capacitor;
 ///
 /// let mut cap = Capacitor::new(100e-9, 3.3, 3600.0); // 100 nF on-chip
-/// let max = cap.max_energy_j();
-/// cap.charge_j(2.0 * max); // overcharge clamps at capacity
-/// assert!((cap.energy_j() - max).abs() < 1e-15);
-/// assert!(cap.draw_j(max * 0.5));
-/// assert!(!cap.draw_j(max), "cannot draw more than stored");
+/// let max: Joules = cap.max_energy();
+/// cap.charge(2.0 * max); // overcharge clamps at capacity
+/// assert!((cap.max_energy() - cap.energy()).get().abs() < 1e-15);
+/// assert!(cap.draw(max * 0.5));
+/// assert!(!cap.draw(max), "cannot draw more than stored");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Capacitor {
-    capacitance_f: f64,
-    rated_voltage_v: f64,
-    leak_tau_s: f64,
-    energy_j: f64,
-    wasted_j: f64,
+    capacitance: Farads,
+    rated_voltage: Volts,
+    leak_tau: Seconds,
+    energy: Joules,
+    wasted: Joules,
 }
 
 impl Capacitor {
-    /// Creates an empty capacitor.
+    /// Creates an empty capacitor from raw SI magnitudes.
     ///
     /// # Panics
     ///
     /// Panics if any parameter is non-positive.
     #[must_use]
     pub fn new(capacitance_f: f64, rated_voltage_v: f64, leak_tau_s: f64) -> Self {
-        assert!(capacitance_f > 0.0, "capacitance must be positive");
-        assert!(rated_voltage_v > 0.0, "voltage must be positive");
-        assert!(leak_tau_s > 0.0, "leakage time constant must be positive");
-        Capacitor { capacitance_f, rated_voltage_v, leak_tau_s, energy_j: 0.0, wasted_j: 0.0 }
+        Self::from_units(
+            Farads::new(capacitance_f),
+            Volts::new(rated_voltage_v),
+            Seconds::new(leak_tau_s),
+        )
     }
 
-    /// Capacitance in farads.
+    /// Creates an empty capacitor from typed quantities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    #[must_use]
+    pub fn from_units(capacitance: Farads, rated_voltage: Volts, leak_tau: Seconds) -> Self {
+        assert!(capacitance > Farads::ZERO, "capacitance must be positive");
+        assert!(rated_voltage > Volts::ZERO, "voltage must be positive");
+        assert!(leak_tau > Seconds::ZERO, "leakage time constant must be positive");
+        Capacitor {
+            capacitance,
+            rated_voltage,
+            leak_tau,
+            energy: Joules::ZERO,
+            wasted: Joules::ZERO,
+        }
+    }
+
+    /// Capacitance.
+    #[must_use]
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Capacitance in farads (untyped accessor).
     #[must_use]
     pub fn capacitance_f(&self) -> f64 {
-        self.capacitance_f
+        self.capacitance.get()
     }
 
-    /// Maximum storable energy, `½CV²`, joules.
+    /// Maximum storable energy, `½CV²`.
+    #[must_use]
+    pub fn max_energy(&self) -> Joules {
+        self.capacitance.energy_at(self.rated_voltage)
+    }
+
+    /// Maximum storable energy in joules (untyped accessor).
     #[must_use]
     pub fn max_energy_j(&self) -> f64 {
-        0.5 * self.capacitance_f * self.rated_voltage_v * self.rated_voltage_v
+        self.max_energy().get()
     }
 
-    /// Currently stored energy, joules.
+    /// Currently stored energy.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Currently stored energy in joules (untyped accessor).
     #[must_use]
     pub fn energy_j(&self) -> f64 {
-        self.energy_j
+        self.energy.get()
     }
 
     /// Present terminal voltage implied by the stored energy.
     #[must_use]
-    pub fn voltage_v(&self) -> f64 {
-        (2.0 * self.energy_j / self.capacitance_f).sqrt()
+    pub fn voltage(&self) -> Volts {
+        self.energy.voltage_across(self.capacitance)
     }
 
-    /// Energy lost so far to leakage and overcharge spill, joules.
+    /// Present terminal voltage in volts (untyped accessor).
+    #[must_use]
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage().get()
+    }
+
+    /// Energy lost so far to leakage and overcharge spill.
+    #[must_use]
+    pub fn wasted(&self) -> Joules {
+        self.wasted
+    }
+
+    /// Energy lost so far in joules (untyped accessor).
     #[must_use]
     pub fn wasted_j(&self) -> f64 {
-        self.wasted_j
+        self.wasted.get()
     }
 
     /// Adds harvested energy; overflow beyond capacity is spilled (and
     /// accounted as waste). Returns the energy actually stored.
-    pub fn charge_j(&mut self, joules: f64) -> f64 {
-        debug_assert!(joules >= 0.0);
-        let room = self.max_energy_j() - self.energy_j;
-        let stored = joules.min(room);
-        self.energy_j += stored;
-        self.wasted_j += joules - stored;
+    pub fn charge(&mut self, amount: Joules) -> Joules {
+        debug_assert!(amount >= Joules::ZERO);
+        let room = self.max_energy() - self.energy;
+        let stored = amount.min(room);
+        self.energy += stored;
+        self.wasted += amount - stored;
         stored
     }
 
-    /// Draws `joules` if available; returns `false` (and leaves the store
-    /// untouched) if there is not enough energy.
+    /// Untyped variant of [`charge`](Self::charge).
+    pub fn charge_j(&mut self, joules: f64) -> f64 {
+        self.charge(Joules::new(joules)).get()
+    }
+
+    /// Draws `amount` if available; returns `false` (and leaves the
+    /// store untouched) if there is not enough energy.
     #[must_use = "a failed draw means a power emergency"]
-    pub fn draw_j(&mut self, joules: f64) -> bool {
-        if joules <= self.energy_j {
-            self.energy_j -= joules;
-            true
-        } else {
-            false
+    pub fn draw(&mut self, amount: Joules) -> bool {
+        match self.energy.checked_sub(amount) {
+            Some(left) => {
+                self.energy = left;
+                true
+            }
+            None => false,
         }
     }
 
-    /// Draws up to `joules`, returning what was actually obtained
+    /// Untyped variant of [`draw`](Self::draw).
+    #[must_use = "a failed draw means a power emergency"]
+    pub fn draw_j(&mut self, joules: f64) -> bool {
+        self.draw(Joules::new(joules))
+    }
+
+    /// Draws up to `amount`, returning what was actually obtained
     /// (brown-out semantics).
-    pub fn draw_up_to_j(&mut self, joules: f64) -> f64 {
-        let got = joules.min(self.energy_j);
-        self.energy_j -= got;
+    pub fn draw_up_to(&mut self, amount: Joules) -> Joules {
+        let got = amount.min(self.energy);
+        self.energy -= got;
         got
     }
 
-    /// Applies self-discharge over `dt_s` seconds.
-    pub fn leak(&mut self, dt_s: f64) {
-        let kept = (-dt_s / self.leak_tau_s).exp();
-        let lost = self.energy_j * (1.0 - kept);
-        self.energy_j -= lost;
-        self.wasted_j += lost;
+    /// Untyped variant of [`draw_up_to`](Self::draw_up_to).
+    pub fn draw_up_to_j(&mut self, joules: f64) -> f64 {
+        self.draw_up_to(Joules::new(joules)).get()
+    }
+
+    /// Applies self-discharge over a duration.
+    pub fn leak(&mut self, dt: Seconds) {
+        let kept = (-(dt / self.leak_tau)).exp();
+        let lost = self.energy * (1.0 - kept);
+        self.energy -= lost;
+        self.wasted += lost;
     }
 
     /// Empties the capacitor (deep discharge during a long outage).
     pub fn deplete(&mut self) {
-        self.energy_j = 0.0;
+        self.energy = Joules::ZERO;
     }
 
     /// Fraction of capacity currently filled (0–1).
     #[must_use]
     pub fn fill_fraction(&self) -> f64 {
-        self.energy_j / self.max_energy_j()
+        self.energy / self.max_energy()
     }
 }
 
@@ -196,22 +276,22 @@ impl Capacitor {
 pub struct FrontEndConfig {
     /// AC-DC conversion model.
     pub rectifier: Rectifier,
-    /// Storage capacitance, farads.
-    pub capacitance_f: f64,
-    /// Storage rated voltage, volts.
-    pub cap_voltage_v: f64,
-    /// Storage self-discharge time constant, seconds.
-    pub cap_leak_tau_s: f64,
+    /// Storage capacitance.
+    pub capacitance: Farads,
+    /// Storage rated voltage.
+    pub cap_voltage: Volts,
+    /// Storage self-discharge time constant.
+    pub cap_leak_tau: Seconds,
     /// Converted input power below which the storage device accepts only
-    /// a trickle (supercapacitor minimum-charging-current effect), watts.
-    /// `0.0` disables the effect.
-    pub min_charge_power_w: f64,
+    /// a trickle (supercapacitor minimum-charging-current effect).
+    /// [`Watts::ZERO`] disables the effect.
+    pub min_charge_power: Watts,
     /// Fraction of sub-minimum trickle power actually banked.
     pub trickle_efficiency: f64,
-    /// Charger input power limit, watts: converted power above this is
-    /// clipped when banking into storage. [`f64::INFINITY`] disables the
+    /// Charger input power limit: converted power above this is clipped
+    /// when banking into storage. [`Watts::INFINITY`] disables the
     /// effect (a buffer directly at the rectifier output has no limit).
-    pub max_charge_power_w: f64,
+    pub max_charge_power: Watts,
 }
 
 impl FrontEndConfig {
@@ -220,30 +300,36 @@ impl FrontEndConfig {
     #[must_use]
     pub fn direct(
         rectifier: Rectifier,
-        capacitance_f: f64,
-        cap_voltage_v: f64,
-        cap_leak_tau_s: f64,
+        capacitance: Farads,
+        cap_voltage: Volts,
+        cap_leak_tau: Seconds,
     ) -> Self {
         FrontEndConfig {
             rectifier,
-            capacitance_f,
-            cap_voltage_v,
-            cap_leak_tau_s,
-            min_charge_power_w: 0.0,
+            capacitance,
+            cap_voltage,
+            cap_leak_tau,
+            min_charge_power: Watts::ZERO,
             trickle_efficiency: 1.0,
-            max_charge_power_w: f64::INFINITY,
+            max_charge_power: Watts::INFINITY,
         }
+    }
+
+    /// Maximum storable energy of the configured capacitor, `½CV²`.
+    #[must_use]
+    pub fn max_storage_energy(&self) -> Joules {
+        self.capacitance.energy_at(self.cap_voltage)
     }
 }
 
 /// The energy delivered during one front-end tick.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TickIncome {
-    /// Raw harvested energy offered by the trace this tick, joules.
-    pub harvested_j: f64,
+    /// Raw harvested energy offered by the trace this tick.
+    pub harvested: Joules,
     /// Energy delivered past the rectifier (after trickle/clip effects)
-    /// into storage this tick, joules.
-    pub converted_j: f64,
+    /// into storage this tick.
+    pub converted: Joules,
 }
 
 /// The per-tick income path shared by every simulated platform:
@@ -256,14 +342,16 @@ pub struct TickIncome {
 /// # Example
 ///
 /// ```
+/// use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
 /// use nvp_energy::{EnergyFrontEnd, FrontEndConfig, Rectifier};
 ///
 /// let mut fe = EnergyFrontEnd::new(FrontEndConfig::direct(
-///     Rectifier::default(), 2.2e-6, 3.3, 3600.0));
-/// let income = fe.tick(300e-6, 1e-4); // 300 µW for 0.1 ms
-/// assert!(income.converted_j > 0.0);
-/// assert!(income.converted_j < income.harvested_j, "conversion is lossy");
-/// assert!(fe.storage().energy_j() > 0.0);
+///     Rectifier::default(), Farads::new(2.2e-6), Volts::new(3.3),
+///     Seconds::new(3600.0)));
+/// let income = fe.tick(Watts::new(300e-6), Seconds::new(1e-4));
+/// assert!(income.converted > Joules::ZERO);
+/// assert!(income.converted < income.harvested, "conversion is lossy");
+/// assert!(fe.storage().energy() > Joules::ZERO);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyFrontEnd {
@@ -279,26 +367,27 @@ impl EnergyFrontEnd {
     /// Panics if the capacitor parameters are non-positive.
     #[must_use]
     pub fn new(config: FrontEndConfig) -> Self {
-        let cap = Capacitor::new(config.capacitance_f, config.cap_voltage_v, config.cap_leak_tau_s);
+        let cap =
+            Capacitor::from_units(config.capacitance, config.cap_voltage, config.cap_leak_tau);
         EnergyFrontEnd { config, cap }
     }
 
     /// Banks one tick of harvested input power: applies the rectifier
     /// curve, the trickle and clip options, charges the capacitor, and
     /// applies leakage. Returns the tick's energy income.
-    pub fn tick(&mut self, input_w: f64, dt_s: f64) -> TickIncome {
-        let mut out_w = self.config.rectifier.output_w(input_w);
-        if out_w < self.config.min_charge_power_w {
+    pub fn tick(&mut self, input: Watts, dt: Seconds) -> TickIncome {
+        let mut out = self.config.rectifier.output(input);
+        if out < self.config.min_charge_power {
             // Below the storage device's minimum charging current the
             // bank barely accepts charge.
-            out_w *= self.config.trickle_efficiency;
+            out = out * self.config.trickle_efficiency;
         }
         // Spikes above the charger's input limit are clipped.
-        out_w = out_w.min(self.config.max_charge_power_w);
-        let converted_j = out_w * dt_s;
-        self.cap.charge_j(converted_j);
-        self.cap.leak(dt_s);
-        TickIncome { harvested_j: input_w * dt_s, converted_j }
+        out = out.min(self.config.max_charge_power);
+        let converted = out * dt;
+        self.cap.charge(converted);
+        self.cap.leak(dt);
+        TickIncome { harvested: input * dt, converted }
     }
 
     /// The configuration in effect.
@@ -327,7 +416,7 @@ mod tests {
     #[test]
     fn rectifier_curve_shape() {
         let r = Rectifier::default();
-        assert_eq!(r.efficiency(0.0), 0.0);
+        assert_eq!(r.efficiency(0.0), 0.0); // nvp-lint: allow(float-eq)
         let e_small = r.efficiency(2e-6);
         let e_mid = r.efficiency(200e-6);
         assert!(e_small < e_mid, "{e_small} vs {e_mid}");
@@ -336,10 +425,10 @@ mod tests {
         let e_high = r.efficiency(2e-3);
         assert!(e_high > 0.6 * r.peak_efficiency);
         // Output power is monotone in input power across the range.
-        let mut prev = 0.0;
+        let mut prev = Watts::ZERO;
         for i in 1..100 {
             let p = 1e-6 * f64::from(i) * f64::from(i);
-            let out = r.output_w(p);
+            let out = r.output(Watts::new(p));
             assert!(out >= prev, "output power must be monotone");
             prev = out;
         }
@@ -348,44 +437,47 @@ mod tests {
     #[test]
     fn capacitor_energy_conservation() {
         let mut cap = Capacitor::new(10e-6, 3.3, 100.0);
-        let stored = cap.charge_j(10e-6);
-        assert!((stored - 10e-6).abs() < 1e-18);
-        assert!(cap.draw_j(4e-6));
-        assert!((cap.energy_j() - 6e-6).abs() < 1e-15);
-        assert!(!cap.draw_j(7e-6), "insufficient draw must fail");
-        assert!((cap.energy_j() - 6e-6).abs() < 1e-15, "failed draw must not change state");
-        let got = cap.draw_up_to_j(100.0);
-        assert!((got - 6e-6).abs() < 1e-15);
-        assert_eq!(cap.energy_j(), 0.0);
+        let stored = cap.charge(Joules::new(10e-6));
+        assert!((stored - Joules::new(10e-6)).get().abs() < 1e-18);
+        assert!(cap.draw(Joules::new(4e-6)));
+        assert!((cap.energy() - Joules::new(6e-6)).get().abs() < 1e-15);
+        assert!(!cap.draw(Joules::new(7e-6)), "insufficient draw must fail");
+        assert!(
+            (cap.energy() - Joules::new(6e-6)).get().abs() < 1e-15,
+            "failed draw must not change state"
+        );
+        let got = cap.draw_up_to(Joules::new(100.0));
+        assert!((got - Joules::new(6e-6)).get().abs() < 1e-15);
+        assert_eq!(cap.energy(), Joules::ZERO);
     }
 
     #[test]
     fn overcharge_spills_to_waste() {
         let mut cap = Capacitor::new(1e-9, 1.0, 100.0);
-        let max = cap.max_energy_j();
-        cap.charge_j(10.0 * max);
-        assert!((cap.energy_j() - max).abs() < 1e-18);
-        assert!((cap.wasted_j() - 9.0 * max).abs() < 1e-15);
+        let max = cap.max_energy();
+        cap.charge(10.0 * max);
+        assert!((cap.energy() - max).get().abs() < 1e-18);
+        assert!((cap.wasted() - 9.0 * max).get().abs() < 1e-15);
         assert!((cap.fill_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn leakage_is_exponential() {
         let mut cap = Capacitor::new(100e-6, 3.3, 10.0);
-        cap.charge_j(cap.max_energy_j());
-        let e0 = cap.energy_j();
-        cap.leak(10.0); // one time constant
-        assert!((cap.energy_j() / e0 - (-1.0_f64).exp()).abs() < 1e-9);
-        assert!(cap.wasted_j() > 0.0);
+        cap.charge(cap.max_energy());
+        let e0 = cap.energy();
+        cap.leak(Seconds::new(10.0)); // one time constant
+        assert!((cap.energy() / e0 - (-1.0_f64).exp()).abs() < 1e-9);
+        assert!(cap.wasted() > Joules::ZERO);
     }
 
     #[test]
     fn voltage_tracks_energy() {
         let mut cap = Capacitor::new(1e-6, 2.0, 100.0);
-        cap.charge_j(cap.max_energy_j());
-        assert!((cap.voltage_v() - 2.0).abs() < 1e-9);
-        let _ = cap.draw_j(cap.energy_j() * 0.75);
-        assert!((cap.voltage_v() - 1.0).abs() < 1e-9);
+        cap.charge(cap.max_energy());
+        assert!((cap.voltage() - Volts::new(2.0)).get().abs() < 1e-9);
+        let _ = cap.draw(cap.energy() * 0.75);
+        assert!((cap.voltage() - Volts::new(1.0)).get().abs() < 1e-9);
     }
 
     #[test]
@@ -395,21 +487,28 @@ mod tests {
     }
 
     /// The `direct` configuration must reproduce the raw rectifier →
-    /// charge → leak path bit-for-bit: it is the NVP income path.
+    /// charge → leak path bit-for-bit: it is the NVP income path, and
+    /// this is the units-migration pin — the typed chain must lower to
+    /// exactly the pre-migration `f64` arithmetic.
     #[test]
     fn direct_front_end_matches_raw_path() {
         let r = Rectifier::default();
-        let mut fe = EnergyFrontEnd::new(FrontEndConfig::direct(r, 2.2e-6, 3.3, 3600.0));
+        let mut fe = EnergyFrontEnd::new(FrontEndConfig::direct(
+            r,
+            Farads::new(2.2e-6),
+            Volts::new(3.3),
+            Seconds::new(3600.0),
+        ));
         let mut cap = Capacitor::new(2.2e-6, 3.3, 3600.0);
         let dt = 1e-4;
         for i in 0..2000 {
             let p = 2e-3 * (f64::from(i) / 2000.0);
-            let income = fe.tick(p, dt);
+            let income = fe.tick(Watts::new(p), Seconds::new(dt));
             let converted = r.output_w(p) * dt;
-            cap.charge_j(converted);
-            cap.leak(dt);
-            assert_eq!(income.converted_j.to_bits(), converted.to_bits());
-            assert_eq!(income.harvested_j.to_bits(), (p * dt).to_bits());
+            cap.charge(Joules::new(converted));
+            cap.leak(Seconds::new(dt));
+            assert_eq!(income.converted.get().to_bits(), converted.to_bits());
+            assert_eq!(income.harvested.get().to_bits(), (p * dt).to_bits());
             assert_eq!(fe.storage().energy_j().to_bits(), cap.energy_j().to_bits());
             assert_eq!(fe.storage().wasted_j().to_bits(), cap.wasted_j().to_bits());
         }
@@ -418,27 +517,30 @@ mod tests {
     #[test]
     fn trickle_penalizes_weak_input() {
         let r = Rectifier::default();
-        let mut cfg = FrontEndConfig::direct(r, 100e-6, 3.3, 200.0);
-        cfg.min_charge_power_w = 50e-6;
+        let direct_cfg =
+            || FrontEndConfig::direct(r, Farads::new(100e-6), Volts::new(3.3), Seconds::new(200.0));
+        let mut cfg = direct_cfg();
+        cfg.min_charge_power = Watts::new(50e-6);
         cfg.trickle_efficiency = 0.15;
         let mut trickled = EnergyFrontEnd::new(cfg);
-        let mut direct = EnergyFrontEnd::new(FrontEndConfig::direct(r, 100e-6, 3.3, 200.0));
+        let mut direct = EnergyFrontEnd::new(direct_cfg());
         // 30 µW input converts to well under 50 µW: the trickle applies.
-        let a = trickled.tick(30e-6, 1e-4);
-        let b = direct.tick(30e-6, 1e-4);
-        assert!((a.converted_j - b.converted_j * 0.15).abs() < 1e-18);
-        assert_eq!(a.harvested_j, b.harvested_j);
+        let a = trickled.tick(Watts::new(30e-6), Seconds::new(1e-4));
+        let b = direct.tick(Watts::new(30e-6), Seconds::new(1e-4));
+        assert!((a.converted - b.converted * 0.15).get().abs() < 1e-18);
+        assert_eq!(a.harvested, b.harvested);
     }
 
     #[test]
     fn clip_limits_strong_input() {
         let r = Rectifier::default();
-        let mut cfg = FrontEndConfig::direct(r, 100e-6, 3.3, 200.0);
-        cfg.max_charge_power_w = 150e-6;
+        let mut cfg =
+            FrontEndConfig::direct(r, Farads::new(100e-6), Volts::new(3.3), Seconds::new(200.0));
+        cfg.max_charge_power = Watts::new(150e-6);
         let mut fe = EnergyFrontEnd::new(cfg);
         // 2 mW input converts far above the 150 µW clip.
-        let income = fe.tick(2e-3, 1e-4);
-        assert!((income.converted_j - 150e-6 * 1e-4).abs() < 1e-18);
-        assert!(income.harvested_j > income.converted_j);
+        let income = fe.tick(Watts::new(2e-3), Seconds::new(1e-4));
+        assert!((income.converted - Watts::new(150e-6) * Seconds::new(1e-4)).get().abs() < 1e-18);
+        assert!(income.harvested > income.converted);
     }
 }

@@ -17,7 +17,10 @@
 //!   trade-off is the heart of the NVP-vs-wait-compute comparison,
 //! * [`EnergyFrontEnd`] — the complete per-tick income path (rectifier →
 //!   trickle/clip options → capacitor charge + leak) shared by every
-//!   simulated platform, configured by a [`FrontEndConfig`].
+//!   simulated platform, configured by a [`FrontEndConfig`],
+//! * [`units`] — dimensional newtypes ([`Joules`], [`Watts`], [`Volts`],
+//!   [`Farads`], [`Seconds`]) that make unit slips in the accounting
+//!   engine compile errors while staying bit-exact with raw `f64`.
 //!
 //! ## Example
 //!
@@ -37,10 +40,12 @@ mod frontend;
 pub mod harvester;
 mod stats;
 mod trace;
+pub mod units;
 
 pub use frontend::{Capacitor, EnergyFrontEnd, FrontEndConfig, Rectifier, TickIncome};
 pub use stats::{Histogram, OutageStats};
 pub use trace::{PowerTrace, TraceError};
+pub use units::{Farads, Joules, Seconds, Volts, Watts};
 
 /// The sampling period used throughout the published NVP frameworks (0.1 ms).
 pub const DEFAULT_DT_S: f64 = 1e-4;

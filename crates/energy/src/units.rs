@@ -1,0 +1,331 @@
+//! Dimensional newtypes for the energy domain.
+//!
+//! Every quantity the simulators account for — stored charge, harvested
+//! power, capacitor sizing, trace timing — is a bare `f64` at the I/O
+//! boundary (CSV artifacts, config structs swept by studies) but flows
+//! through the accounting engine as one of these five newtypes. The
+//! arithmetic that is physically meaningful is implemented as operator
+//! overloads that *change* the unit ([`Watts`] × [`Seconds`] →
+//! [`Joules`]); everything else is a compile error, which is what turns
+//! a `backup_energy + restore_time` slip from a silently-wrong artifact
+//! into a type error.
+//!
+//! The wrappers are `#[repr(transparent)]` over `f64` and every
+//! operation lowers to exactly one IEEE-754 operation on the inner
+//! value, in the same order as the expression it replaced — the
+//! migration is pinned bit-exact (`f64::to_bits`) by the golden digest
+//! test and by this module's `typed_ops_are_bit_exact_vs_raw_f64` test.
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
+//!
+//! let cap = Farads::new(2.2e-6);
+//! let full: Joules = cap.energy_at(Volts::new(3.3)); // ½CV²
+//! let income: Joules = Watts::new(300e-6) * Seconds::new(0.01);
+//! assert!(income < full);
+//! let rate: Watts = income / Seconds::new(0.01);
+//! assert!((rate.get() - 300e-6).abs() < 1e-12);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Implements the shared single-unit surface: constructors, accessors,
+/// same-unit arithmetic, scalar scaling, and ordering helpers.
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $sym:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[repr(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw magnitude in base SI units.
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// The raw magnitude in base SI units — the untyped escape
+            /// hatch for formatting and config boundaries.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The larger of two quantities.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of two quantities.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+
+            /// Magnitude (absolute value).
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// `true` if the magnitude is neither infinite nor NaN.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Subtraction that refuses to go negative: `None` when
+            /// `other` exceeds `self` (e.g. a draw from an emptier
+            /// store), `Some(self - other)` otherwise.
+            #[must_use]
+            pub fn checked_sub(self, other: Self) -> Option<Self> {
+                if other.0 <= self.0 {
+                    Some($name(self.0 - other.0))
+                } else {
+                    None
+                }
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl std::ops::Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{} {}", self.0, $sym)
+            }
+        }
+    };
+}
+
+unit!(
+    /// An amount of energy, joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// A power level, watts.
+    Watts,
+    "W"
+);
+unit!(
+    /// An electric potential, volts.
+    Volts,
+    "V"
+);
+unit!(
+    /// A capacitance, farads.
+    Farads,
+    "F"
+);
+unit!(
+    /// A duration, seconds.
+    Seconds,
+    "s"
+);
+
+impl Watts {
+    /// Unbounded power — disables charger clipping in a front end.
+    pub const INFINITY: Watts = Watts(f64::INFINITY);
+}
+
+/// Power sustained over time delivers energy.
+impl std::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Time at a power level delivers energy.
+impl std::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Energy per unit time is power.
+impl std::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// Energy at a power level takes time.
+impl std::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Farads {
+    /// Energy stored at a terminal voltage: `½CV²`.
+    #[must_use]
+    pub fn energy_at(self, v: Volts) -> Joules {
+        Joules(0.5 * self.0 * v.0 * v.0)
+    }
+}
+
+impl Joules {
+    /// Terminal voltage this energy implies across a capacitance:
+    /// `√(2E/C)`.
+    #[must_use]
+    pub fn voltage_across(self, c: Farads) -> Volts {
+        Volts((2.0 * self.0 / c.0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Joules::new(3e-6);
+        let b = Joules::new(1e-6);
+        assert_eq!((a + b).get(), 3e-6 + 1e-6);
+        assert_eq!((a - b).get(), 3e-6 - 1e-6);
+        assert_eq!((-b).get(), -1e-6);
+        let mut acc = Joules::ZERO;
+        acc += a;
+        acc -= b;
+        assert_eq!(acc.get(), 3e-6 - 1e-6);
+        assert_eq!((a * 2.0).get(), 6e-6);
+        assert_eq!((2.0 * a).get(), 6e-6);
+        assert_eq!((a / 2.0).get(), 1.5e-6);
+        assert_eq!(a / b, 3.0);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!((-b).abs(), b);
+    }
+
+    #[test]
+    fn cross_unit_arithmetic() {
+        let e = Watts::new(200e-6) * Seconds::new(0.5);
+        assert_eq!(e.get(), 200e-6 * 0.5);
+        assert_eq!((Seconds::new(0.5) * Watts::new(200e-6)).get(), e.get());
+        assert_eq!((e / Seconds::new(0.5)).get(), 200e-6);
+        assert_eq!((e / Watts::new(200e-6)).get(), 0.5);
+    }
+
+    #[test]
+    fn capacitor_relations() {
+        let c = Farads::new(100e-9);
+        let v = Volts::new(3.3);
+        let e = c.energy_at(v);
+        assert_eq!(e.get().to_bits(), (0.5_f64 * 100e-9 * 3.3 * 3.3).to_bits());
+        let back = e.voltage_across(c);
+        assert!((back.get() - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_sub_refuses_negative() {
+        let a = Joules::new(2e-6);
+        let b = Joules::new(3e-6);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Joules::new(3e-6 - 2e-6)));
+        assert_eq!(a.checked_sub(a), Some(Joules::ZERO));
+    }
+
+    #[test]
+    fn infinity_disables_clipping() {
+        assert!(!Watts::INFINITY.is_finite());
+        assert_eq!(Watts::new(5.0).min(Watts::INFINITY), Watts::new(5.0));
+    }
+
+    /// Every typed operation must lower to the identical IEEE-754
+    /// operation on the raw magnitudes — the bit-exactness contract the
+    /// artifact digests depend on.
+    #[test]
+    fn typed_ops_are_bit_exact_vs_raw_f64() {
+        let xs = [1.5e-7, 3.3, 2.2e-6, 0.82, 1e-4, 7.25];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!((Joules::new(a) + Joules::new(b)).get().to_bits(), (a + b).to_bits());
+                assert_eq!((Joules::new(a) - Joules::new(b)).get().to_bits(), (a - b).to_bits());
+                assert_eq!((Joules::new(a) * b).get().to_bits(), (a * b).to_bits());
+                assert_eq!((Joules::new(a) / b).get().to_bits(), (a / b).to_bits());
+                assert_eq!((Watts::new(a) * Seconds::new(b)).get().to_bits(), (a * b).to_bits());
+                assert_eq!((Joules::new(a) / Seconds::new(b)).get().to_bits(), (a / b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn display_appends_symbol() {
+        assert_eq!(Joules::new(1.5).to_string(), "1.5 J");
+        assert_eq!(Watts::new(0.25).to_string(), "0.25 W");
+        assert_eq!(Seconds::new(2.0).to_string(), "2 s");
+    }
+}

@@ -1,6 +1,7 @@
 //! Randomized property tests for the energy-environment models,
 //! deterministically seeded so every failure is reproducible.
 
+use nvp_energy::units::Seconds;
 use nvp_energy::{Capacitor, OutageStats, PowerTrace, Rectifier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +54,7 @@ fn capacitor_conservation() {
                         drawn += j;
                     }
                 }
-                CapOp::Leak(dt) => cap.leak(dt),
+                CapOp::Leak(dt) => cap.leak(Seconds::new(dt)),
             }
             assert!(cap.energy_j() >= 0.0);
             assert!(cap.energy_j() <= capacity * (1.0 + 1e-12));

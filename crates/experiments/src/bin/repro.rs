@@ -5,7 +5,7 @@
 use std::process::ExitCode;
 
 use nvp_experiments::cli::{self, Command};
-use nvp_experiments::{run_all, run_only};
+use nvp_experiments::{feasibility, run_all, run_only};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +24,22 @@ fn main() -> ExitCode {
         Command::List => {
             print!("{}", cli::list_text());
             return ExitCode::SUCCESS;
+        }
+        Command::Check { quick } => {
+            let cfg = Command::config(quick);
+            let diags = feasibility::check_registry(&cfg);
+            if diags.is_empty() {
+                println!(
+                    "feasibility: all {} registered experiments declare feasible configurations",
+                    nvp_experiments::registry().len()
+                );
+                return ExitCode::SUCCESS;
+            }
+            for d in &diags {
+                eprintln!("infeasible: {d}");
+            }
+            eprintln!("feasibility: {} violation(s) found", diags.len());
+            return ExitCode::FAILURE;
         }
         Command::Run { out_dir, only, quick } => (out_dir, only, quick),
     };

@@ -4,7 +4,7 @@
 //! tested like everything else. The grammar is deliberately tiny:
 //!
 //! ```text
-//! repro [out_dir] [--quick] [--only IDS] [--list] [--help]
+//! repro [out_dir] [--quick] [--only IDS] [--check] [--list] [--help]
 //! ```
 //!
 //! Unknown `--flags` are rejected with a usage error instead of being
@@ -27,6 +27,9 @@ Arguments:
 Options:
   --quick            small traces/frames for a fast smoke run
   --only IDS         comma-separated experiment ids (e.g. --only f5,t1)
+  --check            validate every registered experiment's platform
+                     configurations for physical feasibility and exit
+                     (0 = all feasible, 1 = diagnostics printed)
   --list             list registered experiments and exit
   --help             show this help and exit";
 
@@ -37,6 +40,12 @@ pub enum Command {
     Help,
     /// Print the experiment registry and exit successfully.
     List,
+    /// Run the config-feasibility validator over the registry and exit
+    /// (see [`crate::feasibility`]).
+    Check {
+        /// Use the quick configuration instead of the default.
+        quick: bool,
+    },
     /// Regenerate artifacts into `out_dir`; `only: None` means all.
     Run {
         /// Output directory for CSV/Markdown artifacts.
@@ -83,12 +92,14 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
     let mut out_dir: Option<PathBuf> = None;
     let mut only: Option<Vec<String>> = None;
     let mut quick = false;
+    let mut check = false;
     let mut iter = args.iter().map(AsRef::as_ref);
     while let Some(arg) = iter.next() {
         match arg {
             "--help" | "-h" => return Ok(Command::Help),
             "--list" => return Ok(Command::List),
             "--quick" => quick = true,
+            "--check" => check = true,
             "--only" => {
                 let ids = iter.next().ok_or("--only needs a comma-separated id list")?;
                 only = Some(parse_only(ids)?);
@@ -110,6 +121,9 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             }
         }
     }
+    if check {
+        return Ok(Command::Check { quick });
+    }
     Ok(Command::Run { out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")), only, quick })
 }
 
@@ -123,7 +137,13 @@ fn parse_only(ids: &str) -> Result<Vec<String>, String> {
         }
         match find(id) {
             Some(e) => out.push(e.id().to_string()),
-            None => return Err(format!("unknown experiment id `{id}` (see --list)")),
+            None => {
+                let valid: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+                return Err(format!(
+                    "unknown experiment id `{id}` (valid ids: {})",
+                    valid.join(", ")
+                ));
+            }
         }
     }
     if out.is_empty() {
@@ -188,10 +208,22 @@ mod tests {
     fn only_validates_ids_against_registry() {
         let err = parse(&["--only", "f99"]).unwrap_err();
         assert!(err.contains("f99"), "{err}");
+        // The error enumerates every valid id so the user never needs a
+        // second round trip through --list.
+        for e in registry() {
+            assert!(err.contains(e.id()), "error omits valid id {}: {err}", e.id());
+        }
         let err = parse(&["--only"]).unwrap_err();
         assert!(err.contains("--only"), "{err}");
         let err = parse(&["--only", ","]).unwrap_err();
         assert!(err.contains("--only"), "{err}");
+    }
+
+    #[test]
+    fn check_flag_selects_the_validator() {
+        assert_eq!(parse(&["--check"]).unwrap(), Command::Check { quick: false });
+        assert_eq!(parse(&["--check", "--quick"]).unwrap(), Command::Check { quick: true });
+        assert_eq!(parse(&["--quick", "--check"]).unwrap(), Command::Check { quick: true });
     }
 
     #[test]

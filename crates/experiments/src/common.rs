@@ -7,7 +7,7 @@
 //! share one instance; the caches are keyed on every parameter that
 //! influences the value, so results are unchanged.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use nvp_core::{
@@ -31,16 +31,18 @@ fn frame_key(cfg: &ExpConfig) -> FrameKey {
     (cfg.frame_seed, cfg.frame_w, cfg.frame_h)
 }
 
-/// A lazily-initialized process-wide cache of shared values.
-type Memo<K, V> = OnceLock<Mutex<HashMap<K, Arc<V>>>>;
+/// A lazily-initialized process-wide cache of shared values. A
+/// `BTreeMap` keeps the cache's internal order a pure function of the
+/// keys, so nothing downstream can ever observe insertion order.
+type Memo<K, V> = OnceLock<Mutex<BTreeMap<K, Arc<V>>>>;
 
 /// Looks up `key` in a lazily-initialized process-wide cache, building
 /// the value with `make` on first use.
 fn memo<K, V>(cell: &'static Memo<K, V>, key: K, make: impl FnOnce() -> V) -> Arc<V>
 where
-    K: std::hash::Hash + Eq,
+    K: Ord,
 {
-    let cache = cell.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = cell.get_or_init(|| Mutex::new(BTreeMap::new()));
     // Holding the lock across `make` keeps the code simple and means a
     // value is only ever built once; entries are tiny and builds are
     // fast relative to the simulations that consume them.

@@ -81,6 +81,36 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: the standard NVP under every swept backup policy.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let sys = system_config_for(&inst);
+    let mut out = vec![
+        sweep("demand margins", MARGINS.len()),
+        sweep("periodic intervals", INTERVALS_S.len()),
+    ];
+    for &margin in &MARGINS {
+        out.push(nvp_plan(
+            format!("demand margin {margin:.1}"),
+            &sys,
+            standard_backup(),
+            &BackupPolicy::OnDemand { margin },
+        ));
+    }
+    for &interval_s in &INTERVALS_S {
+        out.push(nvp_plan(
+            format!("periodic {:.0} ms", interval_s * 1e3),
+            &sys,
+            standard_backup(),
+            &BackupPolicy::Periodic { interval_s },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,7 +56,7 @@ fn measure(cfg: &ExpConfig, sys: SystemConfig, label: &str) -> Row {
         policy: label.to_owned(),
         fp_wrist: fp_wrist / n,
         fp_solar: rs.forward_progress() as f64,
-        solar_waste_fraction: rs.energy.storage_wasted_j / rs.energy.converted_j.max(1e-18),
+        solar_waste_fraction: rs.energy.storage_wasted.get() / rs.energy.converted.get().max(1e-18),
         combined_gain: 1.0,
     }
 }
@@ -105,6 +105,33 @@ pub fn table(cfg: &ExpConfig) -> Table {
         ]);
     }
     t
+}
+
+/// Feasibility plans: the standard NVP at every fixed clock multiplier
+/// and under the income-adaptive policy.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let mut out = vec![sweep("clock variants", 5)];
+    for mult in [1u32, 2, 4, 8] {
+        let mut sys = system_config_for(&inst);
+        sys.clock_hz = 1e6 * f64::from(mult);
+        out.push(nvp_plan(
+            format!("fixed {mult} MHz"),
+            &sys,
+            standard_backup(),
+            &BackupPolicy::demand(),
+        ));
+    }
+    out.push(nvp_plan(
+        "adaptive 1-8 MHz",
+        &system_config_for(&inst).with_clock_policy(ClockPolicy::adaptive()),
+        standard_backup(),
+        &BackupPolicy::demand(),
+    ));
+    out
 }
 
 #[cfg(test)]

@@ -111,6 +111,44 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: the three platform configurations F3 simulates
+/// for every kernel (hardware NVP, wait-compute, software checkpoint).
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::common::{standard_backup, system_config_for, task_cost, STATE_BITS};
+    use crate::feasibility::{nvp_plan, sweep, wait_plan};
+    use nvp_core::{BackupModel, BackupPolicy, WaitComputeConfig};
+
+    let mut out = vec![sweep("kernel x profile grid", KERNELS.len() * cfg.profile_seeds.len())];
+    for kind in KERNELS {
+        let inst = kernel(cfg, kind);
+        out.push(nvp_plan(
+            format!("hardware nvp {}", kind.name()),
+            &system_config_for(&inst),
+            standard_backup(),
+            &BackupPolicy::demand(),
+        ));
+        let mut wcfg = WaitComputeConfig::default().sized_for(&task_cost(cfg, kind), 1.3);
+        wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+        out.push(wait_plan(format!("wait-compute {}", kind.name()), &wcfg));
+        let mut sys = system_config_for(&inst);
+        sys.dmem_nonvolatile = false;
+        let backup = BackupModel::software(
+            nvp_device::NvmTechnology::Feram,
+            STATE_BITS,
+            inst.min_dmem_words() as u64,
+            sys.clock_hz,
+        );
+        out.push(nvp_plan(
+            format!("software checkpoint {}", kind.name()),
+            &sys,
+            backup,
+            &BackupPolicy::OnDemand { margin: 1.3 },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,24 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: F4 runs the standard NVP over every profile.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::common::{standard_backup, system_config_for};
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    vec![
+        sweep("backup-overhead profiles", cfg.profile_seeds.len()),
+        nvp_plan(
+            "standard hardware nvp",
+            &system_config_for(&inst),
+            standard_backup(),
+            &nvp_core::BackupPolicy::demand(),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -74,6 +74,34 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: both platforms at every swept capacitance. The
+/// smallest buffers legitimately cannot *start* — that is the measured
+/// result — but a single backup must always fit the store.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep, wait_plan};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let cost = crate::common::task_cost(cfg, KernelKind::Sobel);
+    let mut out = vec![sweep("capacitance sweep", CAPACITANCES_F.len())];
+    for &c in &CAPACITANCES_F {
+        let sys = system_config_for(&inst).with_capacitance(c);
+        out.push(nvp_plan(
+            format!("nvp {:.0} nF buffer", c * 1e9),
+            &sys,
+            standard_backup(),
+            &nvp_core::BackupPolicy::demand(),
+        ));
+        let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
+        wcfg.capacitance_f = c;
+        wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+        let capacity = 0.5 * c * wcfg.cap_voltage_v * wcfg.cap_voltage_v;
+        wcfg.start_energy_j = wcfg.start_energy_j.min(0.9 * capacity);
+        out.push(wait_plan(format!("wait-compute {:.0} nF esd", c * 1e9), &wcfg));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@
 //! 10 s, every microsecond of restore latency is paid over and over.
 
 use nvp_core::BackupPolicy;
+use nvp_energy::units::{Joules, Seconds};
 use nvp_workloads::KernelKind;
 use serde::{Deserialize, Serialize};
 
@@ -40,8 +41,8 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let sys = system_config_for(&inst);
     let mut means = Vec::new();
     for &restore in &RESTORE_TIMES_S {
-        let mut backup = standard_backup().with_restore_time(restore);
-        backup.restore_energy_j += restore * WAKEUP_POWER_W;
+        let mut backup = standard_backup().with_restore_time(Seconds::new(restore));
+        backup.restore_energy += Joules::new(restore * WAKEUP_POWER_W);
         let total: u64 = cfg
             .profile_seeds
             .iter()
@@ -72,6 +73,28 @@ pub fn table(cfg: &ExpConfig) -> Table {
         t.push_row(vec![fmt(r.restore_us, 1), fmt(r.mean_fp, 0), fmt_ratio(r.relative)]);
     }
     t
+}
+
+/// Feasibility plans: the NVP with every swept wake-up latency (and its
+/// wake-up energy surcharge) folded into the backup model.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let sys = system_config_for(&inst);
+    let mut out = vec![sweep("restore-latency sweep", RESTORE_TIMES_S.len())];
+    for &restore in &RESTORE_TIMES_S {
+        let mut backup = standard_backup().with_restore_time(Seconds::new(restore));
+        backup.restore_energy += Joules::new(restore * WAKEUP_POWER_W);
+        out.push(nvp_plan(
+            format!("nvp restore {:.1} us", restore * 1e6),
+            &sys,
+            backup,
+            &BackupPolicy::demand(),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -77,6 +77,26 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: one platform per NVM technology (the harvester
+/// sources vary only the trace, not the platform) plus the grid sweep.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let mut out =
+        vec![sweep("technology x source grid", NvmTechnology::ALL.len() * SourceKind::ALL.len())];
+    for tech in NvmTechnology::ALL {
+        out.push(nvp_plan(
+            format!("nvp {tech} backup + data memory"),
+            &system_config_for_tech(&inst, tech),
+            BackupModel::distributed(tech, STATE_BITS),
+            &BackupPolicy::demand(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

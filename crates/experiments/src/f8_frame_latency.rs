@@ -95,6 +95,30 @@ pub fn table(cfg: &ExpConfig) -> Table {
     t
 }
 
+/// Feasibility plans: the NVP and wait-compute configurations F8 runs
+/// for every kernel in the latency ladder.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::common::{standard_backup, system_config_for};
+    use crate::feasibility::{nvp_plan, sweep, wait_plan};
+    use nvp_core::{BackupPolicy, WaitComputeConfig};
+
+    let mut out = vec![sweep("frame-latency kernels", KERNELS.len())];
+    for kind in KERNELS {
+        let inst = kernel(cfg, kind);
+        out.push(nvp_plan(
+            format!("hardware nvp {}", kind.name()),
+            &system_config_for(&inst),
+            standard_backup(),
+            &BackupPolicy::demand(),
+        ));
+        let mut wcfg = WaitComputeConfig::default().sized_for(&task_cost(cfg, kind), 1.3);
+        wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
+        out.push(wait_plan(format!("wait-compute {}", kind.name()), &wcfg));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,8 +64,8 @@ fn relaxed_backup(policy: RelaxPolicy) -> (BackupModel, f64) {
     let shaper = RetentionShaper::new(policy, FIELD_BITS, MIN_RETENTION_S, MAX_RETENTION_S);
     let scale = shaper.write_energy_scale(&SttModel::default());
     let mut model = base;
-    model.backup_energy_j =
-        base.backup_energy_j * (1.0 - RELAXABLE_FRACTION + RELAXABLE_FRACTION * scale);
+    model.backup_energy =
+        base.backup_energy * (1.0 - RELAXABLE_FRACTION + RELAXABLE_FRACTION * scale);
     (model, scale)
 }
 
@@ -110,7 +110,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         out.push(Row {
             policy: policy.to_string(),
             energy_scale: scale,
-            backup_nj: model.backup_energy_j * 1e9,
+            backup_nj: model.backup_energy.get() * 1e9,
             mean_fp,
             fp_gain: mean_fp / baseline_fp.max(1.0),
             at_risk_bits: at_risk,
@@ -152,6 +152,27 @@ pub fn table(cfg: &ExpConfig) -> Table {
         ]);
     }
     t
+}
+
+/// Feasibility plans: the relaxed STT-MRAM backup model under every
+/// retention policy.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let sys = system_config_for(&inst);
+    let mut out = vec![sweep("retention-relaxation policies", RelaxPolicy::ALL.len())];
+    for policy in RelaxPolicy::ALL {
+        let (model, _) = relaxed_backup(policy);
+        out.push(nvp_plan(
+            format!("stt-mram {policy:?} relaxation"),
+            &sys,
+            model,
+            &BackupPolicy::demand(),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,410 @@
+//! **Config feasibility validation** — the static checker behind
+//! `repro --check`.
+//!
+//! Every registered experiment declares the platform configurations and
+//! sweep ranges it is about to simulate ([`Experiment::plans`]); this
+//! module checks each declared plan against physical-feasibility rules
+//! *before* any simulation runs, so an infeasible reconstruction is a
+//! diagnostic instead of a silent zero-progress run:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | [`RULE_BACKUP_CAPACITY`] | backup energy must fit in the storage capacitor |
+//! | [`RULE_THRESHOLD_ORDER`] | the restore/start threshold must exceed the brown-out reserve |
+//! | [`RULE_TRICKLE_CLIP`]    | trickle floor ≤ charger clip, efficiency in (0, 1] |
+//! | [`RULE_STORAGE`]         | capacitance, rated voltage, and leak τ must be positive and finite |
+//! | [`RULE_EMPTY_SWEEP`]     | sweep ranges must be nonempty |
+//!
+//! A *start threshold above the storage capacity* is deliberately **not**
+//! an error: capacitor sweeps (F5) include unviable points on purpose —
+//! the platform reports zero forward progress, which is the measurement.
+//! What is never acceptable is a platform that could start but then
+//! loses state because a single backup cannot fit in the store.
+
+use std::fmt;
+
+use nvp_core::{BackupModel, BackupPolicy, SystemConfig, Thresholds, WaitComputeConfig};
+use nvp_energy::{Farads, FrontEndConfig, Joules, Seconds, Volts};
+
+use crate::registry::{registry, Experiment};
+use crate::ExpConfig;
+
+/// Rule id: the backup (state-save) energy exceeds the maximum energy
+/// the storage capacitor can hold, so state is lost on every brown-out.
+pub const RULE_BACKUP_CAPACITY: &str = "backup-exceeds-capacity";
+/// Rule id: the restore/start threshold does not exceed the brown-out
+/// (backup-reserve) threshold, so the platform would oscillate or never
+/// leave the off state.
+pub const RULE_THRESHOLD_ORDER: &str = "threshold-order";
+/// Rule id: the minimum-charging (trickle) floor lies above the charger
+/// clip, or the trickle efficiency is outside `(0, 1]`.
+pub const RULE_TRICKLE_CLIP: &str = "trickle-above-clip";
+/// Rule id: nonphysical storage — capacitance, rated voltage, or leak
+/// time constant is zero, negative, or non-finite.
+pub const RULE_STORAGE: &str = "nonpositive-storage";
+/// Rule id: a sweep declared zero points, so the experiment would emit
+/// an empty artifact.
+pub const RULE_EMPTY_SWEEP: &str = "empty-sweep";
+
+/// One platform configuration an experiment intends to run.
+///
+/// Collapses both platform kinds to the values the feasibility rules
+/// inspect: the energy front end, plus the backup model and derived
+/// thresholds (hardware/software NVP) or the start threshold
+/// (wait-then-compute).
+#[derive(Debug, Clone)]
+pub struct PlatformPlan {
+    /// Human-readable plan label, shown in diagnostics.
+    pub label: String,
+    /// The energy front end the platform would be built with.
+    pub fe: FrontEndConfig,
+    /// Backup model (NVP platforms).
+    pub backup: Option<BackupModel>,
+    /// Derived start/reserve thresholds (NVP platforms).
+    pub thresholds: Option<Thresholds>,
+    /// Stored energy required before execution begins (wait-compute).
+    pub start_energy: Option<Joules>,
+}
+
+/// One checkable unit of an experiment's declared intent.
+#[derive(Debug, Clone)]
+pub enum CheckItem {
+    /// A platform configuration that will be simulated.
+    Platform(Box<PlatformPlan>),
+    /// A parameter sweep with a declared point count.
+    Sweep {
+        /// Human-readable sweep label, shown in diagnostics.
+        label: String,
+        /// Number of points the sweep will evaluate.
+        points: usize,
+    },
+}
+
+/// Declares an NVP platform plan exactly as [`nvp_core::IntermittentSystem::new`]
+/// would derive it: direct-charge front end from the [`SystemConfig`]
+/// storage fields, thresholds from the backup model and policy.
+#[must_use]
+pub fn nvp_plan(
+    label: impl Into<String>,
+    sys: &SystemConfig,
+    backup: BackupModel,
+    policy: &BackupPolicy,
+) -> CheckItem {
+    let fe = FrontEndConfig::direct(
+        sys.rectifier,
+        Farads::new(sys.capacitance_f),
+        Volts::new(sys.cap_voltage_v),
+        Seconds::new(sys.cap_leak_tau_s),
+    );
+    let thresholds = Thresholds::derive(&backup, policy, Joules::new(sys.work_headroom_j));
+    CheckItem::Platform(Box::new(PlatformPlan {
+        label: label.into(),
+        fe,
+        backup: Some(backup),
+        thresholds: Some(thresholds),
+        start_energy: None,
+    }))
+}
+
+/// Declares a wait-then-compute platform plan with the front end
+/// [`nvp_core::WaitComputeSystem::new`] would build.
+#[must_use]
+pub fn wait_plan(label: impl Into<String>, w: &WaitComputeConfig) -> CheckItem {
+    let fe = FrontEndConfig {
+        rectifier: w.rectifier,
+        capacitance: Farads::new(w.capacitance_f),
+        cap_voltage: Volts::new(w.cap_voltage_v),
+        cap_leak_tau: Seconds::new(w.cap_leak_tau_s),
+        min_charge_power: nvp_energy::Watts::new(w.min_charge_power_w),
+        trickle_efficiency: w.trickle_efficiency,
+        max_charge_power: nvp_energy::Watts::new(w.max_charge_power_w),
+    };
+    CheckItem::Platform(Box::new(PlatformPlan {
+        label: label.into(),
+        fe,
+        backup: None,
+        thresholds: None,
+        start_energy: Some(Joules::new(w.start_energy_j)),
+    }))
+}
+
+/// Declares a parameter sweep of `points` points.
+#[must_use]
+pub fn sweep(label: impl Into<String>, points: usize) -> CheckItem {
+    CheckItem::Sweep { label: label.into(), points }
+}
+
+/// One feasibility violation, attributed to an experiment and plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Registry id of the offending experiment (e.g. `"f5"`).
+    pub experiment: String,
+    /// Label of the offending plan or sweep.
+    pub plan: String,
+    /// Violated rule id (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable explanation with the offending values.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: `{}`: {}: {}", self.experiment, self.plan, self.rule, self.message)
+    }
+}
+
+/// Checks one item; returns `(rule, message)` pairs for every violation.
+#[must_use]
+pub fn check_item(item: &CheckItem) -> Vec<(&'static str, String)> {
+    match item {
+        CheckItem::Platform(plan) => check_platform(plan),
+        CheckItem::Sweep { points, .. } => {
+            if *points == 0 {
+                vec![(RULE_EMPTY_SWEEP, "sweep declares zero points".to_owned())]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+fn check_platform(plan: &PlatformPlan) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    let fe = &plan.fe;
+
+    let c = fe.capacitance.get();
+    let v = fe.cap_voltage.get();
+    let tau = fe.cap_leak_tau.get();
+    if !(c > 0.0 && c.is_finite()) {
+        out.push((RULE_STORAGE, format!("storage capacitance {c} F is not positive and finite")));
+    }
+    if !(v > 0.0 && v.is_finite()) {
+        out.push((RULE_STORAGE, format!("storage rated voltage {v} V is not positive and finite")));
+    }
+    if !(tau > 0.0 && tau.is_finite()) {
+        out.push((RULE_STORAGE, format!("storage leak time constant {tau} s is not positive")));
+    }
+
+    if fe.min_charge_power.get() > fe.max_charge_power.get() {
+        out.push((
+            RULE_TRICKLE_CLIP,
+            format!(
+                "trickle floor {} exceeds charger clip {}",
+                fe.min_charge_power, fe.max_charge_power
+            ),
+        ));
+    }
+    let eff = fe.trickle_efficiency;
+    if !(eff > 0.0 && eff <= 1.0) {
+        out.push((RULE_TRICKLE_CLIP, format!("trickle efficiency {eff} is outside (0, 1]")));
+    }
+
+    let capacity = fe.max_storage_energy();
+    if let Some(backup) = &plan.backup {
+        if backup.backup_energy > capacity {
+            out.push((
+                RULE_BACKUP_CAPACITY,
+                format!(
+                    "backup needs {} but the storage holds at most {}",
+                    backup.backup_energy, capacity
+                ),
+            ));
+        }
+    }
+    if let Some(th) = &plan.thresholds {
+        if th.start <= th.backup_reserve {
+            out.push((
+                RULE_THRESHOLD_ORDER,
+                format!(
+                    "start threshold {} does not exceed the brown-out reserve {}",
+                    th.start, th.backup_reserve
+                ),
+            ));
+        }
+    }
+    if let Some(start) = plan.start_energy {
+        if start <= Joules::ZERO {
+            out.push((
+                RULE_THRESHOLD_ORDER,
+                format!("start threshold {start} does not exceed the zero brown-out floor"),
+            ));
+        }
+    }
+    out
+}
+
+fn item_label(item: &CheckItem) -> &str {
+    match item {
+        CheckItem::Platform(plan) => &plan.label,
+        CheckItem::Sweep { label, .. } => label,
+    }
+}
+
+/// Checks every plan one experiment declares for `cfg`.
+#[must_use]
+pub fn check_experiment(exp: &dyn Experiment, cfg: &ExpConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for item in exp.plans(cfg) {
+        for (rule, message) in check_item(&item) {
+            out.push(Diagnostic {
+                experiment: exp.id().to_owned(),
+                plan: item_label(&item).to_owned(),
+                rule,
+                message,
+            });
+        }
+    }
+    out
+}
+
+/// Checks the full experiment registry; an empty result means every
+/// declared configuration is feasible.
+#[must_use]
+pub fn check_registry(cfg: &ExpConfig) -> Vec<Diagnostic> {
+    registry().iter().flat_map(|e| check_experiment(*e, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_core::BackupPolicy;
+    use nvp_device::NvmTechnology;
+
+    fn demand() -> BackupPolicy {
+        BackupPolicy::demand()
+    }
+
+    fn unwrap_violation(item: &CheckItem, rule: &str) -> String {
+        let violations = check_item(item);
+        let hit = violations.iter().find(|(r, _)| *r == rule);
+        let (_, message) = hit.unwrap_or_else(|| {
+            panic!("expected a `{rule}` violation, got {violations:?}");
+        });
+        message.clone()
+    }
+
+    /// Rule 1: a backup that cannot fit in the store is diagnosed.
+    #[test]
+    fn oversized_backup_is_diagnosed() {
+        // 1 nF at 1 V stores 0.5 nJ; a distributed FeRAM backup of 2 kbit
+        // state needs ~150 nJ of overhead alone.
+        let sys =
+            SystemConfig { capacitance_f: 1e-9, cap_voltage_v: 1.0, ..SystemConfig::default() };
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let item = nvp_plan("tiny cap", &sys, backup, &demand());
+        let msg = unwrap_violation(&item, RULE_BACKUP_CAPACITY);
+        assert!(msg.contains("backup needs"), "{msg}");
+        assert!(msg.contains("holds at most"), "{msg}");
+    }
+
+    /// Rule 2: start threshold must strictly exceed the brown-out reserve.
+    #[test]
+    fn inverted_thresholds_are_diagnosed() {
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let item = CheckItem::Platform(Box::new(PlatformPlan {
+            label: "inverted".into(),
+            fe: FrontEndConfig::direct(
+                nvp_energy::Rectifier::default(),
+                Farads::new(2.2e-6),
+                Volts::new(3.3),
+                Seconds::new(3600.0),
+            ),
+            thresholds: Some(Thresholds {
+                start: backup.backup_energy,
+                backup_reserve: backup.backup_energy,
+            }),
+            backup: Some(backup),
+            start_energy: None,
+        }));
+        let msg = unwrap_violation(&item, RULE_THRESHOLD_ORDER);
+        assert!(msg.contains("does not exceed the brown-out reserve"), "{msg}");
+        // A wait-compute platform with a zero start threshold is the
+        // same class of error.
+        let w = WaitComputeConfig { start_energy_j: 0.0, ..WaitComputeConfig::default() };
+        let msg = unwrap_violation(&wait_plan("zero start", &w), RULE_THRESHOLD_ORDER);
+        assert!(msg.contains("zero brown-out floor"), "{msg}");
+    }
+
+    /// Rule 3: the trickle floor must not exceed the charger clip.
+    #[test]
+    fn trickle_above_clip_is_diagnosed() {
+        let w = WaitComputeConfig {
+            min_charge_power_w: 1e-3,
+            max_charge_power_w: 1e-4,
+            ..WaitComputeConfig::default()
+        };
+        let msg = unwrap_violation(&wait_plan("inverted charger", &w), RULE_TRICKLE_CLIP);
+        assert!(msg.contains("exceeds charger clip"), "{msg}");
+
+        let w = WaitComputeConfig { trickle_efficiency: 0.0, ..WaitComputeConfig::default() };
+        let msg = unwrap_violation(&wait_plan("dead trickle", &w), RULE_TRICKLE_CLIP);
+        assert!(msg.contains("outside (0, 1]"), "{msg}");
+    }
+
+    /// Rule 4: nonphysical storage parameters are diagnosed.
+    #[test]
+    fn nonpositive_storage_is_diagnosed() {
+        let sys = SystemConfig { capacitance_f: 0.0, ..SystemConfig::default() };
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let item = nvp_plan("no cap", &sys, backup, &demand());
+        let msg = unwrap_violation(&item, RULE_STORAGE);
+        assert!(msg.contains("capacitance"), "{msg}");
+
+        let sys = SystemConfig { cap_leak_tau_s: -1.0, ..SystemConfig::default() };
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let item = nvp_plan("negative leak", &sys, backup, &demand());
+        let msg = unwrap_violation(&item, RULE_STORAGE);
+        assert!(msg.contains("leak time constant"), "{msg}");
+    }
+
+    /// Rule 5: empty sweeps are diagnosed.
+    #[test]
+    fn empty_sweep_is_diagnosed() {
+        let msg = unwrap_violation(&sweep("no points", 0), RULE_EMPTY_SWEEP);
+        assert!(msg.contains("zero points"), "{msg}");
+        assert!(check_item(&sweep("one point", 1)).is_empty());
+    }
+
+    /// The default platform configurations are feasible.
+    #[test]
+    fn default_platforms_are_feasible() {
+        let backup = BackupModel::distributed(NvmTechnology::Feram, 2048);
+        let item = nvp_plan("default nvp", &SystemConfig::default(), backup, &demand());
+        assert!(check_item(&item).is_empty());
+        let item = wait_plan("default wait", &WaitComputeConfig::default());
+        assert!(check_item(&item).is_empty());
+    }
+
+    /// Every one of the 15 registered experiments declares only
+    /// feasible plans, in both the quick and the default configuration.
+    #[test]
+    fn all_registry_entries_pass() {
+        for cfg in [ExpConfig::quick(), ExpConfig::default()] {
+            for exp in registry() {
+                let diags = check_experiment(*exp, &cfg);
+                assert!(!exp.plans(&cfg).is_empty(), "{} declares no plans", exp.id());
+                assert!(
+                    diags.is_empty(),
+                    "{}: infeasible plans: {}",
+                    exp.id(),
+                    diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+                );
+            }
+        }
+    }
+
+    /// Diagnostics render with experiment, plan, rule, and message.
+    #[test]
+    fn diagnostic_display_is_complete() {
+        let d = Diagnostic {
+            experiment: "f5".into(),
+            plan: "tiny cap".into(),
+            rule: RULE_BACKUP_CAPACITY,
+            message: "backup needs 1 J but the storage holds at most 0.5 J".into(),
+        };
+        let text = d.to_string();
+        for needle in ["f5", "tiny cap", RULE_BACKUP_CAPACITY, "holds at most"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+}

@@ -39,6 +39,7 @@
 pub mod cli;
 mod common;
 mod config;
+pub mod feasibility;
 mod par;
 mod registry;
 mod report;

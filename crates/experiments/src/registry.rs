@@ -6,6 +6,7 @@
 //! Adding experiment 16 means writing its module and appending one
 //! entry — no runner, binary, or example changes.
 
+use crate::feasibility::CheckItem;
 use crate::{
     f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
     f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
@@ -29,6 +30,12 @@ pub trait Experiment: Sync {
 
     /// Builds the experiment's table for a configuration.
     fn build(&self, cfg: &ExpConfig) -> Table;
+
+    /// Declares the platform configurations and sweep ranges
+    /// [`build`](Self::build) is about to simulate, for static
+    /// feasibility checking (`repro --check`). Required — every
+    /// experiment must be checkable before it runs.
+    fn plans(&self, cfg: &ExpConfig) -> Vec<CheckItem>;
 }
 
 /// An experiment backed by a plain builder function.
@@ -36,6 +43,7 @@ struct FnExperiment {
     id: &'static str,
     title: &'static str,
     build: fn(&ExpConfig) -> Table,
+    plans: fn(&ExpConfig) -> Vec<CheckItem>,
 }
 
 impl Experiment for FnExperiment {
@@ -50,10 +58,21 @@ impl Experiment for FnExperiment {
     fn build(&self, cfg: &ExpConfig) -> Table {
         (self.build)(cfg)
     }
+
+    fn plans(&self, cfg: &ExpConfig) -> Vec<CheckItem> {
+        (self.plans)(cfg)
+    }
 }
 
+/// Bin count of the F2 outage-duration histogram artifact.
+const F2_HISTOGRAM_BINS: usize = 16;
+
 fn f2_histogram(cfg: &ExpConfig) -> Table {
-    f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], 16)
+    f2_outage_stats::histogram_table(cfg, cfg.profile_seeds[0], F2_HISTOGRAM_BINS)
+}
+
+fn f2_histogram_plans(cfg: &ExpConfig) -> Vec<CheckItem> {
+    f2_outage_stats::histogram_plans(cfg, F2_HISTOGRAM_BINS)
 }
 
 /// Every registered experiment, in artifact order.
@@ -62,72 +81,91 @@ static REGISTRY: [&dyn Experiment; 15] = [
         id: "t1",
         title: "NVP chip & technology gallery (published silicon vs framework models)",
         build: t1_chip_gallery::table,
+        plans: t1_chip_gallery::plans,
     },
     &FnExperiment {
         id: "f1",
         title: "Wearable harvester power profiles (synthetic, seeded)",
         build: f1_power_profiles::table,
+        plans: f1_power_profiles::plans,
     },
     &FnExperiment {
         id: "f2",
         title: "Power-emergency statistics at the 33 µW operating threshold",
         build: f2_outage_stats::table,
+        plans: f2_outage_stats::plans,
     },
-    &FnExperiment { id: "f2h", title: "Outage-duration histogram", build: f2_histogram },
+    &FnExperiment {
+        id: "f2h",
+        title: "Outage-duration histogram",
+        build: f2_histogram,
+        plans: f2_histogram_plans,
+    },
     &FnExperiment {
         id: "f3",
         title: "Forward progress: hardware NVP vs wait-compute vs software checkpointing",
         build: f3_forward_progress::table,
+        plans: f3_forward_progress::plans,
     },
     &FnExperiment {
         id: "f4",
         title: "Backup overheads (published: 1400-1700 backups/min, 20-33% of income energy)",
         build: f4_backup_overhead::table,
+        plans: f4_backup_overhead::plans,
     },
     &FnExperiment {
         id: "f5",
         title: "Forward progress vs storage capacitance (NVP buffer vs wait-compute ESD)",
         build: f5_capacitor_sweep::table,
+        plans: f5_capacitor_sweep::plans,
     },
     &FnExperiment {
         id: "f6",
         title: "Forward progress vs restore (wake-up) latency",
         build: f6_restore_sensitivity::table,
+        plans: f6_restore_sensitivity::plans,
     },
     &FnExperiment {
         id: "f7",
         title: "Forward progress and endurance by NVM technology and harvester class",
         build: f7_tech_sweep::table,
+        plans: f7_tech_sweep::plans,
     },
     &FnExperiment {
         id: "t2",
         title: "System energy distribution by application class",
         build: t2_energy_distribution::table,
+        plans: t2_energy_distribution::plans,
     },
     &FnExperiment {
         id: "f8",
         title: "Seconds per processed frame on harvested power (NVP vs wait-compute)",
         build: f8_frame_latency::table,
+        plans: f8_frame_latency::plans,
     },
     &FnExperiment {
         id: "t3",
         title: "Backup strategies: distributed NVFF vs centralized copy vs software",
         build: t3_backup_strategies::table,
+        plans: t3_backup_strategies::plans,
     },
     &FnExperiment {
         id: "f9",
         title: "Retention-relaxed backup: energy saved, forward-progress gain, decay risk",
         build: f9_retention_relaxation::table,
+        plans: f9_retention_relaxation::plans,
     },
     &FnExperiment {
         id: "f10",
         title: "Backup-policy sweep: demand margins vs periodic checkpointing",
         build: f10_policy_sweep::table,
+        plans: f10_policy_sweep::plans,
     },
     &FnExperiment {
         id: "f11",
         title: "Clock scaling: fixed frequencies vs income-adaptive",
         build: f11_clock_scaling::table,
+        plans: f11_clock_scaling::plans,
     },
 ];
 
@@ -149,7 +187,7 @@ mod tests {
 
     #[test]
     fn ids_are_unique_and_lowercase() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for e in registry() {
             assert_eq!(e.id(), e.id().to_lowercase(), "registry ids are lowercase");
             assert!(seen.insert(e.id()), "duplicate experiment id {}", e.id());

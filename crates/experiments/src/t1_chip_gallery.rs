@@ -63,10 +63,10 @@ pub fn rows(_cfg: &ExpConfig) -> Vec<Row> {
             tech: tech.to_string(),
             clock_mhz: 1.0,
             state_bits: STATE_BITS,
-            backup_us: m.backup_time_s * 1e6,
-            restore_us: m.restore_time_s * 1e6,
-            backup_nj: m.backup_energy_j * 1e9,
-            restore_nj: m.restore_energy_j * 1e9,
+            backup_us: m.backup_time.get() * 1e6,
+            restore_us: m.restore_time.get() * 1e6,
+            backup_nj: m.backup_energy.get() * 1e9,
+            restore_nj: m.restore_energy.get() * 1e9,
             hardware_managed: true,
             reference: "this framework".to_owned(),
         });
@@ -108,6 +108,16 @@ pub fn table(cfg: &ExpConfig) -> Table {
         ]);
     }
     t
+}
+
+/// Feasibility plans: T1 is a pure tabulation (no platform simulation);
+/// the gallery itself is the sweep.
+#[must_use]
+pub fn plans(_cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    vec![crate::feasibility::sweep(
+        "published chip gallery",
+        published_chips().len() + NvmTechnology::ALL.len(),
+    )]
 }
 
 #[cfg(test)]

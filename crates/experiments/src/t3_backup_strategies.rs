@@ -62,9 +62,9 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
             out.push(Row {
                 tech: tech.to_string(),
                 style: style.to_string(),
-                backup_us: model.backup_time_s * 1e6,
-                backup_nj: model.backup_energy_j * 1e9,
-                restore_us: model.restore_time_s * 1e6,
+                backup_us: model.backup_time.get() * 1e6,
+                backup_nj: model.backup_energy.get() * 1e9,
+                restore_us: model.restore_time.get() * 1e6,
                 fp: r.forward_progress(),
             });
         }
@@ -91,6 +91,31 @@ pub fn table(cfg: &ExpConfig) -> Table {
         ]);
     }
     t
+}
+
+/// Feasibility plans: every style × technology cell of the comparison.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let ram_words = inst.min_dmem_words() as u64;
+    let mut out = vec![sweep("technology x style grid", 2 * 3)];
+    for tech in [NvmTechnology::Feram, NvmTechnology::SttMram] {
+        for style in [BackupStyle::Distributed, BackupStyle::Centralized, BackupStyle::Software] {
+            let model = model_for(style, tech, ram_words);
+            let mut sys = system_config_for(&inst);
+            if style == BackupStyle::Software {
+                sys.dmem_nonvolatile = false;
+            }
+            let policy = match style {
+                BackupStyle::Software => BackupPolicy::OnDemand { margin: 1.3 },
+                _ => BackupPolicy::demand(),
+            };
+            out.push(nvp_plan(format!("{tech} {style:?}"), &sys, model, &policy));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

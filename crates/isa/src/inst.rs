@@ -722,7 +722,7 @@ mod tests {
 
     #[test]
     fn mnemonics_are_distinct() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for inst in sample_insts() {
             assert!(seen.insert(inst.mnemonic()), "dup mnemonic {}", inst.mnemonic());
         }

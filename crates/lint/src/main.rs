@@ -1,0 +1,70 @@
+//! The `nvp-lint` command-line front end.
+//!
+//! Usage: `cargo run -p nvp-lint -- check [root]`
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+Usage: nvp-lint <command> [root]
+
+Commands:
+  check [root]   lint every .rs file under root (default: the workspace
+                 root containing this crate); exit 0 if clean, 1 if any
+                 violation is found
+  rules          list the lint rules and exit
+
+Per-site escape hatch: a `// nvp-lint: allow(<rule>)` comment on the
+offending line or the line directly above it.";
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ -> workspace root, both under cargo and when the
+    // binary is invoked from elsewhere in the tree.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = args.get(1).map_or_else(workspace_root, PathBuf::from);
+            match nvp_lint::check_workspace(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("nvp-lint: clean ({} rules)", nvp_lint::RULES.len());
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("nvp-lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("nvp-lint: error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("rules") => {
+            for rule in nvp_lint::RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Some(other) => {
+            eprintln!("nvp-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! A lightweight Rust tokenizer — just enough lexical structure for the
+//! lint rules: comments, strings, char literals, and lifetimes are
+//! stripped; identifiers, numeric literals, and punctuation survive
+//! with 1-indexed line numbers.
+//!
+//! Deliberately not a full lexer: no token is ever *mis*-classified in
+//! a way that matters to the rules (a rule only inspects identifiers,
+//! float literals, and the `==`/`!=` operators), and the implementation
+//! stays small enough to audit by eye.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`energy_j`, `as`, `unsafe`, …).
+    Ident,
+    /// Floating-point literal (`0.5`, `1e-6`, `2.5_f64`).
+    Float,
+    /// Integer literal (`42`, `0x7f`, `1_000`).
+    Int,
+    /// Operator or punctuation; multi-char only for `==` and `!=`.
+    Punct,
+}
+
+/// One surviving token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: usize,
+}
+
+/// Tokenizes `source`, stripping comments, string/char literals, and
+/// lifetimes.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    let count_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&chars[start..i.min(n)]);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                line += count_lines(&chars[start..i.min(n)]);
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                let start = i;
+                i = skip_raw_string(&chars, i);
+                line += count_lines(&chars[start..i.min(n)]);
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
+                let next = chars.get(i + 1).copied().unwrap_or('\0');
+                let after = chars.get(i + 2).copied().unwrap_or('\0');
+                if (next.is_alphanumeric() || next == '_') && after != '\'' {
+                    // Lifetime: consume the tick and the identifier.
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    // Char literal: consume to the closing quote.
+                    i += 1;
+                    while i < n {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                let hex = c == '0' && matches!(chars.get(i + 1), Some('x' | 'X' | 'o' | 'b'));
+                i += 1;
+                if hex {
+                    i += 1;
+                    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else {
+                    while i < n {
+                        let d = chars[i];
+                        if d.is_ascii_digit() || d == '_' {
+                            i += 1;
+                        } else if d == '.' {
+                            // `1..10` is a range, not a float.
+                            if chars.get(i + 1) == Some(&'.') {
+                                break;
+                            }
+                            // `1.method()` is a call on an integer.
+                            if chars.get(i + 1).is_some_and(|c| c.is_alphabetic() || *c == '_') {
+                                break;
+                            }
+                            is_float = true;
+                            i += 1;
+                        } else if d == 'e' || d == 'E' {
+                            let exp = chars.get(i + 1).copied().unwrap_or('\0');
+                            let exp2 = chars.get(i + 2).copied().unwrap_or('\0');
+                            if exp.is_ascii_digit()
+                                || ((exp == '+' || exp == '-') && exp2.is_ascii_digit())
+                            {
+                                is_float = true;
+                                i += 1; // the `e`
+                                if !chars[i].is_ascii_digit() {
+                                    i += 1; // the sign
+                                }
+                                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                                    i += 1;
+                                }
+                            } else {
+                                break;
+                            }
+                        } else if d == 'f' && !hex {
+                            // `1f64` / `2.5f32` suffix.
+                            is_float = true;
+                            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                                i += 1;
+                            }
+                            break;
+                        } else if d.is_ascii_alphabetic() || d == '_' {
+                            // Integer suffix (`10u64`) or `_f64`.
+                            let rest: String = chars[i..n.min(i + 4)].iter().collect();
+                            if rest.starts_with("_f32") || rest.starts_with("_f64") {
+                                is_float = true;
+                            }
+                            while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                                i += 1;
+                            }
+                            break;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+                out.push(Token { kind, text, line });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token { kind: TokenKind::Ident, text, line });
+            }
+            _ => {
+                let two: String = chars[i..n.min(i + 2)].iter().collect();
+                if two == "==" || two == "!=" {
+                    out.push(Token { kind: TokenKind::Punct, text: two, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `true` if position `i` starts a raw/byte string (`r"`, `r#"`, `br"`,
+/// `b"`, `b'`).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let c = chars[i];
+    let next = chars.get(i + 1).copied().unwrap_or('\0');
+    match c {
+        'r' => next == '"' || next == '#',
+        'b' => next == '"' || next == '\'' || next == 'r',
+        _ => false,
+    }
+}
+
+/// Skips a raw/byte string starting at `i`; returns the index after it.
+fn skip_raw_string(chars: &[char], mut i: usize) -> usize {
+    let n = chars.len();
+    // Consume the prefix letters (`r`, `b`, `br`).
+    while i < n && (chars[i] == 'r' || chars[i] == 'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        // Byte char literal `b'x'`.
+        i += 1;
+        while i < n {
+            match chars[i] {
+                '\\' => i += 2,
+                '\'' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // Not actually a string (e.g. `r#raw_ident`); resume.
+    }
+    i += 1;
+    while i < n {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        if hashes == 0 && chars[i] == '\\' {
+            i += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_punct_survive() {
+        let toks = tokenize("let x_j = 1.5e-6 + 42;");
+        let kinds: Vec<(TokenKind, &str)> =
+            toks.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        assert_eq!(
+            kinds,
+            [
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x_j"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Float, "1.5e-6"),
+                (TokenKind::Punct, "+"),
+                (TokenKind::Int, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped_and_lines_tracked() {
+        let toks = tokenize("// line one\n/* block\nspanning */ x\ny");
+        assert_eq!(toks.len(), 2);
+        assert_eq!((toks[0].text.as_str(), toks[0].line), ("x", 3));
+        assert_eq!((toks[1].text.as_str(), toks[1].line), ("y", 4));
+    }
+
+    #[test]
+    fn nested_block_comments_are_stripped() {
+        assert_eq!(texts("/* a /* nested */ still comment */ x"), ["x"]);
+    }
+
+    #[test]
+    fn strings_and_chars_are_stripped() {
+        assert_eq!(texts(r#"let s = "HashMap == 0.0 unsafe";"#), ["let", "s", "=", ";"]);
+        assert_eq!(texts("let c = '=';"), ["let", "c", "=", ";"]);
+        assert_eq!(texts(r"let c = '\n';"), ["let", "c", "=", ";"]);
+        assert_eq!(texts("let e = \"a\\\"b\";"), ["let", "e", "=", ";"]);
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        assert_eq!(texts(r##"let s = r#"Instant "quoted" inside"#;"##), ["let", "s", "=", ";"]);
+        assert_eq!(texts(r#"let s = r"SystemTime";"#), ["let", "s", "=", ";"]);
+        assert_eq!(texts(r#"let b = b"bytes";"#), ["let", "b", "=", ";"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) {}"),
+            ["fn", "f", "<", ">", "(", "x", ":", "&", "str", ")", "{", "}"]
+        );
+        // A char literal directly after a lifetime-looking tick.
+        assert_eq!(texts("let c = 'x';"), ["let", "c", "=", ";"]);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert_eq!(tokenize("0.5")[0].kind, TokenKind::Float);
+        assert_eq!(tokenize("1e-6")[0].kind, TokenKind::Float);
+        assert_eq!(tokenize("1E+9")[0].kind, TokenKind::Float);
+        assert_eq!(tokenize("2.5f32")[0].kind, TokenKind::Float);
+        assert_eq!(tokenize("0.5_f64")[0].kind, TokenKind::Float);
+        assert_eq!(tokenize("42")[0].kind, TokenKind::Int);
+        assert_eq!(tokenize("0x7f12")[0].kind, TokenKind::Int);
+        assert_eq!(tokenize("1_000")[0].kind, TokenKind::Int);
+        assert_eq!(tokenize("10u64")[0].kind, TokenKind::Int);
+        // Ranges keep the integers intact.
+        assert_eq!(texts("0..10"), ["0", ".", ".", "10"]);
+        // Method calls on integers are not floats.
+        assert_eq!(tokenize("1.max(2)")[0].kind, TokenKind::Int);
+    }
+
+    #[test]
+    fn comparison_operators_are_single_tokens() {
+        assert_eq!(texts("a == b"), ["a", "==", "b"]);
+        assert_eq!(texts("a != b"), ["a", "!=", "b"]);
+        assert_eq!(texts("a <= b"), ["a", "<", "=", "b"]);
+    }
+}

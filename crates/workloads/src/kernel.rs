@@ -62,7 +62,7 @@ impl From<SimError> for WorkloadError {
 /// Image kernels mirror the MiBench/susan-class benchmarks the NVP
 /// literature evaluates; the scalar kernels cover the pattern-matching
 /// and compression workloads it cites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum KernelKind {
     /// 3×3 Sobel gradient magnitude.
     Sobel,

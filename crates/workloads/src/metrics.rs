@@ -50,6 +50,8 @@ pub fn mse(a: &[u16], b: &[u16]) -> f64 {
 pub fn psnr(a: &[u16], b: &[u16], peak: f64) -> f64 {
     assert!(peak > 0.0, "peak must be positive");
     let e = mse(a, b);
+    // Exact zero is the identical-input sentinel (PSNR = ∞), not a
+    // tolerance question. nvp-lint: allow(float-eq)
     if e == 0.0 {
         f64::INFINITY
     } else {

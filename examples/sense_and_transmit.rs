@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // System-level energy: core energy measured, radio energy modelled.
     let radio_j = packets as f64 * AppProfile::temperature_sensing().radio_energy_j();
-    let core_j = report.energy.compute_j + report.energy.backup_j + report.energy.restore_j;
+    let core_j = (report.energy.compute + report.energy.backup + report.energy.restore).get();
     let share = core_j / (core_j + radio_j).max(1e-18);
     println!(
         "energy: core {:.1} µJ vs radio {:.1} µJ → compute share {:.1}% \

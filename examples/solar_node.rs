@@ -16,7 +16,7 @@ fn run(label: &str, program: &nvp::isa::Program, cfg: SystemConfig, trace: &Powe
         r.forward_progress(),
         r.tasks_completed,
         r.on_fraction() * 100.0,
-        100.0 * r.energy.storage_wasted_j / r.energy.converted_j.max(1e-18)
+        100.0 * r.energy.storage_wasted.get() / r.energy.converted.get().max(1e-18)
     );
 }
 

@@ -36,7 +36,7 @@ fn full_platform_runs_are_reproducible() {
     assert_eq!(r1, r2);
     assert_eq!(out1, out2);
     // Energy accounting is bit-identical, not merely close.
-    assert_eq!(r1.energy.compute_j.to_bits(), r2.energy.compute_j.to_bits());
+    assert_eq!(r1.energy.compute.get().to_bits(), r2.energy.compute.get().to_bits());
 }
 
 #[test]

@@ -19,20 +19,20 @@ const STEP_DRAW_BOUND_J: f64 = 1e-6;
 /// Asserts the conservation invariant for one finished run.
 fn assert_conserved(label: &str, e: &nvp::platform::EnergyBreakdown, rollbacks: u64, slack_j: f64) {
     assert!(
-        e.harvested_j + 1e-12 >= e.converted_j,
+        e.harvested.get() + 1e-12 >= e.converted.get(),
         "{label}: converted {} exceeds harvested {}",
-        e.converted_j,
-        e.harvested_j
+        e.converted,
+        e.harvested
     );
-    let accounted = e.compute_j
-        + e.backup_j
-        + e.restore_j
-        + e.sleep_j
-        + e.regulator_j
-        + e.stored_at_end_j
-        + e.storage_wasted_j;
-    let residual = e.converted_j - accounted;
-    let tol = 1e-9 * e.converted_j + 1e-12;
+    let accounted = e.compute
+        + e.backup
+        + e.restore
+        + e.sleep
+        + e.regulator
+        + e.stored_at_end
+        + e.storage_wasted;
+    let residual = (e.converted - accounted).get();
+    let tol = 1e-9 * e.converted.get() + 1e-12;
     assert!(residual >= -tol, "{label}: over-accounted by {residual} J");
     let bound = rollbacks as f64 * slack_j + tol;
     assert!(
@@ -63,7 +63,7 @@ fn intermittent_system_conserves_energy() {
     for (label, trace) in traces() {
         for tech in [NvmTechnology::Feram, NvmTechnology::SttMram] {
             let backup = BackupModel::distributed(tech, 2048);
-            let slack = backup.backup_energy_j + STEP_DRAW_BOUND_J;
+            let slack = backup.backup_energy.get() + STEP_DRAW_BOUND_J;
             let mut sys = IntermittentSystem::new(
                 &program,
                 SystemConfig::default(),

@@ -73,13 +73,9 @@ fn energy_is_conserved() {
     let trace = harvester::wrist_watch(3, 5.0);
     let r = nvp_report(&kernel, &trace);
     let e = r.energy;
-    assert!(e.converted_j <= e.harvested_j);
-    let spent = e.compute_j + e.backup_j + e.restore_j + e.sleep_j + e.regulator_j;
-    assert!(
-        spent <= e.converted_j * (1.0 + 1e-9),
-        "spent {spent} exceeds converted {}",
-        e.converted_j
-    );
+    assert!(e.converted <= e.harvested);
+    let spent = e.compute + e.backup + e.restore + e.sleep + e.regulator;
+    assert!(spent <= e.converted * (1.0 + 1e-9), "spent {spent} exceeds converted {}", e.converted);
 }
 
 #[test]

@@ -54,9 +54,9 @@ fn run_report_invariants() {
             "every completed backup is eventually restored (±the last)"
         );
         let e = r.energy;
-        assert!(e.converted_j <= e.harvested_j + 1e-15);
-        let spent = e.compute_j + e.backup_j + e.restore_j + e.sleep_j + e.regulator_j;
-        assert!(spent <= e.converted_j + 1e-12);
+        assert!(e.converted.get() <= e.harvested.get() + 1e-15);
+        let spent = e.compute + e.backup + e.restore + e.sleep + e.regulator;
+        assert!(spent.get() <= e.converted.get() + 1e-12);
         assert!(r.on_time_s <= r.duration_s + 1e-9);
     }
 }
