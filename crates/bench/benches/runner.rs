@@ -10,20 +10,31 @@
 //!
 //! * `run_all_quick.parallel_s` / `sequential_s` — best-of-3 wall time
 //!   of `run_all(ExpConfig::quick())` on the scoped thread pool vs. the
-//!   sequential reference with `NVP_THREADS=1`. A warm-up run first
-//!   fills the process-wide frame/kernel/trace memo caches so both
-//!   timings measure the runner, not first-touch input synthesis.
+//!   sequential reference forced to one worker via
+//!   `set_thread_override` (the thread count used is recorded next to
+//!   each figure). A warm-up run first fills the process-wide
+//!   frame/kernel/trace memo caches, and the simulation cache is reset
+//!   before every repetition, so both timings measure real simulation
+//!   work, not first-touch input synthesis or cache hits.
+//! * `sim_cache.cold_s` / `warm_s` — one `run_all` against an empty
+//!   simulation cache vs. a fully populated one, plus the unique/hit
+//!   counts, quantifying the cross-experiment deduplication win.
 //! * `simulator.tight_loop_steps_per_sec` — `Machine::step` throughput
 //!   on a branchy ALU loop (the predecode fast path).
-//! * `simulator.sobel_steps_per_sec` — the same for the Sobel kernel
-//!   image (loads/stores/multiplies included).
+//! * `simulator.block_steps_per_sec` — `Machine::run_blocks` throughput
+//!   on the same loop (the fused basic-block engine).
+//! * `simulator.sobel_steps_per_sec` — `Machine::step` on the Sobel
+//!   kernel image (loads/stores/multiplies included).
 
 use std::fs;
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use nvp_experiments::{run_all, run_all_sequential, ExpConfig};
+use nvp_experiments::{
+    registry, reset_sim_cache, run_all, run_all_sequential, set_thread_override, thread_count,
+    ExpConfig, RunArtifacts,
+};
 use nvp_isa::asm::assemble;
 use nvp_sim::Machine;
 use nvp_workloads::{GrayImage, KernelKind};
@@ -37,14 +48,20 @@ fn unique_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
 }
 
-/// Best-of-`REPS` wall time of one `run_all` variant, seconds.
+/// Best-of-`REPS` wall time of one `run_all` variant, seconds. With
+/// `cold_cache`, the simulation cache is cleared before every
+/// repetition so each one re-simulates from scratch.
 fn time_runner(
-    f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<nvp_experiments::RunArtifacts>,
+    f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<RunArtifacts>,
+    cold_cache: bool,
 ) -> f64 {
     let cfg = ExpConfig::quick();
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
         let dir = unique_dir("nvp_bench_runner");
+        if cold_cache {
+            reset_sim_cache();
+        }
         let t0 = Instant::now();
         black_box(f(&cfg, &dir).expect("run_all succeeds"));
         best = best.min(t0.elapsed().as_secs_f64());
@@ -53,16 +70,20 @@ fn time_runner(
     best
 }
 
-/// Best-of-`REPS` `Machine::step` throughput for `machine`, running
+/// Best-of-`REPS` throughput of `advance` on fresh machines, running
 /// `insts` instructions per repetition (instructions per second).
-fn steps_per_sec(mut fresh: impl FnMut() -> Machine, insts: u64) -> f64 {
+fn steps_per_sec(
+    mut fresh: impl FnMut() -> Machine,
+    advance: impl Fn(&mut Machine, u64) -> u64,
+    insts: u64,
+) -> f64 {
     let mut best = 0.0f64;
     for _ in 0..REPS {
         let mut m = fresh();
         let t0 = Instant::now();
         let mut executed = 0;
         while executed < insts {
-            executed += m.run(insts - executed).expect("program runs");
+            executed += advance(&mut m, insts - executed);
             if m.halted() {
                 break;
             }
@@ -74,45 +95,83 @@ fn steps_per_sec(mut fresh: impl FnMut() -> Machine, insts: u64) -> f64 {
 }
 
 fn main() {
+    let cfg = ExpConfig::quick();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_threads = thread_count(registry().len());
 
     // Warm the memo caches so parallel and sequential timings are
-    // measured against identical (all-hot) inputs.
+    // measured against identical (all-hot) inputs; the simulation
+    // cache itself is reset per repetition below.
     {
         let dir = unique_dir("nvp_bench_runner_warmup");
-        run_all(&ExpConfig::quick(), &dir).expect("warm-up run succeeds");
+        run_all(&cfg, &dir).expect("warm-up run succeeds");
         let _ = fs::remove_dir_all(&dir);
     }
 
-    let parallel_s = time_runner(run_all);
-    std::env::set_var("NVP_THREADS", "1");
-    let sequential_s = time_runner(run_all_sequential);
-    std::env::remove_var("NVP_THREADS");
+    let parallel_s = time_runner(run_all, true);
+    set_thread_override(Some(1));
+    let sequential_s = time_runner(run_all_sequential, true);
+    set_thread_override(None);
     let speedup = sequential_s / parallel_s;
+
+    // Cache effectiveness: one run against an empty simulation cache,
+    // then one against the fully populated cache it leaves behind.
+    let (cache_cold_s, cache_warm_s, unique_sims, warm_hits) = {
+        reset_sim_cache();
+        let dir = unique_dir("nvp_bench_cache");
+        let t0 = Instant::now();
+        let cold = run_all(&cfg, &dir).expect("cold run succeeds");
+        let cold_s = t0.elapsed().as_secs_f64();
+        let _ = fs::remove_dir_all(&dir);
+        let dir = unique_dir("nvp_bench_cache");
+        let t0 = Instant::now();
+        let warm = run_all(&cfg, &dir).expect("warm run succeeds");
+        let warm_s = t0.elapsed().as_secs_f64();
+        let _ = fs::remove_dir_all(&dir);
+        (cold_s, warm_s, cold.cache.misses, warm.cache.hits)
+    };
+    let cache_speedup = cache_cold_s / cache_warm_s;
 
     let tight = assemble("start: addi r1, r1, 1\n xor r2, r2, r1\n bne r1, r0, start\n halt")
         .expect("tight loop assembles");
-    let tight_rate = steps_per_sec(|| Machine::new(&tight).expect("loads"), 2_000_000);
+    let step_run = |m: &mut Machine, n: u64| m.run(n).expect("program runs");
+    let block_run = |m: &mut Machine, n: u64| m.run_blocks(n).expect("program runs").executed;
+    let tight_rate = steps_per_sec(|| Machine::new(&tight).expect("loads"), step_run, 2_000_000);
+    let block_rate = steps_per_sec(|| Machine::new(&tight).expect("loads"), block_run, 2_000_000);
 
     let frame = GrayImage::synthetic(7, 32, 32);
     let sobel = KernelKind::Sobel.build(&frame).expect("sobel builds");
-    let sobel_rate = steps_per_sec(|| sobel.machine().expect("loads"), 2_000_000);
+    let sobel_rate = steps_per_sec(|| sobel.machine().expect("loads"), step_run, 2_000_000);
 
-    println!("bench runner/run_all_quick_parallel      {parallel_s:>12.4} s (best of {REPS})");
-    println!("bench runner/run_all_quick_sequential    {sequential_s:>12.4} s (best of {REPS})");
+    println!("bench runner/run_all_quick_parallel      {parallel_s:>12.4} s (best of {REPS}, {parallel_threads} thread(s))");
+    println!("bench runner/run_all_quick_sequential    {sequential_s:>12.4} s (best of {REPS}, 1 thread)");
     println!("bench runner/speedup                     {speedup:>12.2} x on {cores} core(s)");
+    println!("bench runner/sim_cache_cold              {cache_cold_s:>12.4} s ({unique_sims} unique sims)");
+    println!("bench runner/sim_cache_warm              {cache_warm_s:>12.4} s ({warm_hits} hits)");
+    println!("bench runner/sim_cache_speedup           {cache_speedup:>12.2} x");
     println!("bench runner/tight_loop_steps_per_sec    {tight_rate:>12.0}");
+    println!("bench runner/block_steps_per_sec         {block_rate:>12.0}");
     println!("bench runner/sobel_steps_per_sec         {sobel_rate:>12.0}");
 
     let out = std::env::var("NVP_BENCH_RUNNER_JSON").map_or_else(
         |_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runner.json")),
         PathBuf::from,
     );
+    let comment = "recorded by `cargo bench -p nvp-bench --bench runner`; wall times are \
+                   best-of-3 with the simulation cache reset per repetition; *_threads is the \
+                   worker count used for that measurement";
     let json = format!(
-        "{{\n  \"schema\": \"nvp-bench-runner/1\",\n  \"host_cores\": {cores},\n  \
+        "{{\n  \"schema\": \"nvp-bench-runner/2\",\n  \"comment\": \"{comment}\",\n  \
+         \"host_cores\": {cores},\n  \
          \"run_all_quick\": {{\n    \"parallel_s\": {parallel_s:.4},\n    \
-         \"sequential_s\": {sequential_s:.4},\n    \"speedup\": {speedup:.3}\n  }},\n  \
+         \"parallel_threads\": {parallel_threads},\n    \
+         \"sequential_s\": {sequential_s:.4},\n    \"sequential_threads\": 1,\n    \
+         \"speedup\": {speedup:.3}\n  }},\n  \
+         \"sim_cache\": {{\n    \"cold_s\": {cache_cold_s:.4},\n    \
+         \"warm_s\": {cache_warm_s:.4},\n    \"speedup\": {cache_speedup:.3},\n    \
+         \"unique_sims\": {unique_sims},\n    \"warm_hits\": {warm_hits}\n  }},\n  \
          \"simulator\": {{\n    \"tight_loop_steps_per_sec\": {tight_rate:.0},\n    \
+         \"block_steps_per_sec\": {block_rate:.0},\n    \
          \"sobel_steps_per_sec\": {sobel_rate:.0}\n  }}\n}}\n"
     );
     fs::write(&out, json).expect("write BENCH_runner.json");

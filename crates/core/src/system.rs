@@ -521,7 +521,7 @@ impl IntermittentSystem {
                 block = block.min(safe_count(interval - self.since_ckpt_s, max_step_s));
             }
             if block >= 2 {
-                let stats = self.machine.run_block(block)?;
+                let stats = self.machine.run_blocks(block)?;
                 let t = stats.cycles as f64 / clock;
                 budget -= t;
                 self.report.on_time_s += t;

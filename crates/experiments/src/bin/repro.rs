@@ -62,6 +62,10 @@ fn main() -> ExitCode {
             for t in &artifacts.tables {
                 println!("{}", t.to_markdown());
             }
+            eprintln!(
+                "sim cache: {} unique simulations, {} duplicate run(s) deduplicated",
+                artifacts.cache.misses, artifacts.cache.hits
+            );
             eprintln!("wrote {} files to {}", artifacts.files.len(), out_dir.display());
             ExitCode::SUCCESS
         }

@@ -6,8 +6,14 @@
 //! are now memoized in process-wide caches so concurrent experiments
 //! share one instance; the caches are keyed on every parameter that
 //! influences the value, so results are unchanged.
+//!
+//! Simulation *runs* are deduplicated the same way: [`run_nvp_with`]
+//! and [`run_wait`] route through the content-addressed
+//! [`crate::simcache`], so identical `(program, config, trace)` runs
+//! issued by different experiments simulate only once per process.
 
 use std::collections::BTreeMap;
+use std::ops::Deref;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use nvp_core::{
@@ -15,9 +21,11 @@ use nvp_core::{
     WaitComputeConfig, WaitComputeSystem,
 };
 use nvp_device::NvmTechnology;
-use nvp_energy::{harvester, PowerTrace};
+use nvp_energy::harvester::SourceKind;
+use nvp_energy::PowerTrace;
 use nvp_workloads::{GrayImage, KernelInstance, KernelKind};
 
+use crate::simcache::{self, Digest, KeyHasher};
 use crate::ExpConfig;
 
 /// Volatile state bits of the NV16 core (registers + PC + pipeline FFs),
@@ -64,12 +72,40 @@ pub(crate) fn kernel(cfg: &ExpConfig, kind: KernelKind) -> Arc<KernelInstance> {
     })
 }
 
+/// A shared power trace paired with its content digest, so the digest
+/// is computed once per trace no matter how many cached runs use it.
+#[derive(Clone)]
+pub(crate) struct SimTrace(Arc<(PowerTrace, Digest)>);
+
+impl SimTrace {
+    pub(crate) fn digest(&self) -> &Digest {
+        &self.0 .1
+    }
+}
+
+impl Deref for SimTrace {
+    type Target = PowerTrace;
+
+    fn deref(&self) -> &PowerTrace {
+        &self.0 .0
+    }
+}
+
+/// A memoized harvester trace for any source kind. F7's technology ×
+/// harvester grid and F11's solar variant hit this instead of
+/// regenerating the trace per grid cell.
+pub(crate) fn source_trace(cfg: &ExpConfig, kind: SourceKind, seed: u64) -> SimTrace {
+    static CACHE: Memo<(&'static str, u64, u64), (PowerTrace, Digest)> = OnceLock::new();
+    SimTrace(memo(&CACHE, (kind.name(), seed, cfg.trace_duration_s.to_bits()), || {
+        let trace = kind.generate(seed, cfg.trace_duration_s);
+        let digest = simcache::trace_digest(&trace);
+        (trace, digest)
+    }))
+}
+
 /// The standard wearable trace for a profile seed.
-pub(crate) fn watch_trace(cfg: &ExpConfig, seed: u64) -> Arc<PowerTrace> {
-    static CACHE: Memo<(u64, u64), PowerTrace> = OnceLock::new();
-    memo(&CACHE, (seed, cfg.trace_duration_s.to_bits()), || {
-        harvester::wrist_watch(seed, cfg.trace_duration_s)
-    })
+pub(crate) fn watch_trace(cfg: &ExpConfig, seed: u64) -> SimTrace {
+    source_trace(cfg, SourceKind::WristWatch, seed)
 }
 
 /// The reference hardware-NVP backup model (distributed FeRAM NVFFs).
@@ -115,37 +151,55 @@ pub(crate) fn task_cost(cfg: &ExpConfig, kind: KernelKind) -> TaskCost {
 }
 
 /// Runs the hardware NVP over a trace.
-pub(crate) fn run_nvp(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
+pub(crate) fn run_nvp(inst: &KernelInstance, trace: &SimTrace) -> RunReport {
     run_nvp_with(inst, trace, system_config_for(inst), standard_backup(), BackupPolicy::demand())
 }
 
-/// Runs an NVP variant with explicit configuration.
+/// Runs an NVP variant with explicit configuration, deduplicated
+/// through the simulation cache: the key covers the program image, the
+/// `Debug` renderings of the configuration triple, and the trace
+/// digest.
 pub(crate) fn run_nvp_with(
     inst: &KernelInstance,
-    trace: &PowerTrace,
+    trace: &SimTrace,
     sys: SystemConfig,
     backup: BackupModel,
     policy: BackupPolicy,
 ) -> RunReport {
-    let mut system =
-        IntermittentSystem::new(inst.program(), sys, backup, policy).expect("platform builds");
-    system.run(trace).expect("workload does not fault")
+    let mut key = KeyHasher::new("nvp-simcache/1:nvp");
+    key.program(inst.program());
+    key.debug(&sys);
+    key.debug(&backup);
+    key.debug(&policy);
+    key.digest(trace.digest());
+    simcache::cached_run(key.finish(), || {
+        let mut system =
+            IntermittentSystem::new(inst.program(), sys, backup, policy).expect("platform builds");
+        system.run(trace).expect("workload does not fault")
+    })
 }
 
 /// Runs the wait-then-compute baseline on the standard kernel for
-/// `kind`, ESD sized for the kernel's task.
-pub(crate) fn run_wait(cfg: &ExpConfig, kind: KernelKind, trace: &PowerTrace) -> RunReport {
+/// `kind`, ESD sized for the kernel's task. Cached like
+/// [`run_nvp_with`], under a distinct run-kind tag.
+pub(crate) fn run_wait(cfg: &ExpConfig, kind: KernelKind, trace: &SimTrace) -> RunReport {
     let inst = kernel(cfg, kind);
     let cost = task_cost(cfg, kind);
     let mut wcfg = WaitComputeConfig::default().sized_for(&cost, 1.3);
     wcfg.dmem_words = wcfg.dmem_words.max(inst.min_dmem_words());
-    let mut system = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
-    system.run(trace).expect("workload does not fault")
+    let mut key = KeyHasher::new("nvp-simcache/1:wait");
+    key.program(inst.program());
+    key.debug(&wcfg);
+    key.digest(trace.digest());
+    simcache::cached_run(key.finish(), || {
+        let mut system = WaitComputeSystem::new(inst.program(), wcfg).expect("platform builds");
+        system.run(trace).expect("workload does not fault")
+    })
 }
 
 /// Runs the software-checkpointing baseline (Hibernus-class: volatile
 /// SRAM MCU, CPU-copied checkpoints into FeRAM at a voltage trigger).
-pub(crate) fn run_software_ckpt(inst: &KernelInstance, trace: &PowerTrace) -> RunReport {
+pub(crate) fn run_software_ckpt(inst: &KernelInstance, trace: &SimTrace) -> RunReport {
     let mut sys = system_config_for(inst);
     sys.dmem_nonvolatile = false;
     let ram_words = inst.min_dmem_words() as u64;

@@ -16,11 +16,13 @@
 //! from covering *both* deployments with one part.
 
 use nvp_core::{BackupPolicy, ClockPolicy, SystemConfig};
-use nvp_energy::harvester;
+use nvp_energy::harvester::SourceKind;
 use nvp_workloads::KernelKind;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{kernel, run_nvp_with, standard_backup, system_config_for, watch_trace};
+use crate::common::{
+    kernel, run_nvp_with, source_trace, standard_backup, system_config_for, watch_trace,
+};
 use crate::report::{fmt, fmt_ratio};
 use crate::{ExpConfig, Table};
 
@@ -50,7 +52,7 @@ fn measure(cfg: &ExpConfig, sys: SystemConfig, label: &str) -> Row {
             .forward_progress() as f64
     });
     let fp_wrist: f64 = fps.iter().sum();
-    let solar = harvester::solar_indoor(cfg.profile_seeds[0], cfg.trace_duration_s);
+    let solar = source_trace(cfg, SourceKind::SolarIndoor, cfg.profile_seeds[0]);
     let rs = run_nvp_with(&inst, &solar, sys, standard_backup(), BackupPolicy::demand());
     Row {
         policy: label.to_owned(),

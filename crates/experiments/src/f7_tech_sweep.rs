@@ -10,7 +10,7 @@ use nvp_device::{EnduranceMeter, NvmTechnology};
 use nvp_energy::harvester::SourceKind;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{kernel, run_nvp_with, system_config_for_tech, STATE_BITS};
+use crate::common::{kernel, run_nvp_with, source_trace, system_config_for_tech, STATE_BITS};
 use crate::report::fmt;
 use crate::{ExpConfig, Table};
 use nvp_workloads::KernelKind;
@@ -44,7 +44,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         // Both the backup path *and* the NVM data memory use `tech`.
         let sys = system_config_for_tech(&inst, tech);
         let backup = BackupModel::distributed(tech, STATE_BITS);
-        let trace = source.generate(cfg.profile_seeds[0], cfg.trace_duration_s);
+        let trace = source_trace(cfg, source, cfg.profile_seeds[0]);
         let r = run_nvp_with(&inst, &trace, sys, backup, BackupPolicy::demand());
         let rate = r.backups as f64 / r.duration_s.max(1e-9);
         let meter = EnduranceMeter::new(tech.params());

@@ -44,6 +44,7 @@ mod par;
 mod registry;
 mod report;
 mod runner;
+mod simcache;
 
 pub mod f10_policy_sweep;
 pub mod f11_clock_scaling;
@@ -61,6 +62,8 @@ pub mod t2_energy_distribution;
 pub mod t3_backup_strategies;
 
 pub use config::ExpConfig;
+pub use par::{set_thread_override, thread_count};
 pub use registry::{find, registry, Experiment};
 pub use report::Table;
 pub use runner::{run_all, run_all_sequential, run_only, RunArtifacts};
+pub use simcache::{reset_sim_cache, sim_cache_stats, SimCacheStats};

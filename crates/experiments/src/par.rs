@@ -5,22 +5,74 @@
 //! byte-identical artifacts. No external thread-pool dependency: the
 //! scope joins every worker before returning, and a worker panic (e.g.
 //! a failed assertion inside an experiment) propagates to the caller.
+//!
+//! The worker count can be forced/limited with the `NVP_THREADS`
+//! environment variable, parsed **once** per process (so CI and users
+//! get one deterministic answer no matter when the variable changes),
+//! or programmatically with [`set_thread_override`], which always wins
+//! over the environment.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Sentinel: `NVP_THREADS` not parsed yet.
+const UNPARSED: usize = usize::MAX;
+/// Sentinel: no override (use hardware parallelism).
+const NO_OVERRIDE: usize = 0;
+
+/// The resolved `NVP_THREADS` override: `UNPARSED` until first use,
+/// then `NO_OVERRIDE` or the requested worker cap.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(UNPARSED);
+
+/// Parses an `NVP_THREADS` value: a positive integer caps the worker
+/// count (`1` forces sequential execution); anything else — unset,
+/// empty, zero, garbage — means "no override".
+pub(crate) fn parse_nvp_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Programmatically forces (or, with `None`, clears back to the
+/// hardware default) the worker-count override, taking precedence over
+/// `NVP_THREADS`. Benchmarks use this to time sequential vs parallel
+/// runs in one process without mutating the environment.
+pub fn set_thread_override(threads: Option<usize>) {
+    let v = match threads {
+        Some(n) if n >= 1 => n,
+        _ => NO_OVERRIDE,
+    };
+    THREAD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The active override: reads `NVP_THREADS` on first call and caches
+/// the result for the life of the process.
+fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        UNPARSED => {
+            let env = std::env::var("NVP_THREADS").ok();
+            let parsed = parse_nvp_threads(env.as_deref());
+            let v = parsed.unwrap_or(NO_OVERRIDE);
+            // Racing first calls parse the same environment and store
+            // the same value, so last-write-wins is benign — unless a
+            // `set_thread_override` landed in between, which must win.
+            let _ =
+                THREAD_OVERRIDE.compare_exchange(UNPARSED, v, Ordering::Relaxed, Ordering::Relaxed);
+            match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+                NO_OVERRIDE => None,
+                n => Some(n),
+            }
+        }
+        NO_OVERRIDE => None,
+        n => Some(n),
+    }
+}
+
 /// Number of worker threads for `work` items: the smaller of the item
 /// count and the hardware parallelism, overridable with `NVP_THREADS`
-/// (`NVP_THREADS=1` forces sequential execution).
+/// or [`set_thread_override`] (`1` forces sequential execution).
 #[must_use]
-pub(crate) fn thread_count(work: usize) -> usize {
+pub fn thread_count(work: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let cap = std::env::var("NVP_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(hw);
-    cap.min(work).max(1)
+    thread_override().unwrap_or(hw).min(work).max(1)
 }
 
 /// Maps `f` over `items` on a scoped thread pool, preserving input
@@ -82,6 +134,32 @@ mod tests {
     fn thread_count_is_bounded() {
         assert_eq!(thread_count(0), 1);
         assert_eq!(thread_count(1), 1);
+        assert!(thread_count(1000) >= 1);
+    }
+
+    #[test]
+    fn parse_nvp_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_nvp_threads(None), None);
+        assert_eq!(parse_nvp_threads(Some("")), None);
+        assert_eq!(parse_nvp_threads(Some("0")), None);
+        assert_eq!(parse_nvp_threads(Some("-3")), None);
+        assert_eq!(parse_nvp_threads(Some("lots")), None);
+        assert_eq!(parse_nvp_threads(Some("1.5")), None);
+        assert_eq!(parse_nvp_threads(Some("1")), Some(1));
+        assert_eq!(parse_nvp_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_nvp_threads(Some("64")), Some(64));
+    }
+
+    #[test]
+    fn override_beats_environment_and_clears() {
+        // Other tests exercise `thread_count` concurrently; only probe
+        // the explicit-override states, then restore the default.
+        set_thread_override(Some(1));
+        assert_eq!(thread_count(1000), 1);
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(1000), 3);
+        assert_eq!(thread_count(2), 2);
+        set_thread_override(None);
         assert!(thread_count(1000) >= 1);
     }
 }

@@ -12,6 +12,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::registry::{find, registry, Experiment};
+use crate::simcache::{sim_cache_stats, SimCacheStats};
 use crate::{f1_power_profiles, par, ExpConfig, Table};
 
 /// What a runner call produced.
@@ -21,6 +22,9 @@ pub struct RunArtifacts {
     pub tables: Vec<Table>,
     /// Paths of the files written.
     pub files: Vec<PathBuf>,
+    /// Simulation-cache hits/misses during this runner call
+    /// (experiments replaying an identical simulation skip it).
+    pub cache: SimCacheStats,
 }
 
 /// Regenerates the full evaluation and writes one CSV per table, one
@@ -32,11 +36,12 @@ pub struct RunArtifacts {
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
+    let before = sim_cache_stats();
     let tables = par::par_map(registry(), |e| e.build(cfg));
     let profiles = par::par_map(&cfg.profile_seeds, |&seed| {
         (seed, f1_power_profiles::series(cfg, seed).to_csv())
     });
-    write_artifacts(out_dir, tables, &profiles)
+    write_artifacts(out_dir, tables, &profiles, before)
 }
 
 /// [`run_all`] with every builder evaluated in registry order on the
@@ -48,13 +53,14 @@ pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all_sequential(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
+    let before = sim_cache_stats();
     let tables: Vec<Table> = registry().iter().map(|e| e.build(cfg)).collect();
     let profiles: Vec<(u64, String)> = cfg
         .profile_seeds
         .iter()
         .map(|&seed| (seed, f1_power_profiles::series(cfg, seed).to_csv()))
         .collect();
-    write_artifacts(out_dir, tables, &profiles)
+    write_artifacts(out_dir, tables, &profiles, before)
 }
 
 /// Regenerates only the experiments named by `ids` (case-insensitive
@@ -72,6 +78,7 @@ pub fn run_only<S: AsRef<str>>(
     out_dir: &Path,
     ids: &[S],
 ) -> io::Result<RunArtifacts> {
+    let before = sim_cache_stats();
     let mut selected: Vec<&'static dyn Experiment> = Vec::new();
     for id in ids {
         let id = id.as_ref();
@@ -95,7 +102,7 @@ pub fn run_only<S: AsRef<str>>(
     } else {
         Vec::new()
     };
-    write_artifacts(out_dir, tables, &profiles)
+    write_artifacts(out_dir, tables, &profiles, before)
 }
 
 /// Writes all artifacts in the fixed order shared by every runner.
@@ -103,6 +110,7 @@ fn write_artifacts(
     out_dir: &Path,
     tables: Vec<Table>,
     profiles: &[(u64, String)],
+    cache_before: SimCacheStats,
 ) -> io::Result<RunArtifacts> {
     fs::create_dir_all(out_dir)?;
     let mut files = Vec::new();
@@ -123,7 +131,7 @@ fn write_artifacts(
     fs::write(&md_path, combined)?;
     files.push(md_path);
 
-    Ok(RunArtifacts { tables, files })
+    Ok(RunArtifacts { tables, files, cache: sim_cache_stats().since(cache_before) })
 }
 
 #[cfg(test)]
@@ -155,6 +163,21 @@ mod tests {
             assert_eq!(table.id().to_lowercase(), exp.id(), "table/registry id mismatch");
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_all_quick_hits_sim_cache() {
+        let cold_dir = unique_dir("nvp_exp_cache_cold");
+        let warm_dir = unique_dir("nvp_exp_cache_warm");
+        let cold = run_all(&ExpConfig::quick(), &cold_dir).unwrap();
+        assert!(cold.cache.hits + cold.cache.misses > 0, "run_all issued no simulations");
+        // Every simulation the repeat run needs is now cached, so it
+        // must record hits (misses can still appear in the delta from
+        // concurrently-running tests — only hits are asserted).
+        let warm = run_all(&ExpConfig::quick(), &warm_dir).unwrap();
+        assert!(warm.cache.hits > 0, "repeat run_all produced no cache hits: {:?}", warm.cache);
+        let _ = fs::remove_dir_all(&cold_dir);
+        let _ = fs::remove_dir_all(&warm_dir);
     }
 
     #[test]

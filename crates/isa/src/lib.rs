@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod blocks;
 pub mod builder;
 mod inst;
 mod program;

@@ -2,9 +2,11 @@
 
 use std::fmt;
 
+use nvp_isa::blocks::branch_target;
 use nvp_isa::{DecodeError, Inst, Program, Reg};
 use serde::{Deserialize, Serialize};
 
+use crate::block::{BlockTable, Cond, MicroKind, Term, NO_PLAN, NUM_SLOTS};
 use crate::{CycleModel, EnergyModel, InstClass, DEFAULT_DMEM_WORDS};
 
 /// The volatile architectural state an NVP must back up: the register file
@@ -67,13 +69,13 @@ impl Counters {
 /// the cycle/energy cost of both branch outcomes (identical for
 /// non-branches). Built once per imem word at load time.
 #[derive(Debug, Clone, Copy)]
-struct Decoded {
-    inst: Inst,
-    class: InstClass,
-    cycles_not_taken: u32,
-    cycles_taken: u32,
-    energy_not_taken_j: f64,
-    energy_taken_j: f64,
+pub(crate) struct Decoded {
+    pub(crate) inst: Inst,
+    pub(crate) class: InstClass,
+    pub(crate) cycles_not_taken: u32,
+    pub(crate) cycles_taken: u32,
+    pub(crate) energy_not_taken_j: f64,
+    pub(crate) energy_taken_j: f64,
 }
 
 impl Decoded {
@@ -180,6 +182,7 @@ impl std::error::Error for SimError {
 #[derive(Debug, Clone)]
 pub struct Machine {
     code: Vec<Decoded>,
+    blocks: BlockTable,
     max_step_cycles: u32,
     max_step_energy_j: f64,
     regs: [u16; 16],
@@ -245,8 +248,10 @@ impl Machine {
             }
             dmem[start..end].copy_from_slice(&seg.words);
         }
+        let blocks = BlockTable::build(&code, program.entry());
         Ok(Machine {
             code,
+            blocks,
             max_step_cycles,
             max_step_energy_j,
             regs: [0; 16],
@@ -452,6 +457,324 @@ impl Machine {
         Ok(stats)
     }
 
+    /// Like [`run_block`](Machine::run_block), but executes whole basic
+    /// blocks through the fused block plans built at load time instead
+    /// of dispatching instruction by instruction.
+    ///
+    /// Straight-line block bodies run against a local register file with
+    /// no per-step counter stores; integer accounting (instructions,
+    /// cycles, class counts) is applied as fused adds per block. Energy
+    /// is still accumulated one addition per instruction in program
+    /// order, because f64 addition is not associative — results are
+    /// bit-identical to an equivalent sequence of [`step`](Machine::step)
+    /// calls, including [`Counters`] and the returned [`BlockStats`].
+    ///
+    /// The engine falls back to [`step`](Machine::step) whenever a block
+    /// cannot run whole: at non-leader addresses (entered via `jalr` or
+    /// a mid-block [`restore`](Machine::restore)) and when fewer than a
+    /// full block's instructions remain in `max_insts`. Execution stops
+    /// early on `halt`, on `ckpt` (with `checkpoint` set, matching
+    /// `run_block`), or on a fault.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution fault (see [`Machine::step`]);
+    /// architectural state and counters reflect every instruction
+    /// retired before the fault, exactly as in step mode.
+    pub fn run_blocks(&mut self, max_insts: u64) -> Result<BlockStats, SimError> {
+        let mut stats = BlockStats::default();
+        // Local register file (slot 16 absorbs r0 writes) and energy
+        // accumulators, synced back on every exit and around fallbacks.
+        let mut lr = [0u16; NUM_SLOTS];
+        lr[..16].copy_from_slice(&self.regs);
+        let mut c_energy = self.counters.energy_j;
+        let mut s_energy = 0.0f64;
+
+        while stats.executed < max_insts && !self.halted {
+            let plan_idx = self.blocks.leader.get(self.pc as usize).copied().unwrap_or(NO_PLAN);
+            let whole_block_fits = plan_idx != NO_PLAN
+                && self.blocks.plans[plan_idx as usize].insts <= max_insts - stats.executed;
+            if !whole_block_fits {
+                // Fallback: single-step with state synced to the machine.
+                self.regs.copy_from_slice(&lr[..16]);
+                self.counters.energy_j = c_energy;
+                let step = self.step()?;
+                lr[..16].copy_from_slice(&self.regs);
+                c_energy = self.counters.energy_j;
+                stats.executed += 1;
+                stats.cycles += u64::from(step.cycles);
+                s_energy += step.energy_j;
+                if step.checkpoint {
+                    stats.checkpoint = true;
+                    break;
+                }
+                continue;
+            }
+
+            let plan = &self.blocks.plans[plan_idx as usize];
+            let ops =
+                &self.blocks.ops[plan.op_start as usize..(plan.op_start + plan.op_len) as usize];
+            // Streak loop: hot loops whose terminator jumps back to this
+            // same leader re-execute the block without leaving this arm.
+            // Integer accounting is associative, so it is applied once
+            // per streak (multiplied by the repeat count); energy stays
+            // one add per op, in order.
+            let mut budget_left = max_insts - stats.executed;
+            let mut repeats = 0u64;
+            let mut term_cycles = 0u64;
+            let mut taken_count = 0u64;
+            let mut fault: Option<(usize, u16)> = None;
+            'streak: loop {
+                for (i, op) in ops.iter().enumerate() {
+                    match op.kind {
+                        MicroKind::Add { d, a, b } => {
+                            lr[usize::from(d)] =
+                                lr[usize::from(a)].wrapping_add(lr[usize::from(b)]);
+                        }
+                        MicroKind::Sub { d, a, b } => {
+                            lr[usize::from(d)] =
+                                lr[usize::from(a)].wrapping_sub(lr[usize::from(b)]);
+                        }
+                        MicroKind::And { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] & lr[usize::from(b)];
+                        }
+                        MicroKind::Or { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] | lr[usize::from(b)];
+                        }
+                        MicroKind::Xor { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] ^ lr[usize::from(b)];
+                        }
+                        MicroKind::Sll { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] << (lr[usize::from(b)] & 0xF);
+                        }
+                        MicroKind::Srl { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] >> (lr[usize::from(b)] & 0xF);
+                        }
+                        MicroKind::Sra { d, a, b } => {
+                            lr[usize::from(d)] =
+                                ((lr[usize::from(a)] as i16) >> (lr[usize::from(b)] & 0xF)) as u16;
+                        }
+                        MicroKind::Mul { d, a, b } => {
+                            let p = i32::from(lr[usize::from(a)] as i16)
+                                * i32::from(lr[usize::from(b)] as i16);
+                            lr[usize::from(d)] = p as u16;
+                        }
+                        MicroKind::Mulh { d, a, b } => {
+                            let p = i32::from(lr[usize::from(a)] as i16)
+                                * i32::from(lr[usize::from(b)] as i16);
+                            lr[usize::from(d)] = (p >> 16) as u16;
+                        }
+                        MicroKind::Slt { d, a, b } => {
+                            lr[usize::from(d)] = u16::from(
+                                (lr[usize::from(a)] as i16) < (lr[usize::from(b)] as i16),
+                            );
+                        }
+                        MicroKind::Sltu { d, a, b } => {
+                            lr[usize::from(d)] = u16::from(lr[usize::from(a)] < lr[usize::from(b)]);
+                        }
+                        MicroKind::Divu { d, a, b } => {
+                            lr[usize::from(d)] = lr[usize::from(a)]
+                                .checked_div(lr[usize::from(b)])
+                                .unwrap_or(0xFFFF);
+                        }
+                        MicroKind::Remu { d, a, b } => {
+                            let div = lr[usize::from(b)];
+                            lr[usize::from(d)] = if div == 0 {
+                                lr[usize::from(a)]
+                            } else {
+                                lr[usize::from(a)] % div
+                            };
+                        }
+                        MicroKind::Addi { d, a, imm } => {
+                            lr[usize::from(d)] = lr[usize::from(a)].wrapping_add(imm);
+                        }
+                        MicroKind::Andi { d, a, imm } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] & imm;
+                        }
+                        MicroKind::Ori { d, a, imm } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] | imm;
+                        }
+                        MicroKind::Xori { d, a, imm } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] ^ imm;
+                        }
+                        MicroKind::Slli { d, a, shamt } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] << shamt;
+                        }
+                        MicroKind::Srli { d, a, shamt } => {
+                            lr[usize::from(d)] = lr[usize::from(a)] >> shamt;
+                        }
+                        MicroKind::Srai { d, a, shamt } => {
+                            lr[usize::from(d)] = ((lr[usize::from(a)] as i16) >> shamt) as u16;
+                        }
+                        MicroKind::Slti { d, a, imm } => {
+                            lr[usize::from(d)] = u16::from((lr[usize::from(a)] as i16) < imm);
+                        }
+                        MicroKind::Li { d, imm } => lr[usize::from(d)] = imm,
+                        MicroKind::Lw { d, a, offset } => {
+                            let addr = lr[usize::from(a)].wrapping_add(offset);
+                            match self.dmem.get(usize::from(addr)) {
+                                Some(&v) => lr[usize::from(d)] = v,
+                                None => {
+                                    fault = Some((i, addr));
+                                    break;
+                                }
+                            }
+                        }
+                        MicroKind::Sw { s, a, offset } => {
+                            let addr = lr[usize::from(a)].wrapping_add(offset);
+                            match self.dmem.get_mut(usize::from(addr)) {
+                                Some(slot) => *slot = lr[usize::from(s)],
+                                None => {
+                                    fault = Some((i, addr));
+                                    break;
+                                }
+                            }
+                        }
+                        MicroKind::Nop => {}
+                        MicroKind::Out { port, s } => {
+                            self.out_log.push((port, lr[usize::from(s)]));
+                        }
+                        MicroKind::In { d, port } => {
+                            lr[usize::from(d)] = self.inputs[usize::from(port)];
+                        }
+                    }
+                    c_energy += op.energy_j;
+                    s_energy += op.energy_j;
+                }
+                if fault.is_some() {
+                    break 'streak;
+                }
+
+                // `stop`: halt/ckpt ends not just the streak but the call.
+                let mut stop = false;
+                let next = match plan.term {
+                    Term::FallThrough { next } => next,
+                    Term::Branch {
+                        cond,
+                        a,
+                        b,
+                        taken_pc,
+                        fall_pc,
+                        cycles_nt,
+                        cycles_t,
+                        energy_nt_j,
+                        energy_t_j,
+                    } => {
+                        let x = lr[usize::from(a)];
+                        let y = lr[usize::from(b)];
+                        let taken = match cond {
+                            Cond::Eq => x == y,
+                            Cond::Ne => x != y,
+                            Cond::Lt => (x as i16) < (y as i16),
+                            Cond::Ge => (x as i16) >= (y as i16),
+                            Cond::Ltu => x < y,
+                            Cond::Geu => x >= y,
+                        };
+                        let (cycles, energy) =
+                            if taken { (cycles_t, energy_t_j) } else { (cycles_nt, energy_nt_j) };
+                        term_cycles += u64::from(cycles);
+                        taken_count += u64::from(taken);
+                        c_energy += energy;
+                        s_energy += energy;
+                        if taken {
+                            taken_pc
+                        } else {
+                            fall_pc
+                        }
+                    }
+                    Term::Jal { link_slot, link_val, target, cycles, energy_j } => {
+                        lr[usize::from(link_slot)] = link_val;
+                        term_cycles += u64::from(cycles);
+                        c_energy += energy_j;
+                        s_energy += energy_j;
+                        target
+                    }
+                    Term::Jalr { link_slot, link_val, a, offset, cycles, energy_j } => {
+                        // Target reads rs1 before the link write (rd == rs1).
+                        let target = u32::from(lr[usize::from(a)].wrapping_add(offset));
+                        lr[usize::from(link_slot)] = link_val;
+                        term_cycles += u64::from(cycles);
+                        c_energy += energy_j;
+                        s_energy += energy_j;
+                        target
+                    }
+                    Term::Halt { cycles, energy_j } => {
+                        self.halted = true;
+                        term_cycles += u64::from(cycles);
+                        c_energy += energy_j;
+                        s_energy += energy_j;
+                        stop = true;
+                        // As in step mode, pc stays on the halt instruction.
+                        plan.start + plan.op_len
+                    }
+                    Term::Ckpt { next, cycles, energy_j } => {
+                        term_cycles += u64::from(cycles);
+                        c_energy += energy_j;
+                        s_energy += energy_j;
+                        stats.checkpoint = true;
+                        stop = true;
+                        next
+                    }
+                };
+                repeats += 1;
+                budget_left -= plan.insts;
+                if stop || next != plan.start || plan.insts > budget_left {
+                    self.pc = next;
+                    break 'streak;
+                }
+            }
+
+            // Fused integer accounting for the full repeats of the streak.
+            let retired = plan.insts * repeats;
+            self.counters.instructions += retired;
+            self.counters.cycles += plan.body_cycles * repeats + term_cycles;
+            stats.executed += retired;
+            stats.cycles += plan.body_cycles * repeats + term_cycles;
+            if repeats > 0 {
+                for (count, add) in
+                    self.counters.class_counts.iter_mut().zip(&plan.body_class_counts)
+                {
+                    *count += add * repeats;
+                }
+                if !matches!(plan.term, Term::FallThrough { .. }) {
+                    self.counters.class_counts[usize::from(plan.term_class)] += repeats;
+                }
+                self.counters.branches_taken += taken_count;
+            }
+
+            if let Some((done, addr)) = fault {
+                // Partial block: account the retired prefix exactly as
+                // step mode would, then report the fault at its pc.
+                self.counters.instructions += done as u64;
+                for op in &ops[..done] {
+                    self.counters.cycles += u64::from(op.cycles);
+                    self.counters.class_counts[usize::from(op.class_idx)] += 1;
+                }
+                self.counters.energy_j = c_energy;
+                self.regs.copy_from_slice(&lr[..16]);
+                let pc = plan.start + done as u32;
+                self.pc = pc;
+                return Err(SimError::MemOutOfRange { addr, pc });
+            }
+
+            if stats.checkpoint {
+                break;
+            }
+        }
+
+        self.regs.copy_from_slice(&lr[..16]);
+        self.counters.energy_j = c_energy;
+        stats.energy_j = s_energy;
+        stats.halted = self.halted;
+        Ok(stats)
+    }
+
+    /// Number of basic blocks in the loaded image's block plan.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.plans.len()
+    }
+
     /// Worst-case cycles any single instruction in the loaded image can
     /// take (taken-branch outcome included).
     #[must_use]
@@ -593,17 +916,6 @@ impl Machine {
     pub fn code_len(&self) -> usize {
         self.code.len()
     }
-}
-
-/// Target of a taken branch at `pc` with signed word `offset`.
-///
-/// A displacement below address 0 saturates to an out-of-range address so
-/// the next fetch faults with [`SimError::PcOutOfRange`] instead of
-/// wrapping silently.
-#[inline]
-fn branch_target(pc: u32, offset: i16) -> u32 {
-    let target = i64::from(pc) + 1 + i64::from(offset);
-    u32::try_from(target).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]
@@ -828,5 +1140,120 @@ mod tests {
         let b = run_src(src);
         assert_eq!(a.counters().energy_j.to_bits(), b.counters().energy_j.to_bits());
         assert_eq!(a.counters().cycles, b.counters().cycles);
+    }
+
+    /// Asserts that `run_blocks(budget)` and a `run_block(budget)` step
+    /// loop over the same program leave bit-identical machines and
+    /// return bit-identical stats.
+    fn assert_block_equivalence(src: &str, budgets: &[u64]) {
+        let p = assemble(src).expect("assembles");
+        for &budget in budgets {
+            let mut by_step = Machine::new(&p).expect("loads");
+            let mut by_block = Machine::new(&p).expect("loads");
+            let a = by_step.run_block(budget);
+            let b = by_block.run_blocks(budget);
+            match (a, b) {
+                (Ok(sa), Ok(sb)) => {
+                    assert_eq!(sa.executed, sb.executed, "budget {budget}");
+                    assert_eq!(sa.cycles, sb.cycles, "budget {budget}");
+                    assert_eq!(
+                        sa.energy_j.to_bits(),
+                        sb.energy_j.to_bits(),
+                        "stats energy, budget {budget}"
+                    );
+                    assert_eq!(sa.halted, sb.halted, "budget {budget}");
+                    assert_eq!(sa.checkpoint, sb.checkpoint, "budget {budget}");
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "budget {budget}"),
+                (a, b) => panic!("budget {budget}: step {a:?} vs block {b:?}"),
+            }
+            assert_eq!(by_step.snapshot(), by_block.snapshot(), "budget {budget}");
+            assert_eq!(by_step.halted(), by_block.halted(), "budget {budget}");
+            assert_eq!(by_step.dmem(), by_block.dmem(), "budget {budget}");
+            assert_eq!(by_step.out_log(), by_block.out_log(), "budget {budget}");
+            let ca = by_step.counters();
+            let cb = by_block.counters();
+            assert_eq!(ca.instructions, cb.instructions, "budget {budget}");
+            assert_eq!(ca.cycles, cb.cycles, "budget {budget}");
+            assert_eq!(
+                ca.energy_j.to_bits(),
+                cb.energy_j.to_bits(),
+                "counter energy, budget {budget}"
+            );
+            assert_eq!(ca.class_counts, cb.class_counts, "budget {budget}");
+            assert_eq!(ca.branches_taken, cb.branches_taken, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn blocks_match_steps_on_loop() {
+        assert_block_equivalence(
+            "li r1, 50\nli r2, 0\nx: add r2, r2, r1\naddi r1, r1, -1\nbnez r1, x\nsw r2, 0(r0)\nhalt",
+            &[0, 1, 2, 3, 5, 7, 100, 1_000_000],
+        );
+    }
+
+    #[test]
+    fn blocks_match_steps_on_io_and_ckpt() {
+        assert_block_equivalence(
+            "in r1, 2\nckpt\naddi r1, r1, 1\nout 7, r1\nckpt\nhalt",
+            &[0, 1, 2, 3, 4, 5, 6, 100],
+        );
+    }
+
+    #[test]
+    fn blocks_match_steps_on_call_return() {
+        assert_block_equivalence(
+            "li r1, 5\ncall double\nmov r3, r1\nhalt\ndouble: add r1, r1, r1\nret",
+            &[1, 2, 3, 4, 5, 6, 7, 100],
+        );
+    }
+
+    #[test]
+    fn blocks_match_steps_on_fault() {
+        assert_block_equivalence("li r1, 0x7FFF\nli r2, 9\nlw r3, 1(r1)\nhalt", &[1, 2, 3, 100]);
+        assert_block_equivalence("li r1, 0x7FFF\nsw r1, 1(r1)\nhalt", &[1, 2, 100]);
+        // Wild control flow: pc leaves the image.
+        assert_block_equivalence("beq r0, r0, -5", &[1, 2, 100]);
+    }
+
+    #[test]
+    fn blocks_handle_mid_block_entry() {
+        // Restore to a non-leader address: the engine must fall back to
+        // stepping until it reaches a leader.
+        let p = assemble("li r1, 1\nli r2, 2\nli r3, 3\nli r4, 4\nhalt").unwrap();
+        let mut by_step = Machine::new(&p).unwrap();
+        let mut by_block = Machine::new(&p).unwrap();
+        let mid = ArchState { regs: [0; 16], pc: 2 };
+        by_step.restore(&mid);
+        by_block.restore(&mid);
+        by_step.run_block(100).unwrap();
+        by_block.run_blocks(100).unwrap();
+        assert_eq!(by_step.snapshot(), by_block.snapshot());
+        assert_eq!(by_step.counters().energy_j.to_bits(), by_block.counters().energy_j.to_bits());
+        assert!(by_block.halted());
+        assert_eq!(by_block.reg(Reg::R1), 0, "r1 skipped by mid-block entry");
+        assert_eq!(by_block.reg(Reg::R3), 3);
+    }
+
+    #[test]
+    fn jalr_link_register_alias() {
+        // jalr with rd == rs1 must compute the target before the link
+        // write, in both engines.
+        let src = "li r1, 3\njalr r1, r1, 0\nhalt\nli r2, 9\nhalt";
+        assert_block_equivalence(src, &[1, 2, 3, 100]);
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(&p).unwrap();
+        m.run_blocks(100).unwrap();
+        assert_eq!(m.reg(Reg::R2), 9, "jalr jumped to pre-link rs1 value");
+        assert_eq!(m.reg(Reg::R1), 2, "link value written after target read");
+    }
+
+    #[test]
+    fn block_table_covers_image() {
+        let p = assemble("li r1, 4\nx: addi r1, r1, -1\nbnez r1, x\nhalt").unwrap();
+        let m = Machine::new(&p).unwrap();
+        // entry block [li], loop block [addi, bnez], halt block.
+        assert_eq!(m.block_count(), 3);
     }
 }
