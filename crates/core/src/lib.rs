@@ -16,6 +16,10 @@
 //! * [`IntermittentSystem`] — the system-level NVP platform: a 0.1 ms
 //!   energy loop driving the instruction-level `nvp-sim` machine through
 //!   off/restore/active/backup phases,
+//! * [`FaultPlan`] — seeded fault injection for the safety path itself
+//!   (torn backups, retention bit-flips, restore failures), recovered
+//!   through CRC-verified A/B checkpoints, bounded retry with threshold
+//!   backoff, and graceful degradation (experiment F12),
 //! * [`WaitComputeSystem`] — the conventional charge-then-compute
 //!   baseline the NVP is compared against (same engine, different
 //!   front-end options and phase logic),
@@ -64,6 +68,7 @@
 mod appmodel;
 mod backup;
 mod clock;
+mod fault;
 mod platform;
 mod policy;
 mod system;
@@ -76,6 +81,7 @@ pub use backup::{
     BackupModel, BackupStyle, HW_BACKUP_OVERHEAD, HW_RESTORE_OVERHEAD, HW_SEQ_OVERHEAD,
 };
 pub use clock::ClockPolicy;
+pub use fault::FaultPlan;
 pub use nvp_energy::{EnergyFrontEnd, FrontEndConfig, TickIncome};
 pub use platform::{
     drive, drive_observed, NullObserver, Platform, SimEvent, SimObserver, TickOutcome,

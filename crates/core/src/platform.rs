@@ -33,6 +33,18 @@ pub enum SimEvent {
     BrownOut,
     /// A complete program execution (frame) became durable.
     TaskCommit,
+    /// A backup write tore mid-flight: the checkpoint image is partial
+    /// and its commit record never landed (fault injection).
+    BackupTorn,
+    /// A restore failed or a checkpoint failed CRC verification; the
+    /// platform falls back to an older image or a cold start.
+    RestoreCorrupt,
+    /// A torn backup is being retried under the threshold-backoff
+    /// policy.
+    RetryBackup,
+    /// The bounded retry budget ran out: the platform degrades
+    /// gracefully (forced power-down / cold start) instead of wedging.
+    SafeModeEntered,
 }
 
 /// Receives discrete platform events as the engine simulates.

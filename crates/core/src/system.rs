@@ -8,11 +8,16 @@
 use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
 use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
-use nvp_sim::{ArchState, CycleModel, EnergyModel, Machine, SimError, DEFAULT_DMEM_WORDS};
+use nvp_sim::{
+    torn_prefix_words, ArchState, Checkpoint, CycleModel, EnergyModel, Machine, SimError,
+    CHECKPOINT_WORDS, DEFAULT_DMEM_WORDS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::platform::{drive, drive_observed, Platform, SimEvent, SimObserver, TickOutcome};
-use crate::{BackupModel, BackupPolicy, ClockPolicy, Thresholds};
+use crate::{BackupModel, BackupPolicy, ClockPolicy, FaultPlan, Thresholds};
 
 /// Static platform configuration shared by the intermittent platforms.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -138,6 +143,21 @@ pub struct RunReport {
     pub rollbacks: u64,
     /// Complete program executions (frames finished).
     pub tasks_completed: u64,
+    /// Backup writes that tore mid-flight, leaving a partial checkpoint
+    /// (fault injection; always 0 with a disabled [`FaultPlan`]).
+    pub backups_torn: u64,
+    /// Backup retries attempted under the bounded threshold-backoff
+    /// policy after a torn write.
+    pub backup_retries: u64,
+    /// Restores that failed outright or found a checkpoint failing CRC
+    /// verification.
+    pub restores_corrupt: u64,
+    /// Times the bounded retry budget ran out and the platform degraded
+    /// gracefully (forced power-down or cold start).
+    pub safe_mode_entries: u64,
+    /// Committed instructions later invalidated by checkpoint corruption
+    /// or a cold start — the platform must re-execute to regain them.
+    pub committed_lost: u64,
     /// Energy accounting.
     pub energy: EnergyBreakdown,
 }
@@ -183,6 +203,15 @@ impl RunReport {
         } else {
             0.0
         }
+    }
+
+    /// Forward progress net of later invalidation: committed work minus
+    /// the commits a corrupt checkpoint or cold start forced the
+    /// platform to redo. Equals [`forward_progress`](Self::forward_progress)
+    /// whenever the fault layer is disabled.
+    #[must_use]
+    pub fn committed_surviving(&self) -> u64 {
+        self.committed.saturating_sub(self.committed_lost)
     }
 
     /// Share of converted income energy spent on backup + restore.
@@ -252,6 +281,16 @@ enum Phase {
     Done,
 }
 
+/// One durable checkpoint slot: the sealed (or torn) image, the
+/// committed-instruction count it represents, and a monotone sequence
+/// number so restore can prefer the newest image.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    ckpt: Checkpoint,
+    committed_at: u64,
+    seq: u64,
+}
+
 /// An intermittently powered platform with checkpointing.
 ///
 /// One struct models all three checkpointing styles — what differs is the
@@ -291,7 +330,24 @@ pub struct IntermittentSystem {
     machine: Machine,
     fe: EnergyFrontEnd,
     phase: Phase,
-    saved: Option<ArchState>,
+    /// Two-slot checkpoint store (A/B images, as in Freezer-class backup
+    /// controllers): a torn write can only ruin the slot being written,
+    /// so the previous image stays restorable.
+    slots: [Option<Slot>; 2],
+    write_idx: usize,
+    next_seq: u64,
+    /// Snapshot taken at backup start, sealed when the write completes.
+    pending: Option<ArchState>,
+    fault: FaultPlan,
+    rng: StdRng,
+    backup_attempts: u32,
+    restore_attempts: u32,
+    /// Time spent powered off since the last power-on (retention decay).
+    off_since_s: f64,
+    /// Committed count at the last task completion or cold start; the
+    /// baseline for `committed_lost` accounting when every checkpoint is
+    /// abandoned.
+    durable_anchor: u64,
     uncommitted: u64,
     since_ckpt_s: f64,
     time_debt_s: f64,
@@ -311,6 +367,24 @@ impl IntermittentSystem {
         backup: BackupModel,
         policy: BackupPolicy,
     ) -> Result<Self, SimError> {
+        Self::with_faults(program, config, backup, policy, FaultPlan::none())
+    }
+
+    /// [`new`](Self::new) with a seeded [`FaultPlan`] injecting torn
+    /// backups, retention bit-flips, and restore failures. With a
+    /// disabled plan ([`FaultPlan::none`]) the platform draws no random
+    /// numbers and is bit-identical to one built with [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the program image fails to load.
+    pub fn with_faults(
+        program: &Program,
+        config: SystemConfig,
+        backup: BackupModel,
+        policy: BackupPolicy,
+        fault: FaultPlan,
+    ) -> Result<Self, SimError> {
         let machine = Machine::with_config(
             program,
             config.dmem_words,
@@ -326,6 +400,7 @@ impl IntermittentSystem {
             Volts::new(config.cap_voltage_v),
             Seconds::new(config.cap_leak_tau_s),
         ));
+        let rng = StdRng::seed_from_u64(fault.seed);
         Ok(IntermittentSystem {
             config,
             backup,
@@ -335,13 +410,28 @@ impl IntermittentSystem {
             machine,
             fe,
             phase: Phase::Off,
-            saved: None,
+            slots: [None, None],
+            write_idx: 0,
+            next_seq: 0,
+            pending: None,
+            fault,
+            rng,
+            backup_attempts: 0,
+            restore_attempts: 0,
+            off_since_s: 0.0,
+            durable_anchor: 0,
             uncommitted: 0,
             since_ckpt_s: 0.0,
             time_debt_s: 0.0,
             current_clock_hz: config.clock_hz,
             report: RunReport::default(),
         })
+    }
+
+    /// The fault-injection plan in effect.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
     }
 
     /// Overrides the derived thresholds (policy studies).
@@ -410,6 +500,10 @@ impl IntermittentSystem {
                 Phase::Off => {
                     if self.fe.storage().energy() >= self.thresholds.start {
                         if self.fe.storage_mut().draw(self.backup.restore_energy) {
+                            if self.fault.retention.is_some() {
+                                self.decay_checkpoints();
+                            }
+                            self.off_since_s = 0.0;
                             self.report.energy.restore += self.backup.restore_energy;
                             self.report.restores += 1;
                             obs.on_event(self.report.duration_s, SimEvent::PowerOn);
@@ -419,10 +513,12 @@ impl IntermittentSystem {
                         } else {
                             // The start threshold should cover restore;
                             // sleep instead.
+                            self.off_since_s += budget;
                             self.sleep(budget);
                             budget = 0.0;
                         }
                     } else {
+                        self.off_since_s += budget;
                         self.sleep(budget);
                         budget = 0.0;
                     }
@@ -432,15 +528,34 @@ impl IntermittentSystem {
                     budget -= t;
                     let left = left_s - t;
                     if left <= 1e-12 {
-                        match &self.saved {
-                            Some(state) => {
-                                let state = *state;
-                                self.machine.restore(&state);
+                        if self.fault.restore_fail_prob > 0.0
+                            && self.rng.random::<f64>() < self.fault.restore_fail_prob
+                        {
+                            // The wake-up restore itself failed (bad
+                            // read, peripheral timeout) before any
+                            // verification ran.
+                            self.report.restores_corrupt += 1;
+                            obs.on_event(self.report.duration_s, SimEvent::RestoreCorrupt);
+                            self.restore_attempts += 1;
+                            if self.restore_attempts > self.fault.max_retries {
+                                // Retry budget exhausted: degrade to a
+                                // cold start rather than wedge.
+                                self.enter_safe_mode(obs);
+                                self.restore_attempts = 0;
+                                self.abandon_checkpoints();
+                                self.since_ckpt_s = 0.0;
+                                self.phase = Phase::Active;
+                            } else {
+                                // Power back down; the next threshold
+                                // crossing pays for another attempt.
+                                self.phase = Phase::Off;
                             }
-                            None => self.machine.reset_volatile(),
+                        } else {
+                            self.restore_attempts = 0;
+                            self.restore_from_best(obs);
+                            self.since_ckpt_s = 0.0;
+                            self.phase = Phase::Active;
                         }
-                        self.since_ckpt_s = 0.0;
-                        self.phase = Phase::Active;
                     } else {
                         self.phase = Phase::Restoring { left_s: left };
                     }
@@ -453,11 +568,20 @@ impl IntermittentSystem {
                     budget -= t;
                     let left = left_s - t;
                     if left <= 1e-12 {
-                        // Checkpoint is durable: commit everything.
-                        self.report.committed += self.uncommitted;
-                        self.uncommitted = 0;
-                        self.since_ckpt_s = 0.0;
-                        self.phase = if resume { Phase::Active } else { Phase::Off };
+                        let torn = self.fault.tear_prob > 0.0
+                            && self.rng.random::<f64>() < self.fault.tear_prob;
+                        if torn {
+                            self.torn_backup(resume, obs);
+                        } else {
+                            // The image and its CRC commit record are
+                            // durable: commit everything.
+                            self.report.committed += self.uncommitted;
+                            self.uncommitted = 0;
+                            self.seal_backup();
+                            self.since_ckpt_s = 0.0;
+                            self.backup_attempts = 0;
+                            self.phase = if resume { Phase::Active } else { Phase::Off };
+                        }
                     } else {
                         self.phase = Phase::BackingUp { left_s: left, resume };
                     }
@@ -575,7 +699,8 @@ impl IntermittentSystem {
             self.report.energy.backup += self.backup.backup_energy;
             self.report.backups += 1;
             obs.on_event(self.report.duration_s, SimEvent::Backup);
-            self.saved = Some(self.machine.snapshot());
+            self.pending = Some(self.machine.snapshot());
+            self.backup_attempts = 0;
             self.phase = Phase::BackingUp { left_s: self.backup.backup_time.get(), resume };
         } else {
             // Not enough energy left to checkpoint — the greedy-policy
@@ -595,7 +720,11 @@ impl IntermittentSystem {
         self.report.tasks_completed += 1;
         self.report.committed += self.uncommitted;
         self.uncommitted = 0;
-        self.saved = None;
+        // The frame's checkpoints reference a finished execution.
+        self.slots = [None, None];
+        self.write_idx = 0;
+        self.pending = None;
+        self.durable_anchor = self.report.committed;
         obs.on_event(self.report.duration_s, SimEvent::TaskCommit);
         if self.config.restart_on_halt {
             self.machine.reset_volatile();
@@ -615,17 +744,162 @@ impl IntermittentSystem {
             self.machine.reset_volatile();
         } else {
             // Volatile SRAM: rebuild the machine, losing data memory too,
-            // and invalidate the checkpoint (it references lost data).
+            // and invalidate the checkpoints (they reference lost data).
             self.machine = Machine::with_config(
                 &self.program,
                 self.config.dmem_words,
                 self.config.cycle_model,
                 self.config.energy_model,
             )?;
-            self.saved = None;
+            self.slots = [None, None];
+            self.write_idx = 0;
         }
+        self.pending = None;
         self.phase = Phase::Off;
         Ok(())
+    }
+
+    /// Seals the pending snapshot into the write slot with a matching
+    /// CRC and rotates the A/B slots. Called when a backup window
+    /// completes untorn; `committed_at` records the post-commit count
+    /// so fallback restores can account re-execution precisely.
+    fn seal_backup(&mut self) {
+        let state = self.pending.take().unwrap_or_else(|| self.machine.snapshot());
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[self.write_idx] =
+            Some(Slot { ckpt: Checkpoint::seal(&state), committed_at: self.report.committed, seq });
+        self.write_idx ^= 1;
+    }
+
+    /// A backup write tore: store the partial image (CRC never lands),
+    /// then either retry under the threshold-backoff policy or give up
+    /// and power down (safe mode). The write slot is *not* rotated, so
+    /// the previous image survives and a retry overwrites the garbage.
+    fn torn_backup(&mut self, resume: bool, obs: &mut dyn SimObserver) {
+        self.report.backups_torn += 1;
+        obs.on_event(self.report.duration_s, SimEvent::BackupTorn);
+        let state = self.pending.unwrap_or_else(|| self.machine.snapshot());
+        let written = torn_prefix_words(CHECKPOINT_WORDS, self.rng.random::<f64>());
+        let prev = self.slots[self.write_idx].map(|s| s.ckpt);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots[self.write_idx] = Some(Slot {
+            ckpt: Checkpoint::torn(&state, prev.as_ref(), written),
+            committed_at: self.report.committed + self.uncommitted,
+            seq,
+        });
+        self.backup_attempts += 1;
+        // Attempt k is only worth paying for with backoff^k × the backup
+        // energy in storage — a collapsing supply stops burning energy
+        // on writes that will tear again.
+        let attempt_threshold = self.backup.backup_energy
+            * self.fault.retry_backoff.powi(self.backup_attempts.min(64) as i32);
+        if self.backup_attempts <= self.fault.max_retries
+            && self.fe.storage().energy() >= attempt_threshold
+            && self.fe.storage_mut().draw(self.backup.backup_energy)
+        {
+            self.report.energy.backup += self.backup.backup_energy;
+            self.report.backups += 1;
+            self.report.backup_retries += 1;
+            obs.on_event(self.report.duration_s, SimEvent::RetryBackup);
+            self.phase = Phase::BackingUp { left_s: self.backup.backup_time.get(), resume };
+        } else {
+            // Retry budget (or energy) exhausted: degrade gracefully.
+            // Power down with the work since the last checkpoint lost;
+            // the torn image fails CRC on the next restore and the
+            // platform falls back to the previous valid slot.
+            self.enter_safe_mode(obs);
+            self.report.lost += self.uncommitted;
+            self.uncommitted = 0;
+            self.backup_attempts = 0;
+            self.pending = None;
+            self.phase = Phase::Off;
+        }
+    }
+
+    /// Applies retention decay to every stored checkpoint word for the
+    /// off-time accumulated since power-down. Any real flip breaks the
+    /// image's CRC, which the restore path then detects.
+    fn decay_checkpoints(&mut self) {
+        let Some(retention) = self.fault.retention.clone() else { return };
+        if self.off_since_s <= 0.0 {
+            return;
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            for w in slot.ckpt.words_mut() {
+                let (decayed, _flips) = retention.degrade(*w, self.off_since_s, &mut self.rng);
+                *w = decayed;
+            }
+        }
+    }
+
+    /// Restores from the newest checkpoint that passes CRC verification,
+    /// discarding corrupt images; falls back to a cold start (safe mode)
+    /// when nothing verifies. The fault-free path — newest slot valid,
+    /// or no slots at all — is byte-identical to the legacy behavior.
+    fn restore_from_best(&mut self, obs: &mut dyn SimObserver) {
+        let mut order: [Option<usize>; 2] = [None, None];
+        for idx in 0..2 {
+            if self.slots[idx].is_some() {
+                if order[0].is_none() {
+                    order[0] = Some(idx);
+                } else {
+                    order[1] = Some(idx);
+                }
+            }
+        }
+        if let (Some(a), Some(b)) = (order[0], order[1]) {
+            if self.slots[a].map(|s| s.seq) < self.slots[b].map(|s| s.seq) {
+                order.swap(0, 1);
+            }
+        }
+        let mut dropped_newer = false;
+        for idx in order.into_iter().flatten() {
+            let slot = self.slots[idx].expect("order only lists occupied slots");
+            if slot.ckpt.verify() {
+                self.machine.restore(&slot.ckpt.state());
+                if dropped_newer {
+                    // Commits recorded after this older image must be
+                    // re-executed to reach the same point again.
+                    self.report.committed_lost +=
+                        self.report.committed.saturating_sub(slot.committed_at);
+                    // Overwrite the discarded slot next, not this one.
+                    self.write_idx = idx ^ 1;
+                }
+                return;
+            }
+            self.report.restores_corrupt += 1;
+            obs.on_event(self.report.duration_s, SimEvent::RestoreCorrupt);
+            self.slots[idx] = None;
+            dropped_newer = true;
+        }
+        if dropped_newer {
+            // Every stored image failed verification.
+            self.enter_safe_mode(obs);
+            self.abandon_checkpoints();
+        } else {
+            // First boot (or post-rollback on volatile memory): nothing
+            // saved yet, start from the entry point.
+            self.machine.reset_volatile();
+        }
+    }
+
+    /// Cold start after corruption: every checkpoint is untrusted, so
+    /// the platform restarts the frame and the commits since the last
+    /// durable anchor are charged to `committed_lost`.
+    fn abandon_checkpoints(&mut self) {
+        self.slots = [None, None];
+        self.write_idx = 0;
+        self.pending = None;
+        self.report.committed_lost += self.report.committed.saturating_sub(self.durable_anchor);
+        self.durable_anchor = self.report.committed;
+        self.machine.reset_volatile();
+    }
+
+    fn enter_safe_mode(&mut self, obs: &mut dyn SimObserver) {
+        self.report.safe_mode_entries += 1;
+        obs.on_event(self.report.duration_s, SimEvent::SafeModeEntered);
     }
 
     /// Rough active core power at the base clock: average energy per
@@ -912,5 +1186,158 @@ mod tests {
         let ra = a.run(&trace).unwrap();
         let rb = b.run(&trace).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    fn faulted(program: &Program, plan: FaultPlan) -> IntermittentSystem {
+        IntermittentSystem::with_faults(
+            program,
+            SystemConfig::default(),
+            BackupModel::distributed(NvmTechnology::Feram, 2048),
+            BackupPolicy::demand(),
+            plan,
+        )
+        .unwrap()
+    }
+
+    /// An outage-heavy trace that forces many backup/restore cycles.
+    fn choppy_trace() -> PowerTrace {
+        PowerTrace::from_segments(
+            1e-4,
+            &[
+                (1e-3, 0.05),
+                (0.0, 0.3),
+                (1e-3, 0.05),
+                (0.0, 0.3),
+                (1e-3, 0.05),
+                (0.0, 0.3),
+                (1e-3, 0.05),
+            ],
+        )
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bitwise_noop() {
+        let program = counter_program();
+        let trace = harvester::wrist_watch(6, 3.0);
+        let plain = nvp(&program).run(&trace).unwrap();
+        let with_none = faulted(&program, FaultPlan::none()).run(&trace).unwrap();
+        assert_eq!(plain, with_none);
+        assert_eq!(plain.energy.compute.get().to_bits(), with_none.energy.compute.get().to_bits());
+        assert_eq!(plain.backups_torn, 0);
+        assert_eq!(plain.restores_corrupt, 0);
+        assert_eq!(plain.committed_lost, 0);
+        assert_eq!(plain.committed_surviving(), plain.forward_progress());
+    }
+
+    fn faulted_hybrid(program: &Program, plan: FaultPlan) -> IntermittentSystem {
+        IntermittentSystem::with_faults(
+            program,
+            SystemConfig::default(),
+            BackupModel::distributed(NvmTechnology::Feram, 2048),
+            BackupPolicy::Hybrid { interval_s: 0.01, margin: 1.5 },
+            plan,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn torn_backups_are_injected_and_recovered() {
+        let program = counter_program();
+        // Periodic checkpoints under strong power: storage is full when
+        // a write tears, so the threshold-backoff retry path engages.
+        let mut sys = faulted_hybrid(&program, FaultPlan::with_rates(11, 0.4, 0.0));
+        let r = sys.run(&PowerTrace::constant(1e-4, 2e-3, 1.0)).unwrap();
+        assert!(r.backups_torn > 0, "tear rate 0.4 must tear something: {r:?}");
+        assert!(r.backup_retries > 0, "torn backups must be retried: {r:?}");
+        assert!(r.committed > 0, "the platform must still make progress");
+    }
+
+    #[test]
+    fn demand_tears_without_energy_degrade_instead_of_retrying() {
+        let program = counter_program();
+        // Demand backups fire at the energy floor: a tear there cannot
+        // meet the backed-off retry threshold, so the platform powers
+        // down in safe mode rather than burning its last joules.
+        let mut sys = faulted(&program, FaultPlan::with_rates(11, 0.6, 0.0));
+        let r = sys.run(&choppy_trace()).unwrap();
+        assert!(r.backups_torn > 0, "{r:?}");
+        assert!(r.safe_mode_entries > 0, "{r:?}");
+        assert!(r.committed > 0, "fallback to the previous valid image keeps progress");
+    }
+
+    #[test]
+    fn restore_failures_fall_back_and_still_progress() {
+        let program = counter_program();
+        let mut sys = faulted(&program, FaultPlan::with_rates(12, 0.0, 0.5));
+        let r = sys.run(&choppy_trace()).unwrap();
+        assert!(r.restores_corrupt > 0, "restore-fail rate 0.5 must fire: {r:?}");
+        assert!(r.committed > 0, "bounded retries must not wedge the platform");
+    }
+
+    #[test]
+    fn retention_decay_breaks_checkpoint_crc() {
+        use nvp_device::{RelaxPolicy, RetentionShaper};
+        let program = counter_program();
+        // Millisecond-class retention against 0.3 s outages: stored
+        // images decay while the platform is off and fail verification.
+        let retention = RetentionShaper::new(RelaxPolicy::Linear, 16, 1e-3, 10e-3).bit_retention();
+        let plan = FaultPlan { seed: 13, ..FaultPlan::none() }.with_retention(retention);
+        let mut sys = faulted(&program, plan);
+        let r = sys.run(&choppy_trace()).unwrap();
+        assert!(r.restores_corrupt > 0, "decayed checkpoints must fail CRC: {r:?}");
+        assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let program = counter_program();
+        let plan = FaultPlan::with_rates(21, 0.4, 0.2);
+        let ra = faulted(&program, plan.clone()).run(&choppy_trace()).unwrap();
+        let rb = faulted(&program, plan).run(&choppy_trace()).unwrap();
+        assert_eq!(ra, rb);
+        let rc =
+            faulted(&program, FaultPlan::with_rates(22, 0.4, 0.2)).run(&choppy_trace()).unwrap();
+        assert_ne!(ra, rc, "different fault seeds should diverge on this trace");
+    }
+
+    #[test]
+    fn safe_mode_bounds_retry_storms() {
+        let program = counter_program();
+        // Certain tears: every backup tears, retries always tear again,
+        // so the retry budget must run out and safe mode must engage
+        // instead of looping forever.
+        let plan = FaultPlan::with_rates(31, 1.0, 0.0);
+        let mut sys = faulted(&program, plan);
+        let r = sys.run(&choppy_trace()).unwrap();
+        assert!(r.safe_mode_entries > 0, "{r:?}");
+        assert_eq!(r.committed, 0, "no backup ever completes, nothing commits: {r:?}");
+        assert!(r.backup_retries <= r.backups_torn * 2);
+    }
+
+    #[test]
+    fn fault_event_counts_match_report() {
+        use std::collections::BTreeMap;
+        #[derive(Default)]
+        struct Counter(BTreeMap<SimEvent, u64>);
+        impl SimObserver for Counter {
+            fn on_event(&mut self, _t_s: f64, event: SimEvent) {
+                *self.0.entry(event).or_insert(0) += 1;
+            }
+        }
+        let program = counter_program();
+        let plan = FaultPlan::with_rates(41, 0.5, 0.3);
+        let mut sys = faulted_hybrid(&program, plan);
+        let mut obs = Counter::default();
+        let trace = PowerTrace::from_segments(
+            1e-4,
+            &[(2e-3, 0.3), (0.0, 0.3), (2e-3, 0.3), (0.0, 0.3), (2e-3, 0.3)],
+        );
+        let r = sys.run_observed(&trace, &mut obs).unwrap();
+        let get = |e| obs.0.get(&e).copied().unwrap_or(0);
+        assert_eq!(get(SimEvent::BackupTorn), r.backups_torn);
+        assert_eq!(get(SimEvent::RetryBackup), r.backup_retries);
+        assert_eq!(get(SimEvent::RestoreCorrupt), r.restores_corrupt);
+        assert_eq!(get(SimEvent::SafeModeEntered), r.safe_mode_entries);
+        assert!(r.backups_torn > 0 && r.restores_corrupt > 0, "{r:?}");
     }
 }

@@ -295,4 +295,58 @@ mod tests {
     fn rejects_inverted_range() {
         let _ = RetentionShaper::new(RelaxPolicy::Linear, 8, 10.0, 1.0);
     }
+
+    #[test]
+    fn zero_duration_outage_never_flips_and_draws_nothing() {
+        let r = shaper(RelaxPolicy::Linear).bit_retention();
+        let mut rng = StdRng::seed_from_u64(9);
+        for word in [0u16, 0xFF, 0xA5, 0x5A] {
+            assert_eq!(r.degrade(word, 0.0, &mut rng), (word, 0));
+        }
+        // A zero-duration outage must consume no randomness: an RNG that
+        // went through degrade(·, 0.0) stays in lockstep with a fresh one
+        // (the fault layer's disabled-is-a-no-op guarantee rests on this).
+        let mut fresh = StdRng::seed_from_u64(9);
+        assert_eq!(rng.random::<f64>().to_bits(), fresh.random::<f64>().to_bits());
+    }
+
+    #[test]
+    fn outage_beyond_all_retention_flips_every_at_risk_bit_eventually() {
+        // A week-long outage dwarfs even the MSB's one-day retention:
+        // every bit is at risk and each flips with probability ~0.5.
+        let r = shaper(RelaxPolicy::Linear).bit_retention();
+        let week = 7.0 * DAY;
+        assert_eq!(r.at_risk_bits(week), 8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen_flipped = 0u16;
+        let mut total_flips = 0u32;
+        for _ in 0..200 {
+            let (out, flips) = r.degrade(0x00, week, &mut rng);
+            assert!(flips <= 8, "cannot flip more bits than the field has");
+            assert_eq!(out.count_ones(), flips, "flips must match the returned field");
+            seen_flipped |= out;
+            total_flips += flips;
+        }
+        assert_eq!(seen_flipped, 0xFF, "every at-risk bit position must flip eventually");
+        // 200 trials × 8 bits × p≈0.5 ⇒ ~800 flips; far from 0 or 1600.
+        assert!((400..1200).contains(&total_flips), "flips {total_flips}");
+    }
+
+    #[test]
+    fn degrade_edge_durations_are_deterministic_per_seed() {
+        for policy in RelaxPolicy::ALL {
+            let r = shaper(policy).bit_retention();
+            for outage in [0.0, 1e-9, 0.01, DAY, 10.0 * DAY] {
+                let mut a = StdRng::seed_from_u64(123);
+                let mut b = StdRng::seed_from_u64(123);
+                for word in [0u16, 0xFFFF, 0xBEEF] {
+                    assert_eq!(
+                        r.degrade(word, outage, &mut a),
+                        r.degrade(word, outage, &mut b),
+                        "{policy} outage {outage}"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -4,16 +4,19 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-/// Error returned when parsing a CSV trace fails.
+/// Error returned when parsing a CSV trace fails: the 1-based line and
+/// the offending CSV field, so a bad row in a long measured trace can be
+/// found and fixed without bisecting the file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceError {
     line: usize,
+    field: &'static str,
     msg: String,
 }
 
 impl TraceError {
-    fn new(line: usize, msg: impl Into<String>) -> Self {
-        TraceError { line, msg: msg.into() }
+    fn new(line: usize, field: &'static str, msg: impl Into<String>) -> Self {
+        TraceError { line, field, msg: msg.into() }
     }
 
     /// 1-based line of the offending record.
@@ -21,11 +24,18 @@ impl TraceError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// The CSV field the error is about: `"time_s"`, `"power_w"`, or
+    /// `"row"` for whole-record problems (e.g. an empty file).
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.msg)
+        write!(f, "trace line {}, field `{}`: {}", self.line, self.field, self.msg)
     }
 }
 
@@ -180,28 +190,28 @@ impl PowerTrace {
             let mut cols = line.split(',');
             let t: f64 = cols
                 .next()
-                .ok_or_else(|| TraceError::new(i + 1, "missing time column"))?
+                .ok_or_else(|| TraceError::new(i + 1, "time_s", "missing time column"))?
                 .trim()
                 .parse()
-                .map_err(|e| TraceError::new(i + 1, format!("bad time: {e}")))?;
+                .map_err(|e| TraceError::new(i + 1, "time_s", format!("bad time: {e}")))?;
             let p: f64 = cols
                 .next()
-                .ok_or_else(|| TraceError::new(i + 1, "missing power column"))?
+                .ok_or_else(|| TraceError::new(i + 1, "power_w", "missing power column"))?
                 .trim()
                 .parse()
-                .map_err(|e| TraceError::new(i + 1, format!("bad power: {e}")))?;
+                .map_err(|e| TraceError::new(i + 1, "power_w", format!("bad power: {e}")))?;
             if !p.is_finite() || p < 0.0 {
-                return Err(TraceError::new(i + 1, format!("invalid power {p}")));
+                return Err(TraceError::new(i + 1, "power_w", format!("invalid power {p}")));
             }
             times.push(t);
             powers.push(p);
         }
         if powers.is_empty() {
-            return Err(TraceError::new(1, "no samples"));
+            return Err(TraceError::new(1, "row", "no samples"));
         }
         let dt = if times.len() >= 2 { (times[1] - times[0]).abs() } else { 1e-4 };
         if dt <= 0.0 {
-            return Err(TraceError::new(2, "non-increasing timestamps"));
+            return Err(TraceError::new(2, "time_s", "non-increasing timestamps"));
         }
         Ok(PowerTrace { dt_s: dt, samples: powers })
     }
@@ -295,6 +305,37 @@ mod tests {
         assert!(PowerTrace::from_csv("").is_err());
         assert!(PowerTrace::from_csv("time_s,power_w\n0.0,abc").is_err());
         assert!(PowerTrace::from_csv("0.0,-1.0").is_err());
+    }
+
+    #[test]
+    fn csv_errors_pinpoint_line_and_field() {
+        // Bad power value on (1-based) line 3, in the power column.
+        let e = PowerTrace::from_csv("time_s,power_w\n0.0,1e-6\n0.0001,abc").unwrap_err();
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.field(), "power_w");
+        assert!(e.to_string().contains("line 3"), "{e}");
+        assert!(e.to_string().contains("power_w"), "{e}");
+
+        // Unparsable timestamp on line 2, time column.
+        let e = PowerTrace::from_csv("time_s,power_w\nxyz,1e-6").unwrap_err();
+        assert_eq!((e.line(), e.field()), (2, "time_s"));
+
+        // A row missing the power column entirely.
+        let e = PowerTrace::from_csv("time_s,power_w\n0.0").unwrap_err();
+        assert_eq!((e.line(), e.field()), (2, "power_w"));
+
+        // Negative power is rejected with the value in the message.
+        let e = PowerTrace::from_csv("time_s,power_w\n0.0,-1.0").unwrap_err();
+        assert_eq!((e.line(), e.field()), (2, "power_w"));
+        assert!(e.to_string().contains("-1"), "{e}");
+
+        // An empty file is a whole-record problem.
+        let e = PowerTrace::from_csv("time_s,power_w\n").unwrap_err();
+        assert_eq!((e.line(), e.field()), (1, "row"));
+
+        // Duplicate timestamps make dt non-positive.
+        let e = PowerTrace::from_csv("time_s,power_w\n0.0,1e-6\n0.0,1e-6").unwrap_err();
+        assert_eq!((e.line(), e.field()), (2, "time_s"));
     }
 
     #[test]

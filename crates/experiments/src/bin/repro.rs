@@ -16,7 +16,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (out_dir, only, quick) = match cmd {
+    let (out_dir, only, quick, seed) = match cmd {
         Command::Help => {
             println!("{}", cli::USAGE);
             return ExitCode::SUCCESS;
@@ -41,10 +41,13 @@ fn main() -> ExitCode {
             eprintln!("feasibility: {} violation(s) found", diags.len());
             return ExitCode::FAILURE;
         }
-        Command::Run { out_dir, only, quick } => (out_dir, only, quick),
+        Command::Run { out_dir, only, quick, seed } => (out_dir, only, quick, seed),
     };
 
-    let cfg = Command::config(quick);
+    let mut cfg = Command::config(quick);
+    if let Some(s) = seed {
+        cfg.fault_seed = s;
+    }
     eprintln!(
         "regenerating evaluation ({}s traces, {} profiles, {}x{} frames) into {} ...",
         cfg.trace_duration_s,

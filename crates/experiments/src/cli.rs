@@ -4,7 +4,7 @@
 //! tested like everything else. The grammar is deliberately tiny:
 //!
 //! ```text
-//! repro [out_dir] [--quick] [--only IDS] [--check] [--list] [--help]
+//! repro [out_dir] [--quick] [--only IDS] [--seed N] [--check] [--list] [--help]
 //! ```
 //!
 //! Unknown `--flags` are rejected with a usage error instead of being
@@ -27,6 +27,8 @@ Arguments:
 Options:
   --quick            small traces/frames for a fast smoke run
   --only IDS         comma-separated experiment ids (e.g. --only f5,t1)
+  --seed N           base seed for the F12 fault-injection campaign
+                     (default: 1; e.g. --only f12 --seed 7)
   --check            validate every registered experiment's platform
                      configurations for physical feasibility and exit
                      (0 = all feasible, 1 = diagnostics printed)
@@ -55,6 +57,9 @@ pub enum Command {
         only: Option<Vec<String>>,
         /// Use the quick configuration instead of the default.
         quick: bool,
+        /// Base seed for the fault-injection campaign (`--seed`), or
+        /// `None` to keep the configuration default.
+        seed: Option<u64>,
     },
 }
 
@@ -93,6 +98,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
     let mut only: Option<Vec<String>> = None;
     let mut quick = false;
     let mut check = false;
+    let mut seed: Option<u64> = None;
     let mut iter = args.iter().map(AsRef::as_ref);
     while let Some(arg) = iter.next() {
         match arg {
@@ -106,6 +112,13 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             }
             _ if arg.starts_with("--only=") => {
                 only = Some(parse_only(&arg["--only=".len()..])?);
+            }
+            "--seed" => {
+                let value = iter.next().ok_or("--seed needs an unsigned integer value")?;
+                seed = Some(parse_seed(value)?);
+            }
+            _ if arg.starts_with("--seed=") => {
+                seed = Some(parse_seed(&arg["--seed=".len()..])?);
             }
             _ if arg.starts_with('-') && arg.len() > 1 => {
                 return Err(format!("unknown option `{arg}`"));
@@ -124,7 +137,20 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
     if check {
         return Ok(Command::Check { quick });
     }
-    Ok(Command::Run { out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")), only, quick })
+    Ok(Command::Run {
+        out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")),
+        only,
+        quick,
+        seed,
+    })
+}
+
+/// Parses a `--seed` value.
+fn parse_seed(value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse::<u64>()
+        .map_err(|_| format!("--seed needs an unsigned integer, got `{value}`"))
 }
 
 /// Splits and registry-validates an `--only` id list.
@@ -161,7 +187,12 @@ mod tests {
         let cmd = parse::<&str>(&[]).unwrap();
         assert_eq!(
             cmd,
-            Command::Run { out_dir: PathBuf::from("results"), only: None, quick: false }
+            Command::Run {
+                out_dir: PathBuf::from("results"),
+                only: None,
+                quick: false,
+                seed: None
+            }
         );
     }
 
@@ -174,6 +205,7 @@ mod tests {
                 out_dir: PathBuf::from("out"),
                 only: Some(vec!["f5".into(), "t1".into()]),
                 quick: true,
+                seed: None,
             }
         );
     }
@@ -185,6 +217,36 @@ mod tests {
             Command::Run { only, .. } => assert_eq!(only, Some(vec!["f2h".to_string()])),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn seed_flag_parses_both_forms() {
+        let cmd = parse(&["--only", "f12", "--seed", "42"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                out_dir: PathBuf::from("results"),
+                only: Some(vec!["f12".into()]),
+                quick: false,
+                seed: Some(42),
+            }
+        );
+        match parse(&["--seed=7"]).unwrap() {
+            Command::Run { seed, .. } => assert_eq!(seed, Some(7)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seed_rejects_missing_and_non_integer_values() {
+        let err = parse(&["--seed"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        let err = parse(&["--seed", "lots"]).unwrap_err();
+        assert!(err.contains("lots"), "{err}");
+        let err = parse(&["--seed=-3"]).unwrap_err();
+        assert!(err.contains("-3"), "{err}");
+        let err = parse(&["--seed=1.5"]).unwrap_err();
+        assert!(err.contains("1.5"), "{err}");
     }
 
     #[test]

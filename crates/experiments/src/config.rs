@@ -19,6 +19,11 @@ pub struct ExpConfig {
     pub frame_w: usize,
     /// Frame height, pixels.
     pub frame_h: usize,
+    /// Monte-Carlo trials per fault-rate point in the F12 resilience
+    /// campaign.
+    pub fault_trials: usize,
+    /// Base seed for the F12 fault-injection campaign (`repro --seed`).
+    pub fault_seed: u64,
 }
 
 impl Default for ExpConfig {
@@ -29,6 +34,8 @@ impl Default for ExpConfig {
             frame_seed: 7,
             frame_w: 32,
             frame_h: 32,
+            fault_trials: 5,
+            fault_seed: 1,
         }
     }
 }
@@ -43,6 +50,8 @@ impl ExpConfig {
             frame_seed: 7,
             frame_w: 16,
             frame_h: 16,
+            fault_trials: 3,
+            fault_seed: 1,
         }
     }
 }
@@ -58,5 +67,7 @@ mod tests {
         assert!(quick.trace_duration_s < full.trace_duration_s);
         assert!(quick.profile_seeds.len() < full.profile_seeds.len());
         assert!(quick.frame_w * quick.frame_h < full.frame_w * full.frame_h);
+        assert!(quick.fault_trials < full.fault_trials);
+        assert_eq!(quick.fault_seed, full.fault_seed, "quick keeps the default fault seed");
     }
 }

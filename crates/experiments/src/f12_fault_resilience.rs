@@ -1,0 +1,388 @@
+//! **F12 — fault-injection resilience campaign (extension experiment).**
+//!
+//! Monte-Carlo stress test of the recovery path itself: seeded
+//! [`FaultPlan`]s tear backups mid-write, flip stored checkpoint bits
+//! during off-time, and fail restores outright, across all three backup
+//! styles (distributed NVFFs, centralized copy, software
+//! checkpointing). Reported per (style × fault-rate) cell: forward
+//! progress relative to the fault-free baseline, committed work lost to
+//! corruption, fault/recovery event totals, and the distribution of
+//! recovery latencies (corrupt restore → next durable point).
+//!
+//! *Anchor: reconstructed — the survey has no published fault-injection
+//! figure; rates and retention profile are framework choices.*
+//!
+//! Unlike every other experiment this one does **not** route through
+//! the simulation cache: each trial needs the observer event stream
+//! (for recovery latencies), and per-trial fault seeds make every run
+//! unique anyway. Determinism is preserved the same way as everywhere
+//! else — each trial is a pure function of `(program, config, plan,
+//! trace)` and the internal `par_map` returns results in input order,
+//! so the table is bit-identical across reruns and thread counts
+//! (pinned by `tests/fault_resilience.rs`).
+
+use nvp_core::{
+    BackupModel, BackupPolicy, FaultPlan, IntermittentSystem, RunReport, SimEvent, SimObserver,
+    SystemConfig,
+};
+use nvp_device::{NvmTechnology, RelaxPolicy, RetentionShaper};
+use nvp_workloads::{KernelInstance, KernelKind};
+use serde::{Deserialize, Serialize};
+
+use crate::common::{kernel, system_config_for, watch_trace, STATE_BITS};
+use crate::par;
+use crate::report::{fmt, fmt_ratio};
+use crate::{ExpConfig, Table};
+
+/// Injected fault rates (tear probability per backup; restore failures
+/// run at half this rate). `0.0` is the fault-free control row — its
+/// forward-progress ratio is exactly 1 by construction.
+pub const FAULT_RATES: [f64; 3] = [0.0, 0.05, 0.2];
+
+/// Retention profile for faulted cells: linearly shaped 2 s – 10⁴ s
+/// per-bit retention, so checkpoint LSBs decay occasionally over
+/// wearable-scale outages (a tail risk, not a certainty) while MSBs
+/// survive.
+const RETENTION_MIN_S: f64 = 2.0;
+/// See [`RETENTION_MIN_S`].
+const RETENTION_MAX_S: f64 = 1e4;
+/// Checkpoint words are 16-bit.
+const FIELD_BITS: usize = 16;
+
+/// One (backup style × fault rate) measurement, aggregated over the
+/// configured Monte-Carlo trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Backup style label.
+    pub style: String,
+    /// Backup tear probability (restore failures at half this rate).
+    pub fault_rate: f64,
+    /// Trials aggregated into this row.
+    pub trials: usize,
+    /// Mean committed instructions per trial.
+    pub mean_committed: f64,
+    /// Mean committed instructions surviving corruption per trial.
+    pub mean_surviving: f64,
+    /// `mean_surviving` relative to the fault-free baseline's committed
+    /// count for the same style (1.0 at rate zero by construction).
+    pub fp_ratio: f64,
+    /// Mean committed instructions lost to corruption per trial.
+    pub mean_lost: f64,
+    /// Torn backups, summed over trials.
+    pub torn: u64,
+    /// Backup retries, summed over trials.
+    pub retries: u64,
+    /// Corrupt/failed restores, summed over trials.
+    pub corrupt: u64,
+    /// Safe-mode (graceful-degradation) entries, summed over trials.
+    pub safe_modes: u64,
+    /// Mean latency from a corrupt restore to the next durable point
+    /// (backup or task commit), milliseconds; 0 when no recovery
+    /// happened.
+    pub recovery_ms_mean: f64,
+    /// Worst observed recovery latency, milliseconds.
+    pub recovery_ms_max: f64,
+}
+
+/// One platform variant of the campaign.
+struct Style {
+    name: &'static str,
+    sys: SystemConfig,
+    backup: BackupModel,
+    policy: BackupPolicy,
+}
+
+/// The three backup styles of T3, as fault-campaign platforms.
+fn styles(inst: &KernelInstance) -> Vec<Style> {
+    let sys = system_config_for(inst);
+    let mut sw_sys = sys;
+    sw_sys.dmem_nonvolatile = false;
+    let ram_words = inst.min_dmem_words() as u64;
+    vec![
+        Style {
+            name: "nvp-distributed",
+            sys,
+            backup: BackupModel::distributed(NvmTechnology::Feram, STATE_BITS),
+            policy: BackupPolicy::demand(),
+        },
+        Style {
+            name: "nvp-centralized",
+            sys,
+            backup: BackupModel::centralized(NvmTechnology::Feram, STATE_BITS),
+            policy: BackupPolicy::demand(),
+        },
+        Style {
+            name: "sw-checkpoint",
+            sys: sw_sys,
+            backup: BackupModel::software(
+                NvmTechnology::Feram,
+                STATE_BITS,
+                ram_words,
+                sys.clock_hz,
+            ),
+            policy: BackupPolicy::OnDemand { margin: 1.3 },
+        },
+    ]
+}
+
+/// The fault plan for one (rate, trial) cell. Rate zero is the genuine
+/// disabled plan — no RNG draws, bit-identical to the legacy platform.
+fn plan_for(cfg: &ExpConfig, rate: f64, style_idx: usize, trial: usize) -> FaultPlan {
+    if rate <= 0.0 {
+        return FaultPlan::none();
+    }
+    // SplitMix-style seed mixing: well-separated per-cell streams from
+    // one user-facing base seed.
+    let cell = (style_idx as u64) << 32 | (trial as u64) << 8 | ((rate * 1000.0) as u64 % 251);
+    let seed = cfg
+        .fault_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let retention =
+        RetentionShaper::new(RelaxPolicy::Linear, FIELD_BITS, RETENTION_MIN_S, RETENTION_MAX_S)
+            .bit_retention();
+    FaultPlan::with_rates(seed, rate, rate * 0.5).with_retention(retention)
+}
+
+/// Records the full event stream of one trial.
+#[derive(Default)]
+struct EventLog {
+    events: Vec<(f64, SimEvent)>,
+}
+
+impl SimObserver for EventLog {
+    fn on_event(&mut self, t_s: f64, event: SimEvent) {
+        self.events.push((t_s, event));
+    }
+}
+
+/// Recovery latencies: time from each corrupt restore to the next
+/// durable point (successful backup or task commit), in milliseconds.
+fn recovery_latencies_ms(events: &[(f64, SimEvent)]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (i, &(t0, e)) in events.iter().enumerate() {
+        if e != SimEvent::RestoreCorrupt {
+            continue;
+        }
+        let durable = events[i + 1..]
+            .iter()
+            .find(|&&(_, e2)| e2 == SimEvent::Backup || e2 == SimEvent::TaskCommit);
+        if let Some(&(t1, _)) = durable {
+            out.push((t1 - t0) * 1e3);
+        }
+    }
+    out
+}
+
+/// Runs one seeded trial, returning the report and its recovery
+/// latencies. Deliberately bypasses the simulation cache (see module
+/// docs).
+fn run_trial(
+    inst: &KernelInstance,
+    trace: &nvp_energy::PowerTrace,
+    style: &Style,
+    plan: FaultPlan,
+) -> (RunReport, Vec<f64>) {
+    let mut system = IntermittentSystem::with_faults(
+        inst.program(),
+        style.sys,
+        style.backup,
+        style.policy,
+        plan,
+    )
+    .expect("platform builds");
+    let mut log = EventLog::default();
+    let report = system.run_observed(trace, &mut log).expect("workload does not fault");
+    (report, recovery_latencies_ms(&log.events))
+}
+
+/// Runs the full campaign: every style × fault rate × trial.
+#[must_use]
+pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let trace = watch_trace(cfg, cfg.profile_seeds[0]);
+    let styles = styles(&inst);
+
+    // Flattened work grid; the fault-free control runs one trial (the
+    // disabled plan is deterministic, so further trials are identical).
+    let mut grid: Vec<(usize, usize, usize)> = Vec::new();
+    for (si, _) in styles.iter().enumerate() {
+        for (ri, &rate) in FAULT_RATES.iter().enumerate() {
+            let trials = if rate > 0.0 { cfg.fault_trials } else { 1 };
+            for trial in 0..trials {
+                grid.push((si, ri, trial));
+            }
+        }
+    }
+    let results = par::par_map(&grid, |&(si, ri, trial)| {
+        let plan = plan_for(cfg, FAULT_RATES[ri], si, trial);
+        run_trial(&inst, &trace, &styles[si], plan)
+    });
+
+    let mut out = Vec::new();
+    for (si, style) in styles.iter().enumerate() {
+        // The rate-0 control is the baseline the faulted cells are
+        // normalized against.
+        let baseline: f64 = grid
+            .iter()
+            .zip(&results)
+            .find(|((s, r, _), _)| *s == si && FAULT_RATES[*r] <= 0.0)
+            .map_or(0.0, |(_, (report, _))| report.committed as f64);
+        for (ri, &rate) in FAULT_RATES.iter().enumerate() {
+            let cell: Vec<&(RunReport, Vec<f64>)> = grid
+                .iter()
+                .zip(&results)
+                .filter(|((s, r, _), _)| *s == si && *r == ri)
+                .map(|(_, res)| res)
+                .collect();
+            let n = cell.len();
+            let mean = |f: &dyn Fn(&RunReport) -> u64| {
+                cell.iter().map(|(rep, _)| f(rep) as f64).sum::<f64>() / n as f64
+            };
+            let mean_committed = mean(&|r| r.committed);
+            let mean_surviving = mean(&|r| r.committed_surviving());
+            let latencies: Vec<f64> =
+                cell.iter().flat_map(|(_, lat)| lat.iter().copied()).collect();
+            out.push(Row {
+                style: style.name.to_owned(),
+                fault_rate: rate,
+                trials: n,
+                mean_committed,
+                mean_surviving,
+                fp_ratio: if baseline > 0.0 { mean_surviving / baseline } else { 0.0 },
+                mean_lost: mean(&|r| r.committed_lost),
+                torn: cell.iter().map(|(r, _)| r.backups_torn).sum(),
+                retries: cell.iter().map(|(r, _)| r.backup_retries).sum(),
+                corrupt: cell.iter().map(|(r, _)| r.restores_corrupt).sum(),
+                safe_modes: cell.iter().map(|(r, _)| r.safe_mode_entries).sum(),
+                recovery_ms_mean: if latencies.is_empty() {
+                    0.0
+                } else {
+                    latencies.iter().sum::<f64>() / latencies.len() as f64
+                },
+                recovery_ms_max: latencies.iter().fold(0.0, |a, &b| a.max(b)),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the campaign table.
+#[must_use]
+pub fn table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "F12",
+        "Fault-injection resilience: forward progress, work lost, recovery latency",
+        &[
+            "style",
+            "fault_rate",
+            "trials",
+            "mean_committed",
+            "mean_surviving",
+            "fp_ratio",
+            "mean_lost",
+            "torn",
+            "retries",
+            "corrupt",
+            "safe_modes",
+            "recovery_ms_mean",
+            "recovery_ms_max",
+        ],
+    );
+    for r in rows(cfg) {
+        t.push_row(vec![
+            r.style,
+            fmt(r.fault_rate, 2),
+            r.trials.to_string(),
+            fmt(r.mean_committed, 0),
+            fmt(r.mean_surviving, 0),
+            fmt_ratio(r.fp_ratio),
+            fmt(r.mean_lost, 0),
+            r.torn.to_string(),
+            r.retries.to_string(),
+            r.corrupt.to_string(),
+            r.safe_modes.to_string(),
+            fmt(r.recovery_ms_mean, 2),
+            fmt(r.recovery_ms_max, 2),
+        ]);
+    }
+    t
+}
+
+/// Feasibility plans: each backup style's platform, plus the campaign's
+/// sweep dimensions.
+#[must_use]
+pub fn plans(cfg: &ExpConfig) -> Vec<crate::feasibility::CheckItem> {
+    use crate::feasibility::{nvp_plan, sweep};
+
+    let inst = kernel(cfg, KernelKind::Sobel);
+    let mut out = vec![
+        sweep("fault rates", FAULT_RATES.len()),
+        sweep("monte-carlo trials per faulted cell", cfg.fault_trials),
+    ];
+    for style in styles(&inst) {
+        out.push(nvp_plan(
+            format!("{} under fault injection", style.name),
+            &style.sys,
+            style.backup,
+            &style.policy,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_rows_are_exactly_fault_free() {
+        let rows = rows(&ExpConfig::quick());
+        assert_eq!(rows.len(), 3 * FAULT_RATES.len());
+        for r in rows.iter().filter(|r| r.fault_rate <= 0.0) {
+            assert_eq!(r.trials, 1, "disabled plan is deterministic: one trial suffices");
+            assert_eq!(r.fp_ratio, 1.0, "{}: control must normalize to exactly 1", r.style);
+            assert_eq!(r.torn + r.retries + r.corrupt + r.safe_modes, 0, "{}", r.style);
+            assert_eq!(r.mean_lost, 0.0, "{}", r.style);
+            assert_eq!(r.mean_committed, r.mean_surviving, "{}", r.style);
+        }
+    }
+
+    #[test]
+    fn faults_fire_and_survival_never_exceeds_commitment() {
+        let rows = rows(&ExpConfig::quick());
+        let faulted: Vec<&Row> = rows.iter().filter(|r| r.fault_rate > 0.0).collect();
+        assert!(!faulted.is_empty());
+        let total_events: u64 = faulted.iter().map(|r| r.torn + r.corrupt).sum();
+        assert!(total_events > 0, "no injected fault fired across the whole campaign");
+        for r in &faulted {
+            assert_eq!(r.trials, ExpConfig::quick().fault_trials);
+            assert!(r.mean_surviving <= r.mean_committed + 1e-9, "{}: {r:?}", r.style);
+            assert!(r.fp_ratio.is_finite());
+        }
+        // Recovery latencies only exist where corrupt restores happened.
+        for r in rows.iter().filter(|r| r.corrupt == 0) {
+            assert_eq!(r.recovery_ms_mean, 0.0, "{}", r.style);
+        }
+        for r in rows.iter() {
+            assert!(r.recovery_ms_max >= r.recovery_ms_mean - 1e-12, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let cfg = ExpConfig::quick();
+        assert_eq!(rows(&cfg), rows(&cfg));
+        // A different base seed reseeds every faulted trial.
+        let mut other = cfg.clone();
+        other.fault_seed = 99;
+        let a = rows(&cfg);
+        let b = rows(&other);
+        assert_ne!(a, b, "base seed must reach the per-trial fault plans");
+        // ... but leaves the fault-free controls untouched.
+        for (ra, rb) in a.iter().zip(&b).filter(|(r, _)| r.fault_rate <= 0.0) {
+            assert_eq!(ra, rb);
+        }
+    }
+}

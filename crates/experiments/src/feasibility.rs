@@ -375,8 +375,8 @@ mod tests {
         assert!(check_item(&item).is_empty());
     }
 
-    /// Every one of the 15 registered experiments declares only
-    /// feasible plans, in both the quick and the default configuration.
+    /// Every registered experiment declares only feasible plans, in
+    /// both the quick and the default configuration.
     #[test]
     fn all_registry_entries_pass() {
         for cfg in [ExpConfig::quick(), ExpConfig::default()] {

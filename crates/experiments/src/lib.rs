@@ -22,6 +22,7 @@
 //! | F9 | [`f9_retention_relaxation`] | shaped-retention backup (extension) |
 //! | F10 | [`f10_policy_sweep`] | backup-margin policy sweep (extension) |
 //! | F11 | [`f11_clock_scaling`] | income-adaptive clock scaling (extension) |
+//! | F12 | [`f12_fault_resilience`] | fault-injection resilience campaign (extension) |
 //!
 //! ## Example
 //!
@@ -48,6 +49,7 @@ mod simcache;
 
 pub mod f10_policy_sweep;
 pub mod f11_clock_scaling;
+pub mod f12_fault_resilience;
 pub mod f1_power_profiles;
 pub mod f2_outage_stats;
 pub mod f3_forward_progress;

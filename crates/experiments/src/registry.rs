@@ -8,10 +8,10 @@
 
 use crate::feasibility::CheckItem;
 use crate::{
-    f10_policy_sweep, f11_clock_scaling, f1_power_profiles, f2_outage_stats, f3_forward_progress,
-    f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity, f7_tech_sweep,
-    f8_frame_latency, f9_retention_relaxation, t1_chip_gallery, t2_energy_distribution,
-    t3_backup_strategies, ExpConfig, Table,
+    f10_policy_sweep, f11_clock_scaling, f12_fault_resilience, f1_power_profiles, f2_outage_stats,
+    f3_forward_progress, f4_backup_overhead, f5_capacitor_sweep, f6_restore_sensitivity,
+    f7_tech_sweep, f8_frame_latency, f9_retention_relaxation, t1_chip_gallery,
+    t2_energy_distribution, t3_backup_strategies, ExpConfig, Table,
 };
 
 /// A table/figure builder registered with the evaluation harness.
@@ -76,7 +76,7 @@ fn f2_histogram_plans(cfg: &ExpConfig) -> Vec<CheckItem> {
 }
 
 /// Every registered experiment, in artifact order.
-static REGISTRY: [&dyn Experiment; 15] = [
+static REGISTRY: [&dyn Experiment; 16] = [
     &FnExperiment {
         id: "t1",
         title: "NVP chip & technology gallery (published silicon vs framework models)",
@@ -167,6 +167,12 @@ static REGISTRY: [&dyn Experiment; 15] = [
         build: f11_clock_scaling::table,
         plans: f11_clock_scaling::plans,
     },
+    &FnExperiment {
+        id: "f12",
+        title: "Fault-injection resilience: torn backups, retention decay, restore failures",
+        build: f12_fault_resilience::table,
+        plans: f12_fault_resilience::plans,
+    },
 ];
 
 /// The registered experiments, in artifact order.
@@ -193,7 +199,7 @@ mod tests {
             assert!(seen.insert(e.id()), "duplicate experiment id {}", e.id());
             assert!(!e.title().is_empty());
         }
-        assert_eq!(registry().len(), 15);
+        assert_eq!(registry().len(), 16);
     }
 
     #[test]

@@ -152,8 +152,8 @@ mod tests {
         let dir = unique_dir("nvp_exp_runner_test");
         let artifacts = run_all(&ExpConfig::quick(), &dir).unwrap();
         assert_eq!(artifacts.tables.len(), registry().len());
-        // 15 tables + 2 profile series + RESULTS.md
-        assert_eq!(artifacts.files.len(), 18);
+        // 16 tables + 2 profile series + RESULTS.md
+        assert_eq!(artifacts.files.len(), 19);
         for f in &artifacts.files {
             assert!(f.exists(), "{}", f.display());
             assert!(fs::metadata(f).unwrap().len() > 0, "{}", f.display());

@@ -40,9 +40,16 @@ pub const RULES: [&str; 5] =
 
 /// Path-prefix exemptions: `(prefix, rule)` pairs (workspace-relative,
 /// `/`-separated). Benchmark harnesses *measure* wall-clock time — that
-/// is their job, not a determinism hazard in artifact code.
-pub const EXEMPTIONS: [(&str, &str); 2] =
-    [("crates/bench", "wall-clock"), ("compat/criterion", "wall-clock")];
+/// is their job, not a determinism hazard in artifact code. The
+/// checkpoint CRC module quantizes torn-write prefixes and indexes its
+/// lookup table with integer casts of fractional quantities — that
+/// truncation is the modeled physics, so the whole file is exempt from
+/// `lossy-cast` rather than sprinkled with per-site allows.
+pub const EXEMPTIONS: [(&str, &str); 3] = [
+    ("crates/bench", "wall-clock"),
+    ("compat/criterion", "wall-clock"),
+    ("crates/sim/src/checkpoint.rs", "lossy-cast"),
+];
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -326,6 +333,19 @@ mod tests {
         // The exemption is rule-scoped: unsafe in bench still flags.
         let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
         assert_eq!(lint_source("crates/bench/src/lib.rs", bad).len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_crc_is_exempt_from_lossy_cast_only() {
+        // A genuine lossy cast of a quantity: flagged anywhere else...
+        let src = "fn f(backup_energy_fraction: f64) -> usize { backup_energy_fraction as usize }";
+        assert_eq!(lint_source("crates/sim/src/machine.rs", src).len(), 1);
+        // ... but exempt in the checkpoint CRC module, whose job is
+        // quantizing fractional write progress into whole words.
+        assert_eq!(lint_source("crates/sim/src/checkpoint.rs", src), []);
+        // The exemption is rule-scoped: other rules still flag there.
+        let clock = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(lint_source("crates/sim/src/checkpoint.rs", clock).len(), 1);
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub use nvp_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use nvp_core::{
-        measure_task, BackupModel, BackupPolicy, ClockPolicy, IntermittentSystem, RunReport,
-        SystemConfig, Thresholds, WaitComputeConfig, WaitComputeSystem,
+        measure_task, BackupModel, BackupPolicy, ClockPolicy, FaultPlan, IntermittentSystem,
+        RunReport, SystemConfig, Thresholds, WaitComputeConfig, WaitComputeSystem,
     };
     pub use nvp_device::{NvffBank, NvmTechnology, RelaxPolicy, RetentionShaper};
     pub use nvp_energy::{harvester, Capacitor, OutageStats, PowerTrace, Rectifier};

@@ -100,10 +100,11 @@ fn sha256_matches_fips_vectors() {
 
 /// `ExpConfig::quick()` at its default seeds (profiles 1,2 / frame 7).
 const GOLDEN_QUICK: &[(&str, &str)] = &[
-    ("RESULTS.md", "703a9dbf94493803f75772d756ef380c9db2f621ffcafa29d81652d33e4b796c"),
+    ("RESULTS.md", "78268c23124a1c62c0658f29e2534c2e7679d857577f50c9d138f8e00f98b2e5"),
     ("f1.csv", "9cbaa881470c9bc1b0e6828622627433ca248c6c22cb9ab03a6b74a1f9f1a772"),
     ("f10.csv", "56af3235ae90e1aa759a6f6d09d2d6b8f85587d0cac37650db15b9021329273f"),
     ("f11.csv", "bae0b4c19dff11fbbef61e57c2918d8434375c1db38e37c284a7881a01f5bdbf"),
+    ("f12.csv", "aed4f5a5c7cf9397665e989f22a1bad40e409e0dfc2a71fce0b069e386b76197"),
     ("f1_profile_1.csv", "c0a486e4bf6a8221a851fb50a2a55e24b670a2ae922827889545484adb163c23"),
     ("f1_profile_2.csv", "58890087758b81c4c76af5f50a0a5fb2234af03073a114dd9223d5ec1a0dae92"),
     ("f2.csv", "b75330f03b7b755d6a623d70dfe0af8600c70cedd24aefd5f493839644d5ac21"),
@@ -122,10 +123,11 @@ const GOLDEN_QUICK: &[(&str, &str)] = &[
 
 /// `ExpConfig::quick()` with `profile_seeds = [3, 4]`, `frame_seed = 11`.
 const GOLDEN_SHIFTED: &[(&str, &str)] = &[
-    ("RESULTS.md", "e3b412057f0f278b027f46aadbcaab9b12cad544e1e80d77a49075b3f22d6de9"),
+    ("RESULTS.md", "185459126e6531519ec369942f53638560146a764a5f7d7ea5d55f0c50e26cbc"),
     ("f1.csv", "4ec4c0e28260df636f41b6d11b09122f163a1e117ace66e86ed166f1605575b0"),
     ("f10.csv", "4ed59152337b3cf2a5f2635af9f7677b179e7b8f9ff719045f5081f7f94f9312"),
     ("f11.csv", "21d1853cc31eb53b41db540e801ab7a0c24d94ee818efa6b5ecffc5fbc5ef700"),
+    ("f12.csv", "1ff9ebcf8554d082d5c5aead4ac5202fe7688ff953476f8ebc602c35e35d7483"),
     ("f1_profile_3.csv", "1fbd3cb89d1d97d4d9a6c007a3e5edaeb04222a98b23883877e5352cc69e8aa4"),
     ("f1_profile_4.csv", "47a2ce861e93ae38a1d7ad3ac9de7f71cecfb6594938c1d155fa36774907e9e6"),
     ("f2.csv", "d66a25d68ac764569de3db1b01e64c50e3a0639ca429135e8157dd75cb3ca42f"),
