@@ -6,25 +6,31 @@
 //! (override the location with `NVP_BENCH_RUNNER_JSON`). The checked-in
 //! copy is the baseline; rerun after perf-sensitive changes and compare.
 //!
-//! Measured quantities:
+//! Measured quantities (schema `nvp-bench-runner/3`):
 //!
 //! * `run_all_quick.parallel_s` / `sequential_s` — best-of-3 wall time
-//!   of `run_all(ExpConfig::quick())` on the scoped thread pool vs. the
-//!   sequential reference forced to one worker via
-//!   `set_thread_override` (the thread count used is recorded next to
-//!   each figure). A warm-up run first fills the process-wide
-//!   frame/kernel/trace memo caches, and the simulation cache is reset
-//!   before every repetition, so both timings measure real simulation
-//!   work, not first-touch input synthesis or cache hits.
-//! * `sim_cache.cold_s` / `warm_s` — one `run_all` against an empty
-//!   simulation cache vs. a fully populated one, plus the unique/hit
-//!   counts, quantifying the cross-experiment deduplication win.
-//! * `simulator.tight_loop_steps_per_sec` — `Machine::step` throughput
-//!   on a branchy ALU loop (the predecode fast path).
-//! * `simulator.block_steps_per_sec` — `Machine::run_blocks` throughput
-//!   on the same loop (the fused basic-block engine).
-//! * `simulator.sobel_steps_per_sec` — `Machine::step` on the Sobel
-//!   kernel image (loads/stores/multiplies included).
+//!   of `run_all(ExpConfig::quick())` on the work-stealing scheduler
+//!   vs. the sequential reference forced to one worker via
+//!   `set_thread_override`. The parallel and sequential repetitions
+//!   are **interleaved** (par, seq, par, seq, …) so slow drift on a
+//!   shared host biases both sides equally instead of whichever ran
+//!   second. `parallel_4t_s` repeats the parallel side pinned to four
+//!   workers; on a single-core host that mostly measures scheduler
+//!   overhead, which is the honest number to track there.
+//! * `scheduler` — tasks submitted, steals, and helper threads spawned
+//!   during one 4-worker `run_all`, from `sched_stats()`.
+//! * `sim_cache` — in-memory dedup: one `run_all` against an empty
+//!   simulation cache vs. a fully populated one.
+//! * `sim_cache_disk` — the persistent store: a cold run that writes
+//!   the record log, then a simulated fresh process (index cleared,
+//!   directory re-opened) whose run is served entirely from disk.
+//! * `simulator.*_steps_per_sec` — `Machine::step` / `run_blocks`
+//!   throughput on a branchy ALU loop and the Sobel kernel.
+//!
+//! A warm-up run first fills the process-wide frame/kernel/trace memo
+//! caches, and the simulation cache is reset before every timed
+//! repetition unless the measurement is explicitly about cache warmth,
+//! so wall times measure real simulation work.
 
 use std::fs;
 use std::hint::black_box;
@@ -32,8 +38,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use nvp_experiments::{
-    registry, reset_sim_cache, run_all, run_all_sequential, set_thread_override, thread_count,
-    ExpConfig, RunArtifacts,
+    registry, reset_sim_cache, run_all, run_all_sequential, sched_stats, set_cache_dir,
+    set_thread_override, thread_count, ExpConfig,
 };
 use nvp_isa::asm::assemble;
 use nvp_sim::Machine;
@@ -48,26 +54,16 @@ fn unique_dir(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
 }
 
-/// Best-of-`REPS` wall time of one `run_all` variant, seconds. With
-/// `cold_cache`, the simulation cache is cleared before every
-/// repetition so each one re-simulates from scratch.
-fn time_runner(
-    f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<RunArtifacts>,
-    cold_cache: bool,
-) -> f64 {
+/// One cold-cache `run_all` (or variant), returning its wall time.
+fn time_one(f: impl Fn(&ExpConfig, &std::path::Path) -> std::io::Result<()>) -> f64 {
     let cfg = ExpConfig::quick();
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let dir = unique_dir("nvp_bench_runner");
-        if cold_cache {
-            reset_sim_cache();
-        }
-        let t0 = Instant::now();
-        black_box(f(&cfg, &dir).expect("run_all succeeds"));
-        best = best.min(t0.elapsed().as_secs_f64());
-        let _ = fs::remove_dir_all(&dir);
-    }
-    best
+    let dir = unique_dir("nvp_bench_runner");
+    reset_sim_cache();
+    let t0 = Instant::now();
+    f(&cfg, &dir).expect("run succeeds");
+    let dt = t0.elapsed().as_secs_f64();
+    let _ = fs::remove_dir_all(&dir);
+    dt
 }
 
 /// Best-of-`REPS` throughput of `advance` on fresh machines, running
@@ -94,28 +90,54 @@ fn steps_per_sec(
     best
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     let cfg = ExpConfig::quick();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let parallel_threads = thread_count(registry().len());
+    let parallel_threads = thread_count(registry().len() + cfg.profile_seeds.len());
 
-    // Warm the memo caches so parallel and sequential timings are
-    // measured against identical (all-hot) inputs; the simulation
-    // cache itself is reset per repetition below.
+    // Warm the memo caches so every timed variant sees identical
+    // (all-hot) inputs; the simulation cache is reset per repetition.
     {
         let dir = unique_dir("nvp_bench_runner_warmup");
         run_all(&cfg, &dir).expect("warm-up run succeeds");
         let _ = fs::remove_dir_all(&dir);
     }
 
-    let parallel_s = time_runner(run_all, true);
-    set_thread_override(Some(1));
-    let sequential_s = time_runner(run_all_sequential, true);
+    // Interleaved best-of-REPS: par, seq, par-4t in each round, so host
+    // drift cannot systematically favor one side.
+    let run_par = |c: &ExpConfig, d: &std::path::Path| run_all(c, d).map(|a| drop(black_box(a)));
+    let run_seq =
+        |c: &ExpConfig, d: &std::path::Path| run_all_sequential(c, d).map(|a| drop(black_box(a)));
+    let mut parallel_s = f64::INFINITY;
+    let mut sequential_s = f64::INFINITY;
+    let mut parallel_4t_s = f64::INFINITY;
+    for _ in 0..REPS {
+        set_thread_override(None);
+        parallel_s = parallel_s.min(time_one(run_par));
+        set_thread_override(Some(1));
+        sequential_s = sequential_s.min(time_one(run_seq));
+        set_thread_override(Some(4));
+        parallel_4t_s = parallel_4t_s.min(time_one(run_par));
+    }
     set_thread_override(None);
     let speedup = sequential_s / parallel_s;
+    let speedup_4t = sequential_s / parallel_4t_s;
 
-    // Cache effectiveness: one run against an empty simulation cache,
-    // then one against the fully populated cache it leaves behind.
+    // Scheduler counters for one 4-worker campaign.
+    let (sched_tasks, sched_steals, sched_helpers) = {
+        set_thread_override(Some(4));
+        let before = sched_stats();
+        let dir = unique_dir("nvp_bench_sched");
+        reset_sim_cache();
+        run_all(&cfg, &dir).expect("run succeeds");
+        let _ = fs::remove_dir_all(&dir);
+        set_thread_override(None);
+        let d = sched_stats().since(before);
+        (d.tasks, d.steals, d.helpers)
+    };
+
+    // In-memory cache effectiveness: empty vs. fully populated.
     let (cache_cold_s, cache_warm_s, unique_sims, warm_hits) = {
         reset_sim_cache();
         let dir = unique_dir("nvp_bench_cache");
@@ -132,6 +154,31 @@ fn main() {
     };
     let cache_speedup = cache_cold_s / cache_warm_s;
 
+    // Persistent store: cold run writing the log, then a simulated
+    // fresh process (index cleared, directory re-opened) served
+    // entirely from disk.
+    let (disk_cold_s, disk_warm_s, disk_persisted, disk_reloaded, disk_hits) = {
+        let cache_dir = unique_dir("nvp_bench_disk_cache");
+        set_cache_dir(Some(&cache_dir)).expect("open bench cache dir");
+        reset_sim_cache();
+        let dir = unique_dir("nvp_bench_disk");
+        let t0 = Instant::now();
+        let cold = run_all(&cfg, &dir).expect("cold persist run succeeds");
+        let cold_s = t0.elapsed().as_secs_f64();
+        let _ = fs::remove_dir_all(&dir);
+        reset_sim_cache();
+        let reloaded = set_cache_dir(Some(&cache_dir)).expect("reload bench cache dir");
+        let dir = unique_dir("nvp_bench_disk");
+        let t0 = Instant::now();
+        let warm = run_all(&cfg, &dir).expect("warm disk run succeeds");
+        let warm_s = t0.elapsed().as_secs_f64();
+        let _ = fs::remove_dir_all(&dir);
+        set_cache_dir(None).expect("disable bench cache dir");
+        let _ = fs::remove_dir_all(&cache_dir);
+        (cold_s, warm_s, cold.cache.persisted, reloaded, warm.cache.disk_hits)
+    };
+    let disk_speedup = disk_cold_s / disk_warm_s;
+
     let tight = assemble("start: addi r1, r1, 1\n xor r2, r2, r1\n bne r1, r0, start\n halt")
         .expect("tight loop assembles");
     let step_run = |m: &mut Machine, n: u64| m.run(n).expect("program runs");
@@ -144,11 +191,19 @@ fn main() {
     let sobel_rate = steps_per_sec(|| sobel.machine().expect("loads"), step_run, 2_000_000);
 
     println!("bench runner/run_all_quick_parallel      {parallel_s:>12.4} s (best of {REPS}, {parallel_threads} thread(s))");
+    println!("bench runner/run_all_quick_parallel_4t   {parallel_4t_s:>12.4} s (best of {REPS}, 4 threads)");
     println!("bench runner/run_all_quick_sequential    {sequential_s:>12.4} s (best of {REPS}, 1 thread)");
     println!("bench runner/speedup                     {speedup:>12.2} x on {cores} core(s)");
+    println!("bench runner/speedup_4t                  {speedup_4t:>12.2} x on {cores} core(s)");
+    println!("bench runner/sched_tasks                 {sched_tasks:>12}");
+    println!("bench runner/sched_steals                {sched_steals:>12}");
+    println!("bench runner/sched_helpers               {sched_helpers:>12}");
     println!("bench runner/sim_cache_cold              {cache_cold_s:>12.4} s ({unique_sims} unique sims)");
     println!("bench runner/sim_cache_warm              {cache_warm_s:>12.4} s ({warm_hits} hits)");
     println!("bench runner/sim_cache_speedup           {cache_speedup:>12.2} x");
+    println!("bench runner/sim_cache_disk_cold         {disk_cold_s:>12.4} s ({disk_persisted} records persisted)");
+    println!("bench runner/sim_cache_disk_warm         {disk_warm_s:>12.4} s ({disk_reloaded} reloaded, {disk_hits} disk hits)");
+    println!("bench runner/sim_cache_disk_speedup      {disk_speedup:>12.2} x");
     println!("bench runner/tight_loop_steps_per_sec    {tight_rate:>12.0}");
     println!("bench runner/block_steps_per_sec         {block_rate:>12.0}");
     println!("bench runner/sobel_steps_per_sec         {sobel_rate:>12.0}");
@@ -158,18 +213,27 @@ fn main() {
         PathBuf::from,
     );
     let comment = "recorded by `cargo bench -p nvp-bench --bench runner`; wall times are \
-                   best-of-3 with the simulation cache reset per repetition; *_threads is the \
-                   worker count used for that measurement";
+                   best-of-3 with parallel/sequential repetitions interleaved and the \
+                   simulation cache reset per repetition; *_threads is the worker count used \
+                   for that measurement; sim_cache_disk times a cold persistent-store write \
+                   and a fresh-process reload served entirely from disk";
     let json = format!(
-        "{{\n  \"schema\": \"nvp-bench-runner/2\",\n  \"comment\": \"{comment}\",\n  \
+        "{{\n  \"schema\": \"nvp-bench-runner/3\",\n  \"comment\": \"{comment}\",\n  \
          \"host_cores\": {cores},\n  \
          \"run_all_quick\": {{\n    \"parallel_s\": {parallel_s:.4},\n    \
          \"parallel_threads\": {parallel_threads},\n    \
+         \"parallel_4t_s\": {parallel_4t_s:.4},\n    \
          \"sequential_s\": {sequential_s:.4},\n    \"sequential_threads\": 1,\n    \
-         \"speedup\": {speedup:.3}\n  }},\n  \
+         \"speedup\": {speedup:.3},\n    \"speedup_4t\": {speedup_4t:.3}\n  }},\n  \
+         \"scheduler\": {{\n    \"threads\": 4,\n    \"tasks\": {sched_tasks},\n    \
+         \"steals\": {sched_steals},\n    \"helpers\": {sched_helpers}\n  }},\n  \
          \"sim_cache\": {{\n    \"cold_s\": {cache_cold_s:.4},\n    \
          \"warm_s\": {cache_warm_s:.4},\n    \"speedup\": {cache_speedup:.3},\n    \
          \"unique_sims\": {unique_sims},\n    \"warm_hits\": {warm_hits}\n  }},\n  \
+         \"sim_cache_disk\": {{\n    \"cold_persist_s\": {disk_cold_s:.4},\n    \
+         \"warm_reload_s\": {disk_warm_s:.4},\n    \"speedup\": {disk_speedup:.3},\n    \
+         \"persisted\": {disk_persisted},\n    \"reloaded\": {disk_reloaded},\n    \
+         \"disk_hits\": {disk_hits}\n  }},\n  \
          \"simulator\": {{\n    \"tight_loop_steps_per_sec\": {tight_rate:.0},\n    \
          \"block_steps_per_sec\": {block_rate:.0},\n    \
          \"sobel_steps_per_sec\": {sobel_rate:.0}\n  }}\n}}\n"

@@ -5,7 +5,7 @@
 use std::process::ExitCode;
 
 use nvp_experiments::cli::{self, Command};
-use nvp_experiments::{feasibility, run_all, run_only};
+use nvp_experiments::{feasibility, run_all, run_only, set_cache_dir};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,7 +16,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (out_dir, only, quick, seed) = match cmd {
+    let (out_dir, only, quick, seed, no_cache) = match cmd {
         Command::Help => {
             println!("{}", cli::USAGE);
             return ExitCode::SUCCESS;
@@ -41,8 +41,25 @@ fn main() -> ExitCode {
             eprintln!("feasibility: {} violation(s) found", diags.len());
             return ExitCode::FAILURE;
         }
-        Command::Run { out_dir, only, quick, seed } => (out_dir, only, quick, seed),
+        Command::Run { out_dir, only, quick, seed, no_cache } => {
+            (out_dir, only, quick, seed, no_cache)
+        }
     };
+
+    // Persistent simulation cache: --no-cache pins it memory-only;
+    // NVP_CACHE_DIR (resolved lazily by the library) wins over the
+    // default <out_dir>/.simcache.
+    if no_cache {
+        let _ = set_cache_dir(None);
+    } else if std::env::var_os("NVP_CACHE_DIR").is_none_or(|v| v.is_empty()) {
+        let cache_dir = out_dir.join(".simcache");
+        if let Err(e) = set_cache_dir(Some(&cache_dir)) {
+            eprintln!(
+                "warning: sim cache at {} unavailable ({e}); running without",
+                cache_dir.display()
+            );
+        }
+    }
 
     let mut cfg = Command::config(quick);
     if let Some(s) = seed {
@@ -66,8 +83,12 @@ fn main() -> ExitCode {
                 println!("{}", t.to_markdown());
             }
             eprintln!(
-                "sim cache: {} unique simulations, {} duplicate run(s) deduplicated",
-                artifacts.cache.misses, artifacts.cache.hits
+                "sim cache: {} unique simulations, {} duplicate run(s) deduplicated, \
+                 {} served from disk, {} record(s) persisted",
+                artifacts.cache.misses,
+                artifacts.cache.hits,
+                artifacts.cache.disk_hits,
+                artifacts.cache.persisted
             );
             eprintln!("wrote {} files to {}", artifacts.files.len(), out_dir.display());
             ExitCode::SUCCESS

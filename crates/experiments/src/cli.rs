@@ -4,7 +4,7 @@
 //! tested like everything else. The grammar is deliberately tiny:
 //!
 //! ```text
-//! repro [out_dir] [--quick] [--only IDS] [--seed N] [--check] [--list] [--help]
+//! repro [out_dir] [--quick] [--only IDS] [--seed N] [--no-cache] [--check] [--list] [--help]
 //! ```
 //!
 //! Unknown `--flags` are rejected with a usage error instead of being
@@ -29,6 +29,9 @@ Options:
   --only IDS         comma-separated experiment ids (e.g. --only f5,t1)
   --seed N           base seed for the F12 fault-injection campaign
                      (default: 1; e.g. --only f12 --seed 7)
+  --no-cache         keep the simulation cache memory-only (skip the
+                     persistent store in <out_dir>/.simcache or
+                     $NVP_CACHE_DIR)
   --check            validate every registered experiment's platform
                      configurations for physical feasibility and exit
                      (0 = all feasible, 1 = diagnostics printed)
@@ -60,6 +63,9 @@ pub enum Command {
         /// Base seed for the fault-injection campaign (`--seed`), or
         /// `None` to keep the configuration default.
         seed: Option<u64>,
+        /// `--no-cache`: keep the simulation cache memory-only instead
+        /// of backing it with the persistent on-disk store.
+        no_cache: bool,
     },
 }
 
@@ -99,6 +105,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
     let mut quick = false;
     let mut check = false;
     let mut seed: Option<u64> = None;
+    let mut no_cache = false;
     let mut iter = args.iter().map(AsRef::as_ref);
     while let Some(arg) = iter.next() {
         match arg {
@@ -106,6 +113,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             "--list" => return Ok(Command::List),
             "--quick" => quick = true,
             "--check" => check = true,
+            "--no-cache" => no_cache = true,
             "--only" => {
                 let ids = iter.next().ok_or("--only needs a comma-separated id list")?;
                 only = Some(parse_only(ids)?);
@@ -142,6 +150,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
         only,
         quick,
         seed,
+        no_cache,
     })
 }
 
@@ -191,7 +200,8 @@ mod tests {
                 out_dir: PathBuf::from("results"),
                 only: None,
                 quick: false,
-                seed: None
+                seed: None,
+                no_cache: false,
             }
         );
     }
@@ -206,6 +216,7 @@ mod tests {
                 only: Some(vec!["f5".into(), "t1".into()]),
                 quick: true,
                 seed: None,
+                no_cache: false,
             }
         );
     }
@@ -229,6 +240,7 @@ mod tests {
                 only: Some(vec!["f12".into()]),
                 quick: false,
                 seed: Some(42),
+                no_cache: false,
             }
         );
         match parse(&["--seed=7"]).unwrap() {
@@ -279,6 +291,21 @@ mod tests {
         assert!(err.contains("--only"), "{err}");
         let err = parse(&["--only", ","]).unwrap_err();
         assert!(err.contains("--only"), "{err}");
+    }
+
+    #[test]
+    fn no_cache_flag_is_recognized() {
+        match parse(&["--no-cache"]).unwrap() {
+            Command::Run { no_cache, .. } => assert!(no_cache),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["out", "--quick", "--no-cache", "--only", "f5"]).unwrap() {
+            Command::Run { no_cache, quick, .. } => {
+                assert!(no_cache);
+                assert!(quick);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
             (format!("periodic {} ms", interval_s * 1e3), BackupPolicy::Periodic { interval_s })
         }))
         .collect();
-    crate::par::par_map(&policies, |(label, policy)| {
+    crate::sched::par_map(&policies, |(label, policy)| {
         let r = run_nvp_with(&inst, &trace, sys, standard_backup(), *policy);
         Row {
             policy: label.clone(),

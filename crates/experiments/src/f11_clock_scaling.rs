@@ -47,7 +47,7 @@ fn measure(cfg: &ExpConfig, sys: SystemConfig, label: &str) -> Row {
     // Per-seed runs are independent; summing the ordered results keeps
     // the accumulation order (and thus the f64 value) identical to the
     // sequential loop.
-    let fps = crate::par::par_map(&cfg.profile_seeds, |&seed| {
+    let fps = crate::sched::par_map(&cfg.profile_seeds, |&seed| {
         run_nvp_with(&inst, &watch_trace(cfg, seed), sys, standard_backup(), BackupPolicy::demand())
             .forward_progress() as f64
     });
@@ -81,7 +81,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
                 "adaptive 1-8 MHz",
             )))
             .collect();
-    let mut out = crate::par::par_map(&variants, |&(sys, label)| measure(cfg, sys, label));
+    let mut out = crate::sched::par_map(&variants, |&(sys, label)| measure(cfg, sys, label));
     let base_combined = (out[0].fp_wrist + out[0].fp_solar).max(1.0);
     for r in &mut out {
         r.combined_gain = (r.fp_wrist + r.fp_solar) / base_combined;

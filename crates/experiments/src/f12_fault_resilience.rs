@@ -30,8 +30,8 @@ use nvp_workloads::{KernelInstance, KernelKind};
 use serde::{Deserialize, Serialize};
 
 use crate::common::{kernel, system_config_for, watch_trace, STATE_BITS};
-use crate::par;
 use crate::report::{fmt, fmt_ratio};
+use crate::sched;
 use crate::{ExpConfig, Table};
 
 /// Injected fault rates (tear probability per backup; restore failures
@@ -215,7 +215,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
             }
         }
     }
-    let results = par::par_map(&grid, |&(si, ri, trial)| {
+    let results = sched::par_map(&grid, |&(si, ri, trial)| {
         let plan = plan_for(cfg, FAULT_RATES[ri], si, trial);
         run_trial(&inst, &trace, &styles[si], plan)
     });

@@ -38,7 +38,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
     let trace = watch_trace(cfg, cfg.profile_seeds[0]);
     let cost = crate::common::task_cost(cfg, KernelKind::Sobel);
-    crate::par::par_map(&CAPACITANCES_F, |&c| {
+    crate::sched::par_map(&CAPACITANCES_F, |&c| {
         let sys: SystemConfig = system_config_for(&inst).with_capacitance(c);
         let nvp =
             run_nvp_with(&inst, &trace, sys, standard_backup(), nvp_core::BackupPolicy::demand());

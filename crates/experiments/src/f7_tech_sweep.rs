@@ -40,7 +40,7 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
         .into_iter()
         .flat_map(|tech| SourceKind::ALL.into_iter().map(move |source| (tech, source)))
         .collect();
-    crate::par::par_map(&grid, |&(tech, source)| {
+    crate::sched::par_map(&grid, |&(tech, source)| {
         // Both the backup path *and* the NVM data memory use `tech`.
         let sys = system_config_for_tech(&inst, tech);
         let backup = BackupModel::distributed(tech, STATE_BITS);

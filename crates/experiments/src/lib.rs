@@ -42,9 +42,11 @@ mod common;
 mod config;
 pub mod feasibility;
 mod par;
+mod persist;
 mod registry;
 mod report;
 mod runner;
+mod sched;
 mod simcache;
 
 pub mod f10_policy_sweep;
@@ -68,4 +70,5 @@ pub use par::{set_thread_override, thread_count};
 pub use registry::{find, registry, Experiment};
 pub use report::Table;
 pub use runner::{run_all, run_all_sequential, run_only, RunArtifacts};
-pub use simcache::{reset_sim_cache, sim_cache_stats, SimCacheStats};
+pub use sched::{sched_stats, SchedStats};
+pub use simcache::{reset_sim_cache, set_cache_dir, sim_cache_stats, SimCacheStats};

@@ -1,19 +1,22 @@
-//! Minimal deterministic fork-join helper for the evaluation runner.
+//! Thread-count configuration for the work-stealing scheduler.
 //!
-//! [`par_map`] fans work items out over scoped std threads and returns
-//! results in input order, so parallel and sequential execution produce
-//! byte-identical artifacts. No external thread-pool dependency: the
-//! scope joins every worker before returning, and a worker panic (e.g.
-//! a failed assertion inside an experiment) propagates to the caller.
+//! The scheduler itself lives in [`crate::sched`]; this module owns the
+//! single process-wide answer to "how many workers may run at once".
+//! The budget can be forced/limited with the `NVP_THREADS` environment
+//! variable, parsed **once** per process (so CI and users get one
+//! deterministic answer no matter when the variable changes), or
+//! programmatically with [`set_thread_override`], which always wins
+//! over the environment. `NVP_THREADS=1` forces fully sequential,
+//! inline execution.
 //!
-//! The worker count can be forced/limited with the `NVP_THREADS`
-//! environment variable, parsed **once** per process (so CI and users
-//! get one deterministic answer no matter when the variable changes),
-//! or programmatically with [`set_thread_override`], which always wins
-//! over the environment.
+//! Nesting-awareness: the budget is *global*, not per `par_map` call. A
+//! worker thread that calls back into the scheduler (an experiment's
+//! point sweep running inside the campaign-level map) contributes its
+//! own thread and draws any extra helpers from the same budget, instead
+//! of spawning a fresh scoped pool the way the old fork-join helper did
+//! — which is what oversubscribed 1-core hosts.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Sentinel: `NVP_THREADS` not parsed yet.
 const UNPARSED: usize = usize::MAX;
@@ -66,45 +69,24 @@ fn thread_override() -> Option<usize> {
     }
 }
 
-/// Number of worker threads for `work` items: the smaller of the item
-/// count and the hardware parallelism, overridable with `NVP_THREADS`
-/// or [`set_thread_override`] (`1` forces sequential execution).
+/// The process-wide worker budget: the override if set, else the
+/// hardware parallelism. This bounds the total number of threads doing
+/// scheduler work at any instant — the caller of the outermost
+/// `par_map` plus every recruited helper, across all nesting levels.
 #[must_use]
-pub fn thread_count(work: usize) -> usize {
+pub(crate) fn thread_budget() -> usize {
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    thread_override().unwrap_or(hw).min(work).max(1)
+    thread_override().unwrap_or(hw).max(1)
 }
 
-/// Maps `f` over `items` on a scoped thread pool, preserving input
-/// order in the output. Work is claimed via an atomic cursor, so
-/// uneven item costs balance automatically; ordering is restored by
-/// sorting on the original index, making the result independent of
-/// scheduling.
-pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let threads = thread_count(items.len());
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(item);
-                results.lock().unwrap().push((i, r));
-            });
-        }
-    });
-    let mut indexed = results.into_inner().unwrap();
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+/// Number of worker slots for `work` items: the smaller of the item
+/// count and the process-wide budget (`NVP_THREADS` /
+/// [`set_thread_override`]; `1` forces sequential execution). How many
+/// of those slots actually get a thread depends on how much of the
+/// budget is free at run time — see the `sched` module.
+#[must_use]
+pub fn thread_count(work: usize) -> usize {
+    thread_budget().min(work).max(1)
 }
 
 #[cfg(test)]
@@ -112,29 +94,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        // Uneven per-item cost to scramble completion order.
-        let out = par_map(&items, |&x| {
-            if x % 7 == 0 {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-            }
-            x * 2
-        });
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        assert_eq!(par_map(&[] as &[u32], |&x| x), Vec::<u32>::new());
-        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
-    }
-
-    #[test]
     fn thread_count_is_bounded() {
         assert_eq!(thread_count(0), 1);
         assert_eq!(thread_count(1), 1);
         assert!(thread_count(1000) >= 1);
+        assert!(thread_count(1000) <= thread_budget());
     }
 
     #[test]

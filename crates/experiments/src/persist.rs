@@ -1,0 +1,401 @@
+//! Persistent on-disk backing for the simulation-result cache.
+//!
+//! The in-memory cache in [`crate::simcache`] dies with the process, so
+//! a warm full-campaign rerun still pays for every unique simulation.
+//! This module makes the cache durable: an **append-only record log**
+//! under a cache directory (`NVP_CACHE_DIR`, or `<out_dir>/.simcache`
+//! for the `repro` binary), **sharded by the first byte** of the
+//! SHA-256 content key so concurrent writers rarely touch the same
+//! file and reloads stream a few small files instead of one huge one.
+//!
+//! ## Record format
+//!
+//! Each shard file `<xx>.log` (`xx` = first key byte, hex) starts with
+//! the 8-byte magic `b"nvpsimc1"` — the `1` is the schema version,
+//! bumped whenever the `RunReport` layout changes so stale caches are
+//! skipped wholesale rather than misdecoded. After the header, records
+//! are length-prefixed and CRC-framed:
+//!
+//! ```text
+//! [len: u32 le] [crc32: u32 le] [payload: len bytes]
+//! payload = key (32 bytes) ++ RunReport (24 × 8-byte fields, le)
+//! ```
+//!
+//! The CRC-32 is the checkpoint subsystem's
+//! ([`nvp_sim::crc32_bytes`]) — cache integrity and checkpoint
+//! integrity share one checksum — and covers the whole payload.
+//! Floats are stored as IEEE-754 bit patterns, so a reloaded
+//! `RunReport` is bit-identical to the one computed, and artifacts
+//! built from cache hits stay byte-identical to cold runs.
+//!
+//! ## Failure tolerance
+//!
+//! Loading is strictly best-effort — a damaged cache can cost time,
+//! never correctness:
+//!
+//! * **Truncated tail** (a writer killed mid-append): the broken tail
+//!   record is dropped, every record before it loads.
+//! * **Corrupt record** (CRC mismatch, bad length, short payload): the
+//!   record is skipped and never served; framing resumes at the next
+//!   length prefix when it is trustworthy, otherwise the rest of the
+//!   shard is abandoned.
+//! * **Concurrent appenders**: records are written with a single
+//!   `O_APPEND` write each, so two processes filling the same cache
+//!   interleave whole records; a duplicated header (both processes
+//!   creating the same shard) is recognized and skipped. Duplicate
+//!   keys are benign — both writers computed bit-identical reports.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use nvp_core::RunReport;
+use nvp_energy::units::Joules;
+use nvp_sim::crc32_bytes;
+
+use crate::simcache::Digest;
+
+/// Shard-file magic: `nvpsimc` + schema version digit.
+const MAGIC: &[u8; 8] = b"nvpsimc1";
+
+/// Serialized `RunReport`: 2 + 13 + 9 eight-byte fields.
+const REPORT_BYTES: usize = 24 * 8;
+
+/// Payload length of a well-formed record: key + report.
+const PAYLOAD_BYTES: usize = 32 + REPORT_BYTES;
+
+/// Upper bound a length prefix may claim before the loader stops
+/// trusting the shard's framing entirely.
+const MAX_RECORD_BYTES: u32 = 4096;
+
+/// What [`PersistentStore::open`] recovered from disk.
+#[derive(Debug, Default)]
+pub(crate) struct LoadOutcome {
+    /// Every valid `(key, report)` record, shard-major in key order.
+    pub records: Vec<(Digest, RunReport)>,
+    /// Records (or whole unreadable/foreign files) dropped during the
+    /// scan — corruption tolerated, never served.
+    pub skipped: u64,
+}
+
+/// An open cache directory: load-once at open, append-only afterwards.
+#[derive(Debug)]
+pub(crate) struct PersistentStore {
+    dir: PathBuf,
+}
+
+impl PersistentStore {
+    /// Opens (creating if missing) a cache directory and scans every
+    /// shard for valid records.
+    pub(crate) fn open(dir: &Path) -> io::Result<(PersistentStore, LoadOutcome)> {
+        fs::create_dir_all(dir)?;
+        let mut outcome = LoadOutcome::default();
+        // Deterministic scan order: sorted shard names.
+        let mut shards: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        shards.sort();
+        for shard in shards {
+            match fs::read(&shard) {
+                Ok(bytes) => scan_shard(&bytes, &mut outcome),
+                Err(_) => outcome.skipped += 1,
+            }
+        }
+        Ok((PersistentStore { dir: dir.to_path_buf() }, outcome))
+    }
+
+    /// Appends one record to the key's shard. The header (for a fresh
+    /// shard) and the record are each written with a single `O_APPEND`
+    /// write, so concurrent appenders interleave whole records.
+    pub(crate) fn append(&self, key: &Digest, report: &RunReport) -> io::Result<()> {
+        let shard = self.dir.join(format!("{:02x}.log", key[0]));
+        let fresh = fs::metadata(&shard).map_or(true, |m| m.len() == 0);
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(&shard)?;
+        let payload = encode_payload(key, report);
+        let crc = crc32_bytes(&payload);
+        let len = u32::try_from(payload.len()).expect("payload is far below u32::MAX");
+        let mut record = Vec::with_capacity(MAGIC.len() + 8 + payload.len());
+        if fresh {
+            // Two processes racing on a fresh shard can both prepend
+            // the magic; the loader tolerates a repeated header.
+            record.extend_from_slice(MAGIC);
+        }
+        record.extend_from_slice(&len.to_le_bytes());
+        record.extend_from_slice(&crc.to_le_bytes());
+        record.extend_from_slice(&payload);
+        file.write_all(&record)
+    }
+}
+
+/// Walks one shard's bytes, pushing valid records and counting damage.
+fn scan_shard(bytes: &[u8], outcome: &mut LoadOutcome) {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Foreign or stale-schema file: skip wholesale.
+        outcome.skipped += 1;
+        return;
+    }
+    let mut off = MAGIC.len();
+    while off < bytes.len() {
+        // A header written twice by racing shard creators.
+        if bytes[off..].starts_with(MAGIC) {
+            off += MAGIC.len();
+            continue;
+        }
+        let Some(header) = bytes.get(off..off + 8) else {
+            outcome.skipped += 1; // truncated length/CRC prefix
+            return;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            // The length prefix itself is implausible; framing is no
+            // longer trustworthy, abandon the rest of the shard.
+            outcome.skipped += 1;
+            return;
+        }
+        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+            outcome.skipped += 1; // truncated tail record
+            return;
+        };
+        off += 8 + len as usize;
+        if crc32_bytes(payload) != crc {
+            outcome.skipped += 1; // corrupt record: skip, never serve
+            continue;
+        }
+        match decode_payload(payload) {
+            Some(rec) => outcome.records.push(rec),
+            None => outcome.skipped += 1, // valid CRC but foreign shape
+        }
+    }
+}
+
+/// Serializes `key ++ report` with every numeric field little-endian
+/// and floats as IEEE-754 bit patterns.
+fn encode_payload(key: &Digest, report: &RunReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PAYLOAD_BYTES);
+    out.extend_from_slice(key);
+    let mut f = |v: f64| out.extend_from_slice(&v.to_bits().to_le_bytes());
+    f(report.duration_s);
+    f(report.on_time_s);
+    let mut u = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+    u(report.committed);
+    u(report.executed);
+    u(report.lost);
+    u(report.uncommitted_at_end);
+    u(report.backups);
+    u(report.restores);
+    u(report.rollbacks);
+    u(report.tasks_completed);
+    u(report.backups_torn);
+    u(report.backup_retries);
+    u(report.restores_corrupt);
+    u(report.safe_mode_entries);
+    u(report.committed_lost);
+    let e = &report.energy;
+    for j in [
+        e.harvested,
+        e.converted,
+        e.compute,
+        e.backup,
+        e.restore,
+        e.sleep,
+        e.regulator,
+        e.stored_at_end,
+        e.storage_wasted,
+    ] {
+        out.extend_from_slice(&j.get().to_bits().to_le_bytes());
+    }
+    debug_assert_eq!(out.len(), PAYLOAD_BYTES);
+    out
+}
+
+/// Inverse of [`encode_payload`]; `None` if the payload has the wrong
+/// size for schema `nvpsimc1`.
+fn decode_payload(payload: &[u8]) -> Option<(Digest, RunReport)> {
+    if payload.len() != PAYLOAD_BYTES {
+        return None;
+    }
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&payload[..32]);
+    let mut off = 32;
+    let mut next = || {
+        let v = u64::from_le_bytes(payload[off..off + 8].try_into().expect("8 bytes"));
+        off += 8;
+        v
+    };
+    let mut report = RunReport {
+        duration_s: f64::from_bits(next()),
+        on_time_s: f64::from_bits(next()),
+        committed: next(),
+        executed: next(),
+        lost: next(),
+        uncommitted_at_end: next(),
+        backups: next(),
+        restores: next(),
+        rollbacks: next(),
+        tasks_completed: next(),
+        backups_torn: next(),
+        backup_retries: next(),
+        restores_corrupt: next(),
+        safe_mode_entries: next(),
+        committed_lost: next(),
+        ..RunReport::default()
+    };
+    report.energy.harvested = Joules::new(f64::from_bits(next()));
+    report.energy.converted = Joules::new(f64::from_bits(next()));
+    report.energy.compute = Joules::new(f64::from_bits(next()));
+    report.energy.backup = Joules::new(f64::from_bits(next()));
+    report.energy.restore = Joules::new(f64::from_bits(next()));
+    report.energy.sleep = Joules::new(f64::from_bits(next()));
+    report.energy.regulator = Joules::new(f64::from_bits(next()));
+    report.energy.stored_at_end = Joules::new(f64::from_bits(next()));
+    report.energy.storage_wasted = Joules::new(f64::from_bits(next()));
+    Some((key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+    }
+
+    fn sample_report(salt: u64) -> RunReport {
+        let mut r = RunReport {
+            duration_s: 2.0 + salt as f64 * 0.125,
+            on_time_s: 1.0,
+            committed: 1000 + salt,
+            executed: 1200 + salt,
+            lost: 7,
+            backups: 42,
+            tasks_completed: 3,
+            ..RunReport::default()
+        };
+        r.energy.compute = Joules::new(1e-6 + salt as f64 * 1e-9);
+        r.energy.harvested = Joules::new(2e-6);
+        r
+    }
+
+    fn key_of(b: u8) -> Digest {
+        let mut k = [0u8; 32];
+        k[0] = b;
+        k[1] = b.wrapping_add(1);
+        k
+    }
+
+    #[test]
+    fn payload_round_trips_bit_exactly() {
+        let report = sample_report(9);
+        let key = key_of(0xAB);
+        let (k2, r2) = decode_payload(&encode_payload(&key, &report)).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(r2, report);
+        assert_eq!(r2.energy.compute.get().to_bits(), report.energy.compute.get().to_bits());
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_all_records() {
+        let dir = unique_dir("nvp_persist_roundtrip");
+        let (store, loaded) = PersistentStore::open(&dir).unwrap();
+        assert!(loaded.records.is_empty());
+        for i in 0..20u8 {
+            // Spread over a few shards (keys differing in byte 0).
+            store.append(&key_of(i % 4), &sample_report(u64::from(i))).unwrap();
+        }
+        let (_, reloaded) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(reloaded.records.len(), 20);
+        assert_eq!(reloaded.skipped, 0);
+        assert!(reloaded.records.iter().any(|(k, r)| k[0] == 2 && r.committed == 1002));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_dropped_not_fatal() {
+        let dir = unique_dir("nvp_persist_trunc");
+        let (store, _) = PersistentStore::open(&dir).unwrap();
+        let key = key_of(0x11);
+        store.append(&key, &sample_report(1)).unwrap();
+        store.append(&key, &sample_report(2)).unwrap();
+        let shard = dir.join("11.log");
+        let bytes = fs::read(&shard).unwrap();
+        // Chop the second record in half, as a crash mid-append would.
+        fs::write(&shard, &bytes[..bytes.len() - PAYLOAD_BYTES / 2]).unwrap();
+        let (_, loaded) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(loaded.records.len(), 1, "intact prefix record must survive");
+        assert_eq!(loaded.records[0].1.committed, sample_report(1).committed);
+        assert_eq!(loaded.skipped, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_crc_byte_skips_only_that_record() {
+        let dir = unique_dir("nvp_persist_crc");
+        let (store, _) = PersistentStore::open(&dir).unwrap();
+        let key = key_of(0x22);
+        store.append(&key, &sample_report(1)).unwrap();
+        store.append(&key, &sample_report(2)).unwrap();
+        store.append(&key, &sample_report(3)).unwrap();
+        let shard = dir.join("22.log");
+        let mut bytes = fs::read(&shard).unwrap();
+        // Flip one payload byte inside the *middle* record.
+        let middle_payload = MAGIC.len() + (8 + PAYLOAD_BYTES) + 8 + 40;
+        bytes[middle_payload] ^= 0xFF;
+        fs::write(&shard, &bytes).unwrap();
+        let (_, loaded) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(loaded.records.len(), 2, "records around the corrupt one must survive");
+        assert_eq!(loaded.skipped, 1);
+        let committed: Vec<u64> = loaded.records.iter().map(|(_, r)| r.committed).collect();
+        assert_eq!(committed, vec![sample_report(1).committed, sample_report(3).committed]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_and_stale_schema_files_are_skipped_wholesale() {
+        let dir = unique_dir("nvp_persist_foreign");
+        let (store, _) = PersistentStore::open(&dir).unwrap();
+        store.append(&key_of(0x33), &sample_report(1)).unwrap();
+        fs::write(dir.join("zz.log"), b"nvpsimc0old-schema-bytes").unwrap();
+        fs::write(dir.join("not-a-cache.log"), b"short").unwrap();
+        let (_, loaded) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.skipped, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_two_handle_append_recovers_every_record() {
+        let dir = unique_dir("nvp_persist_concurrent");
+        // Two independent handles on the same directory — the
+        // in-process equivalent of two `repro` processes sharing
+        // `NVP_CACHE_DIR` — appending into the same shards from two
+        // threads.
+        let (a, _) = PersistentStore::open(&dir).unwrap();
+        let (b, _) = PersistentStore::open(&dir).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..50u64 {
+                    a.append(&key_of((i % 3) as u8), &sample_report(i)).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for i in 50..100u64 {
+                    b.append(&key_of((i % 3) as u8), &sample_report(i)).unwrap();
+                }
+            });
+        });
+        let (_, loaded) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(loaded.skipped, 0, "interleaved whole-record appends never corrupt");
+        assert_eq!(loaded.records.len(), 100);
+        let mut committed: Vec<u64> = loaded.records.iter().map(|(_, r)| r.committed).collect();
+        committed.sort_unstable();
+        let expect: Vec<u64> = (0..100).map(|i| 1000 + i).collect();
+        assert_eq!(committed, expect);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,11 +1,16 @@
 //! Regenerates tables/figures from the registry and writes artifacts.
 //!
 //! The experiments come from the [`crate::registry`] — pure functions
-//! of the [`ExpConfig`] — so [`run_all`] evaluates them concurrently on
-//! scoped threads and then writes the artifacts in the fixed registry
-//! order. [`run_all_sequential`] produces byte-identical output one
-//! builder at a time (enforced by `tests/determinism.rs`), and
-//! [`run_only`] regenerates any subset by id (`repro --only f5,t1`).
+//! of the [`ExpConfig`] — so [`run_all`] flattens the whole campaign
+//! (every experiment builder *and* every raw profile series) into one
+//! task list for the work-stealing scheduler ([`crate::sched`]) and
+//! writes the artifacts in the fixed registry order afterwards. A
+//! single pass means a long-tail experiment keeps stealing helpers
+//! freed by short ones instead of waiting at a barrier between the
+//! table phase and the profile phase. [`run_all_sequential`] produces
+//! byte-identical output one builder at a time (enforced by
+//! `tests/determinism.rs`), and [`run_only`] regenerates any subset by
+//! id (`repro --only f5,t1`).
 
 use std::fs;
 use std::io;
@@ -13,7 +18,7 @@ use std::path::{Path, PathBuf};
 
 use crate::registry::{find, registry, Experiment};
 use crate::simcache::{sim_cache_stats, SimCacheStats};
-use crate::{f1_power_profiles, par, ExpConfig, Table};
+use crate::{f1_power_profiles, sched, ExpConfig, Table};
 
 /// What a runner call produced.
 #[derive(Debug)]
@@ -27,9 +32,54 @@ pub struct RunArtifacts {
     pub cache: SimCacheStats,
 }
 
+/// One schedulable unit of the flattened campaign: an experiment
+/// builder or a raw profile series. Keeping both in a single task list
+/// lets the scheduler overlap them freely.
+enum CampaignTask {
+    Build(&'static dyn Experiment),
+    Profile(u64),
+}
+
+/// What a [`CampaignTask`] produced (same variant, same order).
+enum CampaignOutput {
+    Table(Table),
+    Profile(u64, String),
+}
+
+/// Runs `experiments` and the profile series for `profile_seeds` as one
+/// flattened task list on the scheduler, returning tables in
+/// experiment order and profile CSVs in seed order.
+fn run_campaign(
+    cfg: &ExpConfig,
+    experiments: &[&'static dyn Experiment],
+    profile_seeds: &[u64],
+) -> (Vec<Table>, Vec<(u64, String)>) {
+    let tasks: Vec<CampaignTask> = experiments
+        .iter()
+        .map(|&e| CampaignTask::Build(e))
+        .chain(profile_seeds.iter().map(|&seed| CampaignTask::Profile(seed)))
+        .collect();
+    let outputs = sched::par_map(&tasks, |task| match task {
+        CampaignTask::Build(e) => CampaignOutput::Table(e.build(cfg)),
+        CampaignTask::Profile(seed) => {
+            CampaignOutput::Profile(*seed, f1_power_profiles::series(cfg, *seed).to_csv())
+        }
+    });
+    let mut tables = Vec::with_capacity(experiments.len());
+    let mut profiles = Vec::with_capacity(profile_seeds.len());
+    for out in outputs {
+        match out {
+            CampaignOutput::Table(t) => tables.push(t),
+            CampaignOutput::Profile(seed, csv) => profiles.push((seed, csv)),
+        }
+    }
+    (tables, profiles)
+}
+
 /// Regenerates the full evaluation and writes one CSV per table, one
 /// CSV per raw power-profile series, and a combined `RESULTS.md`, into
-/// `out_dir` (created if missing). Builders run concurrently; set
+/// `out_dir` (created if missing). Builders and profile series run as
+/// one flattened task list on the work-stealing scheduler; set
 /// `NVP_THREADS=1` to force a fully sequential run.
 ///
 /// # Errors
@@ -37,10 +87,8 @@ pub struct RunArtifacts {
 /// Returns any filesystem error encountered while writing.
 pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
     let before = sim_cache_stats();
-    let tables = par::par_map(registry(), |e| e.build(cfg));
-    let profiles = par::par_map(&cfg.profile_seeds, |&seed| {
-        (seed, f1_power_profiles::series(cfg, seed).to_csv())
-    });
+    let all: Vec<&'static dyn Experiment> = registry().to_vec();
+    let (tables, profiles) = run_campaign(cfg, &all, &cfg.profile_seeds);
     write_artifacts(out_dir, tables, &profiles, before)
 }
 
@@ -94,14 +142,9 @@ pub fn run_only<S: AsRef<str>>(
     }
     // Registry order, independent of the order ids were given in.
     selected.sort_by_key(|e| registry().iter().position(|r| r.id() == e.id()));
-    let tables = par::par_map(&selected, |e| e.build(cfg));
-    let profiles: Vec<(u64, String)> = if selected.iter().any(|e| e.id() == "f1") {
-        par::par_map(&cfg.profile_seeds, |&seed| {
-            (seed, f1_power_profiles::series(cfg, seed).to_csv())
-        })
-    } else {
-        Vec::new()
-    };
+    let seeds: &[u64] =
+        if selected.iter().any(|e| e.id() == "f1") { &cfg.profile_seeds } else { &[] };
+    let (tables, profiles) = run_campaign(cfg, &selected, seeds);
     write_artifacts(out_dir, tables, &profiles, before)
 }
 

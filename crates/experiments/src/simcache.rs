@@ -27,15 +27,35 @@
 //! while a missing value is computed, so concurrent experiments never
 //! serialize on a simulation — at worst two threads race to fill the
 //! same key with bit-identical reports.
+//!
+//! ## Persistence
+//!
+//! The in-memory index can be backed by an on-disk record log (see
+//! [`crate::persist`] for the format), so a *fresh process* rerunning
+//! the campaign is served from cache instead of resimulating. The
+//! backing directory is resolved once, lazily, on the first cache
+//! access: [`set_cache_dir`] (what the `repro` binary calls, defaulting
+//! to `<out_dir>/.simcache` unless `--no-cache`) wins over the
+//! `NVP_CACHE_DIR` environment variable; with neither, the cache stays
+//! memory-only and behaves exactly as before. Library users and tests
+//! therefore never touch the filesystem unless they opt in. Every
+//! first-time insert is appended to the log; reports loaded from disk
+//! are bit-identical to recomputed ones (the key is a SHA-256 of every
+//! simulation input and the value encoding round-trips float bit
+//! patterns), so golden digests cannot tell a warm-disk run from a
+//! cold one.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use nvp_core::RunReport;
 use nvp_energy::PowerTrace;
+
+use crate::persist::PersistentStore;
 
 /// A 256-bit content digest (cache key).
 pub(crate) type Digest = [u8; 32];
@@ -228,10 +248,15 @@ pub(crate) fn trace_digest(trace: &PowerTrace) -> Digest {
 /// process, via [`sim_cache_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimCacheStats {
-    /// Simulations answered from the cache.
+    /// Simulations answered from the cache (in-memory index).
     pub hits: u64,
+    /// The subset of [`hits`](Self::hits) whose report was loaded from
+    /// the persistent store rather than computed by this process.
+    pub disk_hits: u64,
     /// Simulations actually executed (and then cached).
     pub misses: u64,
+    /// Reports this process appended to the persistent store.
+    pub persisted: u64,
 }
 
 impl SimCacheStats {
@@ -241,46 +266,158 @@ impl SimCacheStats {
     pub fn since(self, earlier: SimCacheStats) -> SimCacheStats {
         SimCacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            persisted: self.persisted.saturating_sub(earlier.persisted),
         }
     }
 }
 
-static CACHE: OnceLock<Mutex<BTreeMap<Digest, RunReport>>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Where a cached report came from, so disk-served hits are countable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Computed (or being computed) by this process.
+    Computed,
+    /// Loaded from the persistent store at open time.
+    Disk,
+}
 
-fn cache() -> &'static Mutex<BTreeMap<Digest, RunReport>> {
+/// The persistence backing, resolved at most once per process.
+#[derive(Debug)]
+enum PersistState {
+    /// Neither [`set_cache_dir`] nor `NVP_CACHE_DIR` consulted yet.
+    Unresolved,
+    /// Memory-only (no directory configured, or opening one failed).
+    Disabled,
+    /// Appending to (and loaded from) an open store.
+    Active(PersistentStore),
+}
+
+static CACHE: OnceLock<Mutex<BTreeMap<Digest, (RunReport, Origin)>>> = OnceLock::new();
+static PERSIST: Mutex<PersistState> = Mutex::new(PersistState::Unresolved);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static PERSISTED: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<BTreeMap<Digest, (RunReport, Origin)>> {
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// Lock order: [`PERSIST`] strictly before the [`CACHE`] map lock
+/// (never the reverse), shared by resolution, loading, and appending.
+fn persist_lock() -> std::sync::MutexGuard<'static, PersistState> {
+    PERSIST.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Opens `dir` and merges its records into the in-memory index (never
+/// overwriting an entry this process already computed). Returns the
+/// number of records now serving from memory that came from disk.
+fn activate(state: &mut PersistState, dir: &Path) -> std::io::Result<u64> {
+    let (store, loaded) = PersistentStore::open(dir)?;
+    let mut map = cache().lock().expect("sim cache lock");
+    let mut merged = 0u64;
+    for (key, report) in loaded.records {
+        map.entry(key).or_insert_with(|| {
+            merged += 1;
+            (report, Origin::Disk)
+        });
+    }
+    drop(map);
+    *state = PersistState::Active(store);
+    Ok(merged)
+}
+
+/// Points the simulation cache at a persistent directory (`Some`) or
+/// pins it memory-only (`None`), overriding `NVP_CACHE_DIR`. Opening a
+/// directory loads every valid record into the in-memory index
+/// immediately and returns how many were merged; subsequent first-time
+/// simulations are appended to it. On `Err` the cache falls back to
+/// memory-only — a broken cache directory costs time, never a run.
+///
+/// The `repro` binary calls this with `<out_dir>/.simcache` (or `None`
+/// under `--no-cache`); benchmarks call it to measure cold/warm/reload
+/// behavior. Calling it again re-resolves: pointing at the same
+/// directory after [`reset_sim_cache`] reloads the log from disk.
+pub fn set_cache_dir(dir: Option<&Path>) -> std::io::Result<u64> {
+    let mut state = persist_lock();
+    match dir {
+        None => {
+            *state = PersistState::Disabled;
+            Ok(0)
+        }
+        Some(d) => activate(&mut state, d).inspect_err(|_| *state = PersistState::Disabled),
+    }
+}
+
+/// Resolves `NVP_CACHE_DIR` on the first cache access if no explicit
+/// [`set_cache_dir`] call got there first. Unset or empty means
+/// memory-only, as does a directory that fails to open.
+fn ensure_persist_resolved() {
+    let mut state = persist_lock();
+    if matches!(*state, PersistState::Unresolved) {
+        *state = PersistState::Disabled;
+        if let Some(dir) = std::env::var_os("NVP_CACHE_DIR").filter(|v| !v.is_empty()) {
+            let _ = activate(&mut state, Path::new(&dir));
+        }
+    }
+}
+
+/// Best-effort append of a freshly computed report to the active store.
+fn persist_append(key: &Digest, report: &RunReport) {
+    let state = persist_lock();
+    if let PersistState::Active(store) = &*state {
+        if store.append(key, report).is_ok() {
+            PERSISTED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Returns the cached report for `key`, or computes it with `run` and
-/// caches it. The lock is released while `run` executes, so concurrent
-/// distinct simulations proceed in parallel; two threads racing on the
-/// same key both compute the (bit-identical) report and one insert wins.
+/// caches it. The map lock is released while `run` executes, so
+/// concurrent distinct simulations proceed in parallel; two threads
+/// racing on the same key both compute the (bit-identical) report, one
+/// insert wins, and only that winner is persisted.
 pub(crate) fn cached_run(key: Digest, run: impl FnOnce() -> RunReport) -> RunReport {
-    if let Some(report) = cache().lock().expect("sim cache lock").get(&key) {
+    ensure_persist_resolved();
+    if let Some(&(report, origin)) = cache().lock().expect("sim cache lock").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
-        return *report;
+        if origin == Origin::Disk {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        return report;
     }
     let report = run();
     MISSES.fetch_add(1, Ordering::Relaxed);
-    cache().lock().expect("sim cache lock").insert(key, report);
+    let first =
+        cache().lock().expect("sim cache lock").insert(key, (report, Origin::Computed)).is_none();
+    if first {
+        persist_append(&key, &report);
+    }
     report
 }
 
 /// Process-wide simulation-cache counters.
 #[must_use]
 pub fn sim_cache_stats() -> SimCacheStats {
-    SimCacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+    SimCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        persisted: PERSISTED.load(Ordering::Relaxed),
+    }
 }
 
-/// Clears the simulation cache and its counters (benchmarks use this to
-/// measure cold- vs warm-cache runs).
+/// Clears the in-memory simulation cache and its counters (benchmarks
+/// use this to measure cold- vs warm-cache runs). The persistence
+/// configuration — and any on-disk records — are untouched; re-point
+/// [`set_cache_dir`] at the directory to reload them.
 pub fn reset_sim_cache() {
     cache().lock().expect("sim cache lock").clear();
     HITS.store(0, Ordering::Relaxed);
+    DISK_HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
+    PERSISTED.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -1,0 +1,129 @@
+//! End-to-end behavior of the persistent simulation cache through the
+//! public API. Each integration-test binary is its own process, so this
+//! file owns the process-global cache state and drives it through a
+//! full cold-write → reload → warm-serve cycle, exactly what two
+//! consecutive `repro` invocations sharing `<out_dir>/.simcache` do.
+
+use std::path::PathBuf;
+
+use nvp_experiments::{reset_sim_cache, run_all, set_cache_dir, sim_cache_stats, ExpConfig};
+
+/// Serializes the tests in this binary: the cache directory, index,
+/// and counters are process-global.
+fn global_cache_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
+fn artifact_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().into_string().unwrap(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The cache state is process-global, so the whole lifecycle lives in
+/// one sequenced test: cold run persists, reload serves from disk with
+/// zero new simulations, artifacts stay byte-identical, and disabling
+/// the store stops appends.
+#[test]
+fn persistent_cache_round_trips_a_full_campaign() {
+    let _guard = global_cache_lock();
+    let cfg = ExpConfig::quick();
+    let cache_dir = unique_dir("nvp_persist_cache_dir");
+
+    // Cold run: every unique simulation computed and persisted.
+    let loaded = set_cache_dir(Some(&cache_dir)).unwrap();
+    assert_eq!(loaded, 0, "fresh cache directory has no records");
+    let cold_out = unique_dir("nvp_persist_cold_out");
+    run_all(&cfg, &cold_out).unwrap();
+    let cold = sim_cache_stats();
+    assert!(cold.misses > 0, "cold run must compute simulations");
+    assert_eq!(cold.disk_hits, 0, "nothing on disk to hit yet");
+    // Two workers racing on one key both count a miss but only the
+    // winning insert persists, so persisted can trail misses slightly.
+    assert!(cold.persisted > 0, "cold run persisted nothing");
+    assert!(cold.persisted <= cold.misses, "persisted more than was computed: {cold:?}");
+    assert!(std::fs::read_dir(&cache_dir).unwrap().count() > 0, "cold run wrote no shard files");
+
+    // Simulate a fresh process: drop the in-memory index, re-open the
+    // same directory, and rerun. Everything is served from disk.
+    reset_sim_cache();
+    let reloaded = set_cache_dir(Some(&cache_dir)).unwrap();
+    assert_eq!(reloaded, cold.persisted, "reload must recover every persisted record");
+    let warm_out = unique_dir("nvp_persist_warm_out");
+    run_all(&cfg, &warm_out).unwrap();
+    let warm = sim_cache_stats();
+    assert_eq!(warm.misses, 0, "warm-disk run must not resimulate anything");
+    assert!(warm.disk_hits > 0, "warm-disk run must serve hits from loaded records");
+    assert_eq!(warm.persisted, 0, "nothing new to persist on a warm run");
+
+    // Byte-identical artifacts: the cache is invisible in the output.
+    assert_eq!(
+        artifact_bytes(&cold_out),
+        artifact_bytes(&warm_out),
+        "disk-served artifacts differ from computed ones"
+    );
+
+    // Disabled store: recomputes but appends nothing.
+    reset_sim_cache();
+    set_cache_dir(None).unwrap();
+    let off_out = unique_dir("nvp_persist_off_out");
+    run_all(&cfg, &off_out).unwrap();
+    let off = sim_cache_stats();
+    assert!(off.misses > 0, "memory-only rerun recomputes");
+    assert_eq!(off.persisted, 0, "--no-cache mode must not write records");
+    assert_eq!(off.disk_hits, 0);
+    assert_eq!(artifact_bytes(&cold_out), artifact_bytes(&off_out), "memory-only artifacts differ");
+
+    for d in [&cache_dir, &cold_out, &warm_out, &off_out] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// A second process appending to the same cache directory only adds
+/// records; reloading after an overlapping double-write still recovers
+/// a usable cache (duplicate keys are benign).
+#[test]
+fn reopening_and_reappending_does_not_corrupt() {
+    let _guard = global_cache_lock();
+    // Runs in the same process as the test above but with its own
+    // cache directory; `set_cache_dir` re-resolution is the supported
+    // way to repoint the store.
+    let cache_dir = unique_dir("nvp_persist_reopen_dir");
+    let out_a = unique_dir("nvp_persist_reopen_a");
+    let out_b = unique_dir("nvp_persist_reopen_b");
+    let mut cfg = ExpConfig::quick();
+    cfg.profile_seeds = vec![5];
+
+    reset_sim_cache();
+    set_cache_dir(Some(&cache_dir)).unwrap();
+    run_all(&cfg, &out_a).unwrap();
+    let first = sim_cache_stats();
+
+    // Re-open mid-life (second writer semantics) and run again: the
+    // warm in-memory index means no new appends, and the reload merged
+    // exactly the records the first pass persisted.
+    let merged = set_cache_dir(Some(&cache_dir)).unwrap();
+    assert_eq!(merged, 0, "in-memory entries already cover every disk record");
+    run_all(&cfg, &out_b).unwrap();
+    let second = sim_cache_stats();
+    assert_eq!(second.persisted, first.persisted, "warm rerun appended records");
+    assert_eq!(artifact_bytes(&out_a), artifact_bytes(&out_b));
+
+    for d in [&cache_dir, &out_a, &out_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

@@ -39,14 +39,32 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
+/// Folds `bytes` into a running (pre-inverted) CRC-32 accumulator.
+const fn crc32_accum(mut c: u32, bytes: &[u8]) -> u32 {
+    let mut i = 0;
+    while i < bytes.len() {
+        c = CRC32_TABLE[((c ^ bytes[i] as u32) & 0xFF) as usize] ^ (c >> 8);
+        i += 1;
+    }
+    c
+}
+
+/// CRC-32 over a byte slice — the same polynomial and table as
+/// [`crc32_words`]. The persistent simulation-result cache
+/// (`nvp-experiments`) frames its on-disk records with this, so cache
+/// integrity and checkpoint integrity share one checksum
+/// implementation.
+#[must_use]
+pub fn crc32_bytes(bytes: &[u8]) -> u32 {
+    !crc32_accum(0xFFFF_FFFF, bytes)
+}
+
 /// CRC-32 over a word slice, feeding each word little-endian byte first.
 #[must_use]
 pub fn crc32_words(words: &[u16]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &w in words {
-        for byte in w.to_le_bytes() {
-            c = CRC32_TABLE[((c ^ u32::from(byte)) & 0xFF) as usize] ^ (c >> 8);
-        }
+        c = crc32_accum(c, &w.to_le_bytes());
     }
     !c
 }
@@ -154,6 +172,11 @@ mod tests {
             b"12345678".chunks(2).map(|c| u16::from(c[0]) | (u16::from(c[1]) << 8)).collect();
         assert_eq!(crc32_words(&words), 0x9AE0_DAAF);
         assert_eq!(crc32_words(&[]), 0);
+        // The byte-slice form is the same checksum without the word
+        // framing: identical on the same byte stream.
+        assert_eq!(crc32_bytes(b"12345678"), 0x9AE0_DAAF);
+        assert_eq!(crc32_bytes(b"123456789"), 0xCBF4_3926, "CRC-32 check value");
+        assert_eq!(crc32_bytes(&[]), 0);
     }
 
     #[test]

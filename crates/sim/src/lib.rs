@@ -39,7 +39,7 @@ mod checkpoint;
 mod energy;
 mod machine;
 
-pub use checkpoint::{crc32_words, torn_prefix_words, Checkpoint, CHECKPOINT_WORDS};
+pub use checkpoint::{crc32_bytes, crc32_words, torn_prefix_words, Checkpoint, CHECKPOINT_WORDS};
 pub use energy::{CycleModel, EnergyModel, InstClass};
 pub use machine::{ArchState, BlockStats, Counters, Machine, SimError, Step};
 

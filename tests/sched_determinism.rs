@@ -1,0 +1,79 @@
+//! Scheduler determinism: the campaign artifacts are byte-identical no
+//! matter how many workers the work-stealing scheduler runs, and no
+//! matter whether the simulation cache is cold or warm. This is the
+//! contract that lets `NVP_THREADS` be a pure performance knob and the
+//! cache a pure time saver — neither may ever show up in the bytes.
+
+use std::path::{Path, PathBuf};
+
+use nvp::experiments::{run_all, set_thread_override, ExpConfig};
+
+/// A temp dir unique to this process and call, so concurrent test
+/// invocations never race on `remove_dir_all`.
+fn unique_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("{tag}_{}_{n}", std::process::id()))
+}
+
+/// Reads every artifact in `dir` as `(file name, bytes)`, sorted by name.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().into_string().unwrap(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn assert_same_artifacts(tag: &str, reference: &[(String, Vec<u8>)], dir: &Path) {
+    let got = artifact_bytes(dir);
+    assert_eq!(reference.len(), got.len(), "{tag}: artifact counts differ");
+    for ((rn, rb), (gn, gb)) in reference.iter().zip(&got) {
+        assert_eq!(rn, gn, "{tag}: artifact names diverge");
+        assert_eq!(rb, gb, "{tag}: {rn} differs from the single-thread reference");
+    }
+}
+
+/// One test driving every thread-count and cache-temperature variation:
+/// the thread override and the cache are process-global, so sequencing
+/// the runs inside a single test keeps them race-free.
+#[test]
+fn artifacts_are_byte_identical_across_thread_counts_and_cache_states() {
+    let cfg = ExpConfig::quick();
+
+    // Reference: fully sequential, cold in-memory cache.
+    nvp::experiments::reset_sim_cache();
+    set_thread_override(Some(1));
+    let ref_dir = unique_dir("nvp_sched_det_ref");
+    run_all(&cfg, &ref_dir).unwrap();
+    let reference = artifact_bytes(&ref_dir);
+
+    // Warm rerun at the same width: the cache must not leak into bytes.
+    let warm_dir = unique_dir("nvp_sched_det_warm1");
+    run_all(&cfg, &warm_dir).unwrap();
+    assert_same_artifacts("threads=1 warm", &reference, &warm_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+
+    // Wider schedules, cold and warm each: stealing order, helper
+    // recruitment, and cache temperature must all be invisible.
+    for threads in [2usize, 8] {
+        set_thread_override(Some(threads));
+        for temperature in ["cold", "warm"] {
+            if temperature == "cold" {
+                nvp::experiments::reset_sim_cache();
+            }
+            let dir = unique_dir("nvp_sched_det_run");
+            run_all(&cfg, &dir).unwrap();
+            assert_same_artifacts(&format!("threads={threads} {temperature}"), &reference, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    set_thread_override(None);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
