@@ -1,0 +1,117 @@
+//! Regression-tracked campaign-server benchmark
+//! (`cargo bench --bench nvpd`).
+//!
+//! A plain `main`, like the runner bench: it stands up a real `nvpd`
+//! server on an ephemeral loopback port and measures end-to-end job
+//! throughput through the real client — connect, Submit frame, server
+//! run, Result frame, decode — then writes `BENCH_nvpd.json` at the
+//! repository root (override with `NVP_BENCH_NVPD_JSON`).
+//!
+//! Measured quantities (schema `nvp-bench-nvpd/1`):
+//!
+//! * `cold_jobs_per_sec` — duplicate `f3` campaign jobs submitted
+//!   back-to-back with the simulation cache reset before each, so every
+//!   job recomputes its simulations. Dominated by simulation work.
+//! * `warm_jobs_per_sec` — the same jobs against the resident cache
+//!   warmed by the first submission: every later job is pure dedup plus
+//!   wire overhead, which is the number that makes a *resident* server
+//!   worth running over one-shot `repro` invocations.
+//! * `wire_round_trip_s` — best-of-reps single-job latency for a
+//!   trivially small campaign (`t1`, a static table) on a warm cache:
+//!   an upper bound on protocol + framing + scheduling overhead.
+//!
+//! Wall-clock reads are confined to this crate (`crates/bench` is the
+//! nvp-lint wall-clock exemption; measuring time is its job).
+
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Instant;
+
+use nvp_experiments::{client, reset_sim_cache, CampaignRequest, ExpConfig};
+use nvpd::{Server, ServerConfig};
+
+const COLD_REPS: usize = 3;
+const WARM_REPS: usize = 10;
+
+fn main() {
+    // One server for the whole bench: the resident process whose warm
+    // cache the warm measurements are about. Every submission below is
+    // accounted for in max_jobs so the server drains and joins cleanly.
+    let total_jobs = 1 + COLD_REPS + WARM_REPS + 1 + WARM_REPS;
+    let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let cfg = ServerConfig { max_jobs: Some(total_jobs as u64), ..ServerConfig::default() };
+    let server_thread = thread::spawn(move || server.run(&cfg).expect("server run"));
+
+    let job = CampaignRequest::only(ExpConfig::quick(), &["f3"]);
+    let tiny = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+
+    // Warm-up: fills the process-wide frame/kernel/trace memo caches so
+    // cold repetitions measure simulation work, not one-time setup.
+    reset_sim_cache();
+    client::submit(&addr, &job).expect("warm-up job");
+
+    // Cold: each job recomputes (cache reset between submissions).
+    let mut cold_best_s = f64::INFINITY;
+    for _ in 0..COLD_REPS {
+        reset_sim_cache();
+        let t0 = Instant::now();
+        let outcome = client::submit(&addr, &job).expect("cold job");
+        cold_best_s = cold_best_s.min(t0.elapsed().as_secs_f64());
+        assert!(outcome.result.cache.misses > 0, "cold job must simulate");
+    }
+
+    // Warm: the resident cache serves every simulation; jobs are pure
+    // dedup + wire overhead. (The last cold rep left the cache hot.)
+    let t0 = Instant::now();
+    for _ in 0..WARM_REPS {
+        let outcome = client::submit(&addr, &job).expect("warm job");
+        assert_eq!(outcome.result.cache.misses, 0, "warm job must not simulate");
+    }
+    let warm_total_s = t0.elapsed().as_secs_f64();
+
+    // Wire round-trip floor: a near-empty campaign on a warm cache.
+    client::submit(&addr, &tiny).expect("tiny warm-up");
+    let mut rt_best_s = f64::INFINITY;
+    for _ in 0..WARM_REPS {
+        let t0 = Instant::now();
+        client::submit(&addr, &tiny).expect("tiny job");
+        rt_best_s = rt_best_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    let stats = server_thread.join().expect("server thread");
+    assert_eq!(stats.completed, total_jobs as u64, "every job answered");
+    reset_sim_cache();
+
+    let cold_jobs_per_sec = 1.0 / cold_best_s;
+    let warm_jobs_per_sec = WARM_REPS as f64 / warm_total_s;
+    let warm_speedup = cold_best_s / (warm_total_s / WARM_REPS as f64);
+
+    println!(
+        "bench nvpd/cold_job_s          {cold_best_s:>12.4} s (best of {COLD_REPS}, f3 quick)"
+    );
+    println!("bench nvpd/cold_jobs_per_sec   {cold_jobs_per_sec:>12.2}");
+    println!("bench nvpd/warm_jobs_per_sec   {warm_jobs_per_sec:>12.2} ({WARM_REPS} deduped jobs)");
+    println!("bench nvpd/warm_speedup        {warm_speedup:>12.2} x");
+    println!("bench nvpd/wire_round_trip_s   {rt_best_s:>12.6} s (best of {WARM_REPS}, t1 quick)");
+
+    let out = std::env::var("NVP_BENCH_NVPD_JSON").map_or_else(
+        |_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nvpd.json")),
+        PathBuf::from,
+    );
+    let comment = "recorded by `cargo bench -p nvp-bench --bench nvpd`; one resident server on \
+                   loopback, jobs submitted through the real client; cold resets the simulation \
+                   cache per job, warm reuses the resident cache (pure dedup + wire overhead); \
+                   wire_round_trip_s is a warm t1-only job, an upper bound on protocol cost";
+    let json = format!(
+        "{{\n  \"schema\": \"nvp-bench-nvpd/1\",\n  \"comment\": \"{comment}\",\n  \
+         \"cold\": {{\n    \"job_s\": {cold_best_s:.4},\n    \
+         \"jobs_per_sec\": {cold_jobs_per_sec:.2},\n    \"reps\": {COLD_REPS}\n  }},\n  \
+         \"warm\": {{\n    \"jobs_per_sec\": {warm_jobs_per_sec:.2},\n    \
+         \"speedup_vs_cold\": {warm_speedup:.2},\n    \"reps\": {WARM_REPS}\n  }},\n  \
+         \"wire_round_trip_s\": {rt_best_s:.6}\n}}\n"
+    );
+    fs::write(&out, json).expect("write BENCH_nvpd.json");
+    println!("wrote {}", out.display());
+}

@@ -1,11 +1,19 @@
 //! Regenerates the reconstructed evaluation's tables and figures.
 //!
 //! Usage: `cargo run --release -p nvp-experiments --bin repro -- --help`
+//!
+//! Both execution modes build the same [`CampaignRequest`] and render
+//! the same [`nvp_experiments::CampaignResult`]: in-process runs call
+//! `run_request` directly, and `--connect ADDR` ships the request to a
+//! resident `nvpd` campaign server and writes the returned values —
+//! byte-identical artifacts either way.
 
 use std::process::ExitCode;
 
 use nvp_experiments::cli::{self, Command};
-use nvp_experiments::{feasibility, run_all, run_only, set_cache_dir};
+use nvp_experiments::{
+    client, feasibility, run_request, set_cache_dir, CachePolicy, CampaignRequest,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,7 +24,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (out_dir, only, quick, seed, no_cache) = match cmd {
+    let (out_dir, only, quick, seed, no_cache, connect) = match cmd {
         Command::Help => {
             println!("{}", cli::USAGE);
             return ExitCode::SUCCESS;
@@ -41,14 +49,59 @@ fn main() -> ExitCode {
             eprintln!("feasibility: {} violation(s) found", diags.len());
             return ExitCode::FAILURE;
         }
-        Command::Run { out_dir, only, quick, seed, no_cache } => {
-            (out_dir, only, quick, seed, no_cache)
+        Command::Run { out_dir, only, quick, seed, no_cache, connect } => {
+            (out_dir, only, quick, seed, no_cache, connect)
         }
     };
 
-    // Persistent simulation cache: --no-cache pins it memory-only;
-    // NVP_CACHE_DIR (resolved lazily by the library) wins over the
-    // default <out_dir>/.simcache.
+    // Both transports run the identical job: the request is the unit of
+    // work, the artifacts a rendering of its result.
+    let mut request = CampaignRequest::all(Command::config(quick));
+    request.only = only;
+    request.seed = seed;
+    if no_cache {
+        // The parser already rejects --no-cache with --connect, so a
+        // MemoryOnly request never reaches a server.
+        request.cache = CachePolicy::MemoryOnly;
+    }
+
+    if let Some(addr) = connect {
+        // Thin-client mode: the server simulates, we render.
+        eprintln!("submitting campaign to nvpd at {addr} ...");
+        return match client::submit(&addr, &request) {
+            Ok(outcome) => {
+                let files = match outcome.result.write(&out_dir) {
+                    Ok(files) => files,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for t in &outcome.result.tables {
+                    println!("{}", t.to_markdown());
+                }
+                eprintln!(
+                    "nvpd job {} (queue depth {} at admission): {} unique simulations, \
+                     {} deduplicated, {} served from the server's disk store",
+                    outcome.job,
+                    outcome.queued,
+                    outcome.result.cache.misses,
+                    outcome.result.cache.hits,
+                    outcome.result.cache.disk_hits
+                );
+                eprintln!("wrote {} files to {}", files.len(), out_dir.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // In-process mode. Persistent simulation cache: --no-cache pins it
+    // memory-only; NVP_CACHE_DIR (resolved lazily by the library) wins
+    // over the default <out_dir>/.simcache.
     if no_cache {
         let _ = set_cache_dir(None);
     } else if std::env::var_os("NVP_CACHE_DIR").is_none_or(|v| v.is_empty()) {
@@ -61,10 +114,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut cfg = Command::config(quick);
-    if let Some(s) = seed {
-        cfg.fault_seed = s;
-    }
+    let cfg = request.effective_config();
     eprintln!(
         "regenerating evaluation ({}s traces, {} profiles, {}x{} frames) into {} ...",
         cfg.trace_duration_s,
@@ -73,24 +123,23 @@ fn main() -> ExitCode {
         cfg.frame_h,
         out_dir.display()
     );
-    let result = match &only {
-        Some(ids) => run_only(&cfg, &out_dir, ids),
-        None => run_all(&cfg, &out_dir),
-    };
-    match result {
-        Ok(artifacts) => {
-            for t in &artifacts.tables {
+    match run_request(&request).and_then(|result| {
+        let files = result.write(&out_dir)?;
+        Ok((result, files))
+    }) {
+        Ok((result, files)) => {
+            for t in &result.tables {
                 println!("{}", t.to_markdown());
             }
             eprintln!(
                 "sim cache: {} unique simulations, {} duplicate run(s) deduplicated, \
                  {} served from disk, {} record(s) persisted",
-                artifacts.cache.misses,
-                artifacts.cache.hits,
-                artifacts.cache.disk_hits,
-                artifacts.cache.persisted
+                result.cache.misses,
+                result.cache.hits,
+                result.cache.disk_hits,
+                result.cache.persisted
             );
-            eprintln!("wrote {} files to {}", artifacts.files.len(), out_dir.display());
+            eprintln!("wrote {} files to {}", files.len(), out_dir.display());
             ExitCode::SUCCESS
         }
         Err(e) => {

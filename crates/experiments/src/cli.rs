@@ -4,11 +4,16 @@
 //! tested like everything else. The grammar is deliberately tiny:
 //!
 //! ```text
-//! repro [out_dir] [--quick] [--only IDS] [--seed N] [--no-cache] [--check] [--list] [--help]
+//! repro [out_dir] [--quick] [--only IDS] [--seed N] [--no-cache]
+//!       [--connect ADDR] [--check] [--list] [--help]
 //! ```
 //!
 //! Unknown `--flags` are rejected with a usage error instead of being
-//! silently treated as the output directory.
+//! silently treated as the output directory, and contradictory
+//! combinations (`--check --seed 3`, `--list --only f5`,
+//! `--connect --no-cache`) are rejected instead of silently ignoring
+//! one of the flags — the only exception is `--help`, which always
+//! wins.
 
 use std::path::PathBuf;
 
@@ -26,12 +31,18 @@ Arguments:
 
 Options:
   --quick            small traces/frames for a fast smoke run
-  --only IDS         comma-separated experiment ids (e.g. --only f5,t1)
+  --only IDS         comma-separated experiment ids, case-insensitive
+                     (e.g. --only f5,T1)
   --seed N           base seed for the F12 fault-injection campaign
                      (default: 1; e.g. --only f12 --seed 7)
   --no-cache         keep the simulation cache memory-only (skip the
                      persistent store in <out_dir>/.simcache or
-                     $NVP_CACHE_DIR)
+                     $NVP_CACHE_DIR); not valid with --connect — the
+                     nvpd server owns its resident cache
+  --connect ADDR     submit the run to an nvpd campaign server at ADDR
+                     (e.g. 127.0.0.1:7117) instead of simulating in
+                     process; artifacts are still written locally and
+                     are byte-identical to an in-process run
   --check            validate every registered experiment's platform
                      configurations for physical feasibility and exit
                      (0 = all feasible, 1 = diagnostics printed)
@@ -55,8 +66,9 @@ pub enum Command {
     Run {
         /// Output directory for CSV/Markdown artifacts.
         out_dir: PathBuf,
-        /// Selected experiment ids (registry-validated, lowercase), or
-        /// `None` for the full evaluation.
+        /// Selected experiment ids (registry-validated, folded to the
+        /// canonical lowercase form), or `None` for the full
+        /// evaluation.
         only: Option<Vec<String>>,
         /// Use the quick configuration instead of the default.
         quick: bool,
@@ -66,6 +78,9 @@ pub enum Command {
         /// `--no-cache`: keep the simulation cache memory-only instead
         /// of backing it with the persistent on-disk store.
         no_cache: bool,
+        /// `--connect ADDR`: submit to an nvpd campaign server instead
+        /// of running in process.
+        connect: Option<String>,
     },
 }
 
@@ -92,65 +107,127 @@ pub fn list_text() -> String {
     out
 }
 
+/// Everything the flag loop collected, before mode validation.
+#[derive(Default)]
+struct Raw {
+    out_dir: Option<PathBuf>,
+    only: Option<Vec<String>>,
+    quick: bool,
+    check: bool,
+    list: bool,
+    seed: Option<u64>,
+    no_cache: bool,
+    connect: Option<String>,
+}
+
 /// Parses `repro` arguments (without the program name).
 ///
 /// # Errors
 ///
 /// Returns a one-line message (without usage text — callers append
 /// [`USAGE`]) for unknown flags, duplicate positional arguments,
-/// missing or unknown `--only` ids.
+/// missing or unknown `--only` ids, and contradictory flag
+/// combinations (e.g. `--check --seed 3`, `--list --only f5`,
+/// `--connect --no-cache`).
 pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
-    let mut out_dir: Option<PathBuf> = None;
-    let mut only: Option<Vec<String>> = None;
-    let mut quick = false;
-    let mut check = false;
-    let mut seed: Option<u64> = None;
-    let mut no_cache = false;
+    let mut raw = Raw::default();
     let mut iter = args.iter().map(AsRef::as_ref);
     while let Some(arg) = iter.next() {
         match arg {
             "--help" | "-h" => return Ok(Command::Help),
-            "--list" => return Ok(Command::List),
-            "--quick" => quick = true,
-            "--check" => check = true,
-            "--no-cache" => no_cache = true,
+            "--list" => raw.list = true,
+            "--quick" => raw.quick = true,
+            "--check" => raw.check = true,
+            "--no-cache" => raw.no_cache = true,
             "--only" => {
                 let ids = iter.next().ok_or("--only needs a comma-separated id list")?;
-                only = Some(parse_only(ids)?);
+                raw.only = Some(parse_only(ids)?);
             }
             _ if arg.starts_with("--only=") => {
-                only = Some(parse_only(&arg["--only=".len()..])?);
+                raw.only = Some(parse_only(&arg["--only=".len()..])?);
             }
             "--seed" => {
                 let value = iter.next().ok_or("--seed needs an unsigned integer value")?;
-                seed = Some(parse_seed(value)?);
+                raw.seed = Some(parse_seed(value)?);
             }
             _ if arg.starts_with("--seed=") => {
-                seed = Some(parse_seed(&arg["--seed=".len()..])?);
+                raw.seed = Some(parse_seed(&arg["--seed=".len()..])?);
+            }
+            "--connect" => {
+                let addr = iter.next().ok_or("--connect needs a server address (host:port)")?;
+                raw.connect = Some(parse_connect(addr)?);
+            }
+            _ if arg.starts_with("--connect=") => {
+                raw.connect = Some(parse_connect(&arg["--connect=".len()..])?);
             }
             _ if arg.starts_with('-') && arg.len() > 1 => {
                 return Err(format!("unknown option `{arg}`"));
             }
             _ => {
-                if let Some(prev) = &out_dir {
+                if let Some(prev) = &raw.out_dir {
                     return Err(format!(
                         "unexpected argument `{arg}` (out_dir already set to `{}`)",
                         prev.display()
                     ));
                 }
-                out_dir = Some(PathBuf::from(arg));
+                raw.out_dir = Some(PathBuf::from(arg));
             }
         }
     }
-    if check {
-        return Ok(Command::Check { quick });
+    validate(raw)
+}
+
+/// Rejects contradictory combinations and assembles the command.
+fn validate(raw: Raw) -> Result<Command, String> {
+    // Helper naming every run-mode flag present, for error messages.
+    let conflicts = |with: &str, allowed_quick: bool| -> Result<(), String> {
+        let mut extras = Vec::new();
+        if raw.quick && !allowed_quick {
+            extras.push("--quick".to_string());
+        }
+        if let Some(ids) = &raw.only {
+            extras.push(format!("--only {}", ids.join(",")));
+        }
+        if let Some(s) = raw.seed {
+            extras.push(format!("--seed {s}"));
+        }
+        if raw.no_cache {
+            extras.push("--no-cache".to_string());
+        }
+        if let Some(addr) = &raw.connect {
+            extras.push(format!("--connect {addr}"));
+        }
+        if let Some(dir) = &raw.out_dir {
+            extras.push(format!("out_dir `{}`", dir.display()));
+        }
+        if extras.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{with} contradicts {}", extras.join(", ")))
+        }
+    };
+    if raw.list && raw.check {
+        return Err("--list contradicts --check".to_string());
+    }
+    if raw.list {
+        conflicts("--list", false)?;
+        return Ok(Command::List);
+    }
+    if raw.check {
+        conflicts("--check", true)?;
+        return Ok(Command::Check { quick: raw.quick });
+    }
+    if raw.connect.is_some() && raw.no_cache {
+        return Err("--connect contradicts --no-cache (the nvpd server owns its resident cache)"
+            .to_string());
     }
     Ok(Command::Run {
-        out_dir: out_dir.unwrap_or_else(|| PathBuf::from("results")),
-        only,
-        quick,
-        seed,
-        no_cache,
+        out_dir: raw.out_dir.unwrap_or_else(|| PathBuf::from("results")),
+        only: raw.only,
+        quick: raw.quick,
+        seed: raw.seed,
+        no_cache: raw.no_cache,
+        connect: raw.connect,
     })
 }
 
@@ -162,7 +239,19 @@ fn parse_seed(value: &str) -> Result<u64, String> {
         .map_err(|_| format!("--seed needs an unsigned integer, got `{value}`"))
 }
 
-/// Splits and registry-validates an `--only` id list.
+/// Parses a `--connect` address: any non-empty `host:port` string (the
+/// socket layer validates it fully at connect time).
+fn parse_connect(value: &str) -> Result<String, String> {
+    let addr = value.trim();
+    if addr.is_empty() || !addr.contains(':') {
+        return Err(format!("--connect needs a host:port address, got `{value}`"));
+    }
+    Ok(addr.to_string())
+}
+
+/// Splits and registry-validates an `--only` id list, folding each id
+/// to its canonical (lowercase) registry form — `F12` and `f12` name
+/// the same experiment.
 fn parse_only(ids: &str) -> Result<Vec<String>, String> {
     let mut out = Vec::new();
     for raw in ids.split(',') {
@@ -202,6 +291,7 @@ mod tests {
                 quick: false,
                 seed: None,
                 no_cache: false,
+                connect: None,
             }
         );
     }
@@ -217,6 +307,7 @@ mod tests {
                 quick: true,
                 seed: None,
                 no_cache: false,
+                connect: None,
             }
         );
     }
@@ -226,6 +317,26 @@ mod tests {
         let cmd = parse(&["--only=f2h"]).unwrap();
         match cmd {
             Command::Run { only, .. } => assert_eq!(only, Some(vec!["f2h".to_string()])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// `--only` ids are case-insensitive and fold to the canonical
+    /// lowercase registry id, in every spelling and both flag forms.
+    #[test]
+    fn only_ids_fold_case_to_registry_form() {
+        for spelling in ["f12", "F12", "f12 ", " F12"] {
+            match parse(&["--only", spelling]).unwrap() {
+                Command::Run { only, .. } => {
+                    assert_eq!(only, Some(vec!["f12".to_string()]), "spelling {spelling:?}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match parse(&["--only=F2H,T1,f5"]).unwrap() {
+            Command::Run { only, .. } => {
+                assert_eq!(only, Some(vec!["f2h".into(), "t1".into(), "f5".into()]));
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -241,6 +352,7 @@ mod tests {
                 quick: false,
                 seed: Some(42),
                 no_cache: false,
+                connect: None,
             }
         );
         match parse(&["--seed=7"]).unwrap() {
@@ -262,10 +374,47 @@ mod tests {
     }
 
     #[test]
-    fn help_and_list_short_circuit() {
+    fn help_always_wins() {
         assert_eq!(parse(&["--help", "whatever"]).unwrap(), Command::Help);
         assert_eq!(parse(&["-h"]).unwrap(), Command::Help);
-        assert_eq!(parse(&["--list", "--bogus"]).unwrap(), Command::List);
+        assert_eq!(parse(&["--list", "--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--check", "--seed", "3", "--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn list_alone_lists() {
+        assert_eq!(parse(&["--list"]).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn contradictory_combinations_are_usage_errors() {
+        // --list runs nothing, so run-mode flags contradict it.
+        let err = parse(&["--list", "--only", "f5"]).unwrap_err();
+        assert!(err.contains("--list") && err.contains("--only"), "{err}");
+        let err = parse(&["--list", "--quick"]).unwrap_err();
+        assert!(err.contains("--list"), "{err}");
+        let err = parse(&["--list", "out"]).unwrap_err();
+        assert!(err.contains("out_dir"), "{err}");
+        let err = parse(&["--list", "--check"]).unwrap_err();
+        assert!(err.contains("--check"), "{err}");
+        // --check validates configs; a seed, id selection, cache mode,
+        // server address, or output directory is meaningless with it.
+        let err = parse(&["--check", "--seed", "3"]).unwrap_err();
+        assert!(err.contains("--check") && err.contains("--seed 3"), "{err}");
+        let err = parse(&["--check", "--only", "f12"]).unwrap_err();
+        assert!(err.contains("--only"), "{err}");
+        let err = parse(&["--check", "--no-cache"]).unwrap_err();
+        assert!(err.contains("--no-cache"), "{err}");
+        let err = parse(&["--check", "out"]).unwrap_err();
+        assert!(err.contains("out_dir"), "{err}");
+        let err = parse(&["--check", "--connect", "h:1"]).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        // The server owns its cache; --no-cache cannot ride --connect.
+        let err = parse(&["--connect", "127.0.0.1:7117", "--no-cache"]).unwrap_err();
+        assert!(err.contains("--no-cache"), "{err}");
+        // --check --quick stays valid: quick selects which config to
+        // validate.
+        assert_eq!(parse(&["--check", "--quick"]).unwrap(), Command::Check { quick: true });
     }
 
     #[test]
@@ -276,6 +425,31 @@ mod tests {
         // a second positional is now an error too.
         let err = parse(&["a", "b"]).unwrap_err();
         assert!(err.contains('b'), "{err}");
+        // Unknown flags after --list no longer slide through.
+        let err = parse(&["--list", "--bogus"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn connect_parses_both_forms_and_validates_shape() {
+        match parse(&["--connect", "127.0.0.1:7117"]).unwrap() {
+            Command::Run { connect, .. } => assert_eq!(connect.as_deref(), Some("127.0.0.1:7117")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["out", "--quick", "--connect=localhost:9", "--only", "f2"]).unwrap() {
+            Command::Run { connect, quick, only, .. } => {
+                assert_eq!(connect.as_deref(), Some("localhost:9"));
+                assert!(quick);
+                assert_eq!(only, Some(vec!["f2".to_string()]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&["--connect"]).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = parse(&["--connect", "noport"]).unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
+        let err = parse(&["--connect="]).unwrap_err();
+        assert!(err.contains("host:port"), "{err}");
     }
 
     #[test]

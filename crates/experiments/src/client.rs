@@ -1,0 +1,66 @@
+//! Thin client for the `nvpd` campaign server.
+//!
+//! [`submit`] connects, sends one [`CampaignRequest`], and reads the
+//! streamed status/result frames back. The returned
+//! [`crate::job::CampaignResult`] is the same value an in-process
+//! [`crate::job::run_request`] call produces — render it with
+//! `CampaignResult::write` and the artifacts are byte-identical to a
+//! local run (pinned by the golden digests and the loopback tests).
+
+use std::io;
+use std::net::TcpStream;
+
+use crate::job::{CampaignRequest, CampaignResult};
+use crate::wire::{read_frame, write_frame, Message};
+
+/// A completed remote job: admission status plus the result values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOutcome {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Jobs that were ahead of this one in the admission queue.
+    pub queued: u32,
+    /// The campaign output, identical in shape and bytes to an
+    /// in-process run of the same request.
+    pub result: CampaignResult,
+}
+
+/// Submits one campaign job to a server at `addr` (e.g.
+/// `127.0.0.1:7117`) and blocks until the result frame arrives.
+///
+/// # Errors
+///
+/// Connection and framing errors pass through; a server
+/// [`Message::Reject`] becomes [`io::ErrorKind::Other`] carrying the
+/// server's reason, and any out-of-order frame is
+/// [`io::ErrorKind::InvalidData`].
+pub fn submit(addr: &str, req: &CampaignRequest) -> io::Result<RemoteOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &Message::Submit(req.clone()))?;
+    let (job, queued) = match read_frame(&mut stream)? {
+        Message::Accepted { job, queued } => (job, queued),
+        Message::Reject { reason } => {
+            return Err(io::Error::other(format!("server rejected job: {reason}")));
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Accepted frame, got {other:?}"),
+            ));
+        }
+    };
+    match read_frame(&mut stream)? {
+        Message::Result { job: done, result } if done == job => {
+            Ok(RemoteOutcome { job, queued, result })
+        }
+        Message::Result { job: done, .. } => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("result frame for job {done}, expected {job}"),
+        )),
+        Message::Reject { reason } => Err(io::Error::other(format!("job {job} failed: {reason}"))),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected Result frame, got {other:?}"),
+        )),
+    }
+}

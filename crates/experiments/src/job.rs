@@ -1,0 +1,306 @@
+//! The campaign job layer: experiments as values.
+//!
+//! [`CampaignRequest`] names *what* to run — an experiment selection,
+//! an [`ExpConfig`], a seed override, and a cache policy — and
+//! [`CampaignResult`] is *what came out* — tables, profile series, and
+//! per-job cache/scheduler counters. Neither touches the filesystem:
+//! results are values first and files second
+//! ([`CampaignResult::write`] renders the exact artifact set the
+//! classic runner wrote). That split is what lets the same request run
+//! in-process (`repro`, [`crate::run_all`]) or travel over a socket to
+//! the `nvpd` campaign server (see [`crate::wire`]) and come back
+//! byte-identical: the golden digests pin both transports because both
+//! are this one path.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::registry::{find, registry, Experiment};
+use crate::sched::{self, sched_stats, SchedStats};
+use crate::simcache::{sim_cache_stats, SimCacheStats};
+use crate::{f1_power_profiles, ExpConfig, Table};
+
+/// How a job may use the simulation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Consult and feed the configured store (in-memory index plus the
+    /// persistent log, when one is attached). The default, and the only
+    /// policy the `nvpd` server admits: its resident store doubles as
+    /// the response cache, so duplicate submissions are deduplicated.
+    #[default]
+    Shared,
+    /// In-memory dedup only: the transport endpoint must not attach a
+    /// persistent store for this run (`repro --no-cache`). Rejected at
+    /// admission by the server — the daemon's store is process-wide and
+    /// cannot be bypassed per job.
+    MemoryOnly,
+}
+
+/// A self-contained campaign job: everything the runner needs, nothing
+/// about where artifacts will land.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRequest {
+    /// Experiment ids to run (matched case-insensitively against the
+    /// registry), or `None` for the full evaluation.
+    pub only: Option<Vec<String>>,
+    /// The experiment configuration.
+    pub config: ExpConfig,
+    /// Override for `config.fault_seed` (`repro --seed`, per-job seeds
+    /// on the server), or `None` to keep the configured value.
+    pub seed: Option<u64>,
+    /// How this job may use the simulation cache.
+    pub cache: CachePolicy,
+}
+
+impl CampaignRequest {
+    /// A full-evaluation request with the default cache policy.
+    #[must_use]
+    pub fn all(config: ExpConfig) -> CampaignRequest {
+        CampaignRequest { only: None, config, seed: None, cache: CachePolicy::Shared }
+    }
+
+    /// A request for a subset of experiment ids (validated at run time).
+    #[must_use]
+    pub fn only<S: AsRef<str>>(config: ExpConfig, ids: &[S]) -> CampaignRequest {
+        CampaignRequest {
+            only: Some(ids.iter().map(|s| s.as_ref().to_string()).collect()),
+            config,
+            seed: None,
+            cache: CachePolicy::Shared,
+        }
+    }
+
+    /// The configuration this request actually runs: `config` with the
+    /// seed override folded in.
+    #[must_use]
+    pub fn effective_config(&self) -> ExpConfig {
+        let mut cfg = self.config.clone();
+        if let Some(s) = self.seed {
+            cfg.fault_seed = s;
+        }
+        cfg
+    }
+
+    /// Resolves the id selection against the registry: case-insensitive
+    /// lookup, duplicates dropped, registry order restored.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] for an unknown id.
+    pub fn resolve(&self) -> io::Result<Vec<&'static dyn Experiment>> {
+        let Some(ids) = &self.only else {
+            return Ok(registry().to_vec());
+        };
+        let mut selected: Vec<&'static dyn Experiment> = Vec::new();
+        for id in ids {
+            let exp = find(id).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown experiment id `{id}` (try `repro --list`)"),
+                )
+            })?;
+            if !selected.iter().any(|e| e.id() == exp.id()) {
+                selected.push(exp);
+            }
+        }
+        selected.sort_by_key(|e| registry().iter().position(|r| r.id() == e.id()));
+        Ok(selected)
+    }
+}
+
+/// What a campaign job produced: pure values plus per-job counters.
+/// Render to disk with [`write`](Self::write).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Every regenerated table, in registry order.
+    pub tables: Vec<Table>,
+    /// Raw `f1` power-profile series as `(seed, csv)`, in seed order
+    /// (empty unless `f1` was selected).
+    pub profiles: Vec<(u64, String)>,
+    /// Simulation-cache counters for this job
+    /// ([`SimCacheStats::since`] delta over the run).
+    pub cache: SimCacheStats,
+    /// Work-stealing scheduler counters for this job.
+    pub sched: SchedStats,
+}
+
+impl CampaignResult {
+    /// The combined `RESULTS.md` document for this job's tables.
+    #[must_use]
+    pub fn results_markdown(&self) -> String {
+        let mut combined = String::from("# nvp — regenerated evaluation results\n\n");
+        for t in &self.tables {
+            combined.push_str(&t.to_markdown());
+            combined.push('\n');
+        }
+        combined
+    }
+
+    /// Writes the artifact set the classic runner wrote — one CSV per
+    /// table, one CSV per profile series, and `RESULTS.md` — into
+    /// `out_dir` (created if missing), returning the paths in write
+    /// order. In-process and over-the-wire results render through this
+    /// one function, which is what keeps both transports byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error encountered while writing.
+    pub fn write(&self, out_dir: &Path) -> io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(out_dir)?;
+        let mut files = Vec::new();
+        for t in &self.tables {
+            let path = out_dir.join(format!("{}.csv", t.id().to_lowercase()));
+            fs::write(&path, t.to_csv())?;
+            files.push(path);
+        }
+        for (seed, csv) in &self.profiles {
+            let path = out_dir.join(format!("f1_profile_{seed}.csv"));
+            fs::write(&path, csv)?;
+            files.push(path);
+        }
+        let md_path = out_dir.join("RESULTS.md");
+        fs::write(&md_path, self.results_markdown())?;
+        files.push(md_path);
+        Ok(files)
+    }
+}
+
+/// One schedulable unit of a flattened campaign: an experiment builder
+/// or a raw profile series. Keeping both in a single task list lets the
+/// scheduler overlap them freely.
+enum CampaignTask {
+    Build(&'static dyn Experiment),
+    Profile(u64),
+}
+
+/// What a [`CampaignTask`] produced (same variant, same order).
+enum CampaignOutput {
+    Table(Table),
+    Profile(u64, String),
+}
+
+/// Runs `experiments` and the profile series for `profile_seeds` as one
+/// flattened task list on the work-stealing scheduler, returning tables
+/// in experiment order and profile CSVs in seed order.
+pub(crate) fn run_campaign(
+    cfg: &ExpConfig,
+    experiments: &[&'static dyn Experiment],
+    profile_seeds: &[u64],
+) -> (Vec<Table>, Vec<(u64, String)>) {
+    let tasks: Vec<CampaignTask> = experiments
+        .iter()
+        .map(|&e| CampaignTask::Build(e))
+        .chain(profile_seeds.iter().map(|&seed| CampaignTask::Profile(seed)))
+        .collect();
+    let outputs = sched::par_map(&tasks, |task| match task {
+        CampaignTask::Build(e) => CampaignOutput::Table(e.build(cfg)),
+        CampaignTask::Profile(seed) => {
+            CampaignOutput::Profile(*seed, f1_power_profiles::series(cfg, *seed).to_csv())
+        }
+    });
+    let mut tables = Vec::with_capacity(experiments.len());
+    let mut profiles = Vec::with_capacity(profile_seeds.len());
+    for out in outputs {
+        match out {
+            CampaignOutput::Table(t) => tables.push(t),
+            CampaignOutput::Profile(seed, csv) => profiles.push((seed, csv)),
+        }
+    }
+    (tables, profiles)
+}
+
+/// Executes a [`CampaignRequest`] in this process and returns the
+/// result as values — no files are written. The raw `f1` profile series
+/// are included exactly when `f1` is selected. Cache and scheduler
+/// counters are per-job deltas over the process-wide totals (exact when
+/// jobs run one at a time, as on the default single-worker server;
+/// approximate under concurrent jobs).
+///
+/// The cache *policy* is applied by the transport endpoint (the `repro`
+/// binary attaches or skips the persistent store, the server rejects
+/// [`CachePolicy::MemoryOnly`] at admission); this function runs under
+/// whatever store is currently configured.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] for an unknown experiment id.
+pub fn run_request(req: &CampaignRequest) -> io::Result<CampaignResult> {
+    let cache_before = sim_cache_stats();
+    let sched_before = sched_stats();
+    let selected = req.resolve()?;
+    let cfg = req.effective_config();
+    let seeds: &[u64] =
+        if selected.iter().any(|e| e.id() == "f1") { &cfg.profile_seeds } else { &[] };
+    let (tables, profiles) = run_campaign(&cfg, &selected, seeds);
+    Ok(CampaignResult {
+        tables,
+        profiles,
+        cache: sim_cache_stats().since(cache_before),
+        sched: sched_stats().since(sched_before),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_folds_case_dedups_and_restores_registry_order() {
+        let req = CampaignRequest::only(ExpConfig::quick(), &["F12", "t1", "f12"]);
+        let selected = req.resolve().unwrap();
+        let ids: Vec<&str> = selected.iter().map(|e| e.id()).collect();
+        assert_eq!(ids, ["t1", "f12"], "registry order, case folded, dedup'd");
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_ids() {
+        let req = CampaignRequest::only(ExpConfig::quick(), &["f99"]);
+        let err = req.resolve().map(|v| v.len()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("f99"));
+    }
+
+    #[test]
+    fn effective_config_applies_the_seed_override() {
+        let mut req = CampaignRequest::all(ExpConfig::quick());
+        assert_eq!(req.effective_config().fault_seed, req.config.fault_seed);
+        req.seed = Some(99);
+        assert_eq!(req.effective_config().fault_seed, 99);
+        assert_eq!(req.config.fault_seed, ExpConfig::quick().fault_seed, "request is not mutated");
+    }
+
+    #[test]
+    fn run_request_is_values_first_and_selects_profiles_with_f1() {
+        let req = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+        let result = run_request(&req).unwrap();
+        assert_eq!(result.tables.len(), 1);
+        assert!(result.profiles.is_empty(), "no f1 selected, no profile series");
+
+        let req = CampaignRequest::only(ExpConfig::quick(), &["F1"]);
+        let result = run_request(&req).unwrap();
+        assert_eq!(result.tables.len(), 1);
+        assert_eq!(result.profiles.len(), ExpConfig::quick().profile_seeds.len());
+    }
+
+    #[test]
+    fn write_renders_the_classic_artifact_set() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("nvp_job_write_{}_{n}", std::process::id()));
+
+        let req = CampaignRequest::only(ExpConfig::quick(), &["t1", "f2h"]);
+        let result = run_request(&req).unwrap();
+        let files = result.write(&dir).unwrap();
+        // 2 tables + RESULTS.md, no profile series without f1.
+        assert_eq!(files.len(), 3);
+        for f in &files {
+            assert!(f.exists(), "{}", f.display());
+        }
+        assert!(dir.join("t1.csv").exists());
+        assert!(dir.join("f2h.csv").exists());
+        assert!(dir.join("RESULTS.md").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

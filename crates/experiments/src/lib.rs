@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod client;
 mod common;
 mod config;
 pub mod feasibility;
+pub mod job;
 mod par;
 mod persist;
 mod registry;
@@ -48,6 +50,7 @@ mod report;
 mod runner;
 mod sched;
 mod simcache;
+pub mod wire;
 
 pub mod f10_policy_sweep;
 pub mod f11_clock_scaling;
@@ -66,6 +69,7 @@ pub mod t2_energy_distribution;
 pub mod t3_backup_strategies;
 
 pub use config::ExpConfig;
+pub use job::{run_request, CachePolicy, CampaignRequest, CampaignResult};
 pub use par::{set_thread_override, thread_count};
 pub use registry::{find, registry, Experiment};
 pub use report::Table;

@@ -1,24 +1,26 @@
 //! Regenerates tables/figures from the registry and writes artifacts.
 //!
-//! The experiments come from the [`crate::registry`] — pure functions
-//! of the [`ExpConfig`] — so [`run_all`] flattens the whole campaign
-//! (every experiment builder *and* every raw profile series) into one
-//! task list for the work-stealing scheduler ([`crate::sched`]) and
-//! writes the artifacts in the fixed registry order afterwards. A
-//! single pass means a long-tail experiment keeps stealing helpers
-//! freed by short ones instead of waiting at a barrier between the
-//! table phase and the profile phase. [`run_all_sequential`] produces
-//! byte-identical output one builder at a time (enforced by
+//! Since the `nvpd` refactor this module is a thin filesystem adapter
+//! over the [`crate::job`] layer: every entry point builds a
+//! [`CampaignRequest`], executes it with [`job::run_request`] (one
+//! flattened task list on the work-stealing scheduler — see
+//! [`crate::sched`]), and renders the returned [`CampaignResult`] with
+//! its `write` method. The same request/result pair travels over the
+//! wire to the campaign server, so in-process and remote runs share one
+//! execution path and one artifact renderer — which is what pins them
+//! byte-identical under the golden digests. [`run_all_sequential`]
+//! produces the same bytes one builder at a time (enforced by
 //! `tests/determinism.rs`), and [`run_only`] regenerates any subset by
 //! id (`repro --only f5,t1`).
 
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::registry::{find, registry, Experiment};
+use crate::job::{self, CampaignRequest, CampaignResult};
+use crate::registry::registry;
+use crate::sched::sched_stats;
 use crate::simcache::{sim_cache_stats, SimCacheStats};
-use crate::{f1_power_profiles, sched, ExpConfig, Table};
+use crate::{f1_power_profiles, ExpConfig, Table};
 
 /// What a runner call produced.
 #[derive(Debug)]
@@ -32,48 +34,10 @@ pub struct RunArtifacts {
     pub cache: SimCacheStats,
 }
 
-/// One schedulable unit of the flattened campaign: an experiment
-/// builder or a raw profile series. Keeping both in a single task list
-/// lets the scheduler overlap them freely.
-enum CampaignTask {
-    Build(&'static dyn Experiment),
-    Profile(u64),
-}
-
-/// What a [`CampaignTask`] produced (same variant, same order).
-enum CampaignOutput {
-    Table(Table),
-    Profile(u64, String),
-}
-
-/// Runs `experiments` and the profile series for `profile_seeds` as one
-/// flattened task list on the scheduler, returning tables in
-/// experiment order and profile CSVs in seed order.
-fn run_campaign(
-    cfg: &ExpConfig,
-    experiments: &[&'static dyn Experiment],
-    profile_seeds: &[u64],
-) -> (Vec<Table>, Vec<(u64, String)>) {
-    let tasks: Vec<CampaignTask> = experiments
-        .iter()
-        .map(|&e| CampaignTask::Build(e))
-        .chain(profile_seeds.iter().map(|&seed| CampaignTask::Profile(seed)))
-        .collect();
-    let outputs = sched::par_map(&tasks, |task| match task {
-        CampaignTask::Build(e) => CampaignOutput::Table(e.build(cfg)),
-        CampaignTask::Profile(seed) => {
-            CampaignOutput::Profile(*seed, f1_power_profiles::series(cfg, *seed).to_csv())
-        }
-    });
-    let mut tables = Vec::with_capacity(experiments.len());
-    let mut profiles = Vec::with_capacity(profile_seeds.len());
-    for out in outputs {
-        match out {
-            CampaignOutput::Table(t) => tables.push(t),
-            CampaignOutput::Profile(seed, csv) => profiles.push((seed, csv)),
-        }
-    }
-    (tables, profiles)
+/// Executes `result`'s write phase and repackages it as [`RunArtifacts`].
+fn into_artifacts(result: CampaignResult, out_dir: &Path) -> io::Result<RunArtifacts> {
+    let files = result.write(out_dir)?;
+    Ok(RunArtifacts { tables: result.tables, files, cache: result.cache })
 }
 
 /// Regenerates the full evaluation and writes one CSV per table, one
@@ -86,10 +50,8 @@ fn run_campaign(
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
-    let before = sim_cache_stats();
-    let all: Vec<&'static dyn Experiment> = registry().to_vec();
-    let (tables, profiles) = run_campaign(cfg, &all, &cfg.profile_seeds);
-    write_artifacts(out_dir, tables, &profiles, before)
+    let result = job::run_request(&CampaignRequest::all(cfg.clone()))?;
+    into_artifacts(result, out_dir)
 }
 
 /// [`run_all`] with every builder evaluated in registry order on the
@@ -101,14 +63,21 @@ pub fn run_all(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
 ///
 /// Returns any filesystem error encountered while writing.
 pub fn run_all_sequential(cfg: &ExpConfig, out_dir: &Path) -> io::Result<RunArtifacts> {
-    let before = sim_cache_stats();
+    let cache_before = sim_cache_stats();
+    let sched_before = sched_stats();
     let tables: Vec<Table> = registry().iter().map(|e| e.build(cfg)).collect();
     let profiles: Vec<(u64, String)> = cfg
         .profile_seeds
         .iter()
         .map(|&seed| (seed, f1_power_profiles::series(cfg, seed).to_csv()))
         .collect();
-    write_artifacts(out_dir, tables, &profiles, before)
+    let result = CampaignResult {
+        tables,
+        profiles,
+        cache: sim_cache_stats().since(cache_before),
+        sched: sched_stats().since(sched_before),
+    };
+    into_artifacts(result, out_dir)
 }
 
 /// Regenerates only the experiments named by `ids` (case-insensitive
@@ -126,60 +95,14 @@ pub fn run_only<S: AsRef<str>>(
     out_dir: &Path,
     ids: &[S],
 ) -> io::Result<RunArtifacts> {
-    let before = sim_cache_stats();
-    let mut selected: Vec<&'static dyn Experiment> = Vec::new();
-    for id in ids {
-        let id = id.as_ref();
-        let exp = find(id).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("unknown experiment id `{id}` (try `repro --list`)"),
-            )
-        })?;
-        if !selected.iter().any(|e| e.id() == exp.id()) {
-            selected.push(exp);
-        }
-    }
-    // Registry order, independent of the order ids were given in.
-    selected.sort_by_key(|e| registry().iter().position(|r| r.id() == e.id()));
-    let seeds: &[u64] =
-        if selected.iter().any(|e| e.id() == "f1") { &cfg.profile_seeds } else { &[] };
-    let (tables, profiles) = run_campaign(cfg, &selected, seeds);
-    write_artifacts(out_dir, tables, &profiles, before)
-}
-
-/// Writes all artifacts in the fixed order shared by every runner.
-fn write_artifacts(
-    out_dir: &Path,
-    tables: Vec<Table>,
-    profiles: &[(u64, String)],
-    cache_before: SimCacheStats,
-) -> io::Result<RunArtifacts> {
-    fs::create_dir_all(out_dir)?;
-    let mut files = Vec::new();
-    let mut combined = String::from("# nvp — regenerated evaluation results\n\n");
-    for t in &tables {
-        let path = out_dir.join(format!("{}.csv", t.id().to_lowercase()));
-        fs::write(&path, t.to_csv())?;
-        files.push(path);
-        combined.push_str(&t.to_markdown());
-        combined.push('\n');
-    }
-    for (seed, csv) in profiles {
-        let path = out_dir.join(format!("f1_profile_{seed}.csv"));
-        fs::write(&path, csv)?;
-        files.push(path);
-    }
-    let md_path = out_dir.join("RESULTS.md");
-    fs::write(&md_path, combined)?;
-    files.push(md_path);
-
-    Ok(RunArtifacts { tables, files, cache: sim_cache_stats().since(cache_before) })
+    let result = job::run_request(&CampaignRequest::only(cfg.clone(), ids))?;
+    into_artifacts(result, out_dir)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// A temp dir unique to this process *and* call site, so concurrent

@@ -313,9 +313,17 @@ fn persist_lock() -> std::sync::MutexGuard<'static, PersistState> {
 /// Opens `dir` and merges its records into the in-memory index (never
 /// overwriting an entry this process already computed). Returns the
 /// number of records now serving from memory that came from disk.
+///
+/// Entries loaded from a *previously* attached store are dropped first:
+/// re-pointing the cache at a new directory must not keep serving (or
+/// counting) another directory's records — the isolation the `nvpd`
+/// server relies on when jobs repoint the store. Reports this process
+/// computed itself stay, which is safe because keys are content
+/// addresses: a hit is bit-identical wherever it came from.
 fn activate(state: &mut PersistState, dir: &Path) -> std::io::Result<u64> {
     let (store, loaded) = PersistentStore::open(dir)?;
     let mut map = cache().lock().expect("sim cache lock");
+    map.retain(|_, (_, origin)| *origin != Origin::Disk);
     let mut merged = 0u64;
     for (key, report) in loaded.records {
         map.entry(key).or_insert_with(|| {
@@ -338,7 +346,10 @@ fn activate(state: &mut PersistState, dir: &Path) -> std::io::Result<u64> {
 /// The `repro` binary calls this with `<out_dir>/.simcache` (or `None`
 /// under `--no-cache`); benchmarks call it to measure cold/warm/reload
 /// behavior. Calling it again re-resolves: pointing at the same
-/// directory after [`reset_sim_cache`] reloads the log from disk.
+/// directory after [`reset_sim_cache`] reloads the log from disk, and
+/// pointing at a *different* directory first drops every entry the old
+/// store contributed, so records never leak between cache directories
+/// (see `tests/persist_cache.rs`).
 pub fn set_cache_dir(dir: Option<&Path>) -> std::io::Result<u64> {
     let mut state = persist_lock();
     match dir {

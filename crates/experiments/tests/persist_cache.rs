@@ -127,3 +127,59 @@ fn reopening_and_reappending_does_not_corrupt() {
         let _ = std::fs::remove_dir_all(d);
     }
 }
+
+/// Repointing the store at a different directory mid-process must not
+/// leak records across directories in either direction: entries loaded
+/// from the old directory stop being served (and are never copied into
+/// the new one), and the old directory's shard files are not appended
+/// to by runs that happen under the new one.
+#[test]
+fn switching_cache_directories_does_not_leak_records() {
+    let _guard = global_cache_lock();
+    let dir_a = unique_dir("nvp_persist_switch_a");
+    let dir_b = unique_dir("nvp_persist_switch_b");
+    let out_a = unique_dir("nvp_persist_switch_out_a");
+    let out_b = unique_dir("nvp_persist_switch_out_b");
+    let mut cfg = ExpConfig::quick();
+    cfg.profile_seeds = vec![5];
+
+    // Seed directory A with a cold run.
+    reset_sim_cache();
+    set_cache_dir(Some(&dir_a)).unwrap();
+    run_all(&cfg, &out_a).unwrap();
+    let a = sim_cache_stats();
+    assert!(a.persisted > 0, "cold run must persist records into A");
+    let a_bytes = |dir: &std::path::Path| -> u64 {
+        std::fs::read_dir(dir).unwrap().map(|e| e.unwrap().metadata().unwrap().len()).sum()
+    };
+    let a_size = a_bytes(&dir_a);
+
+    // Fresh index, load A (every entry disk-origin), then switch to B.
+    // The switch must drop A's loaded records: the rerun recomputes
+    // from scratch and persists into B, never serving A's entries.
+    reset_sim_cache();
+    let loaded = set_cache_dir(Some(&dir_a)).unwrap();
+    assert_eq!(loaded, a.persisted, "reload recovers A's records");
+    set_cache_dir(Some(&dir_b)).unwrap();
+    run_all(&cfg, &out_b).unwrap();
+    let b = sim_cache_stats();
+    assert_eq!(b.disk_hits, 0, "A's loaded records must not be served under B");
+    assert!(b.misses > 0, "the run under B recomputes everything");
+    assert!(b.persisted > 0, "B receives its own records");
+    assert_eq!(a_bytes(&dir_a), a_size, "the run under B must not append to A's shards");
+
+    // B is self-contained: a fresh index reloads exactly what the B run
+    // persisted — none of A's records were copied across.
+    reset_sim_cache();
+    let b_loaded = set_cache_dir(Some(&dir_b)).unwrap();
+    assert_eq!(b_loaded, b.persisted, "B holds exactly the records persisted under B");
+
+    // The cache indirection stays invisible in the artifacts.
+    assert_eq!(artifact_bytes(&out_a), artifact_bytes(&out_b));
+
+    reset_sim_cache();
+    set_cache_dir(None).unwrap();
+    for d in [&dir_a, &dir_b, &out_a, &out_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}

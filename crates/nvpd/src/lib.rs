@@ -1,0 +1,353 @@
+//! # nvpd — the resident campaign server
+//!
+//! A small TCP daemon that keeps the simulation cache warm across
+//! campaigns. Clients (`repro --connect`, `nvpd submit`,
+//! [`nvp_experiments::client::submit`]) ship a
+//! [`CampaignRequest`] over the [`nvp_experiments::wire`] protocol; the
+//! server admits it into a bounded queue, streams an `Accepted` status
+//! frame immediately, runs the job through the exact same
+//! [`nvp_experiments::run_request`] path an in-process run uses, and
+//! streams the `Result` frame back with per-job cache and scheduler
+//! counter deltas. Because both transports share that one execution
+//! path, the artifacts a client renders are byte-identical to a local
+//! run — the golden digests pin both.
+//!
+//! Admission control rejects, with a `Reject` frame and a reason:
+//!
+//! * a full queue (back-pressure instead of unbounded buffering),
+//! * [`CachePolicy::MemoryOnly`] requests (the daemon's store is
+//!   process-wide; it cannot be bypassed per job),
+//! * unknown experiment ids (caught before the job occupies a slot),
+//! * malformed or non-`Submit` opening frames.
+//!
+//! Duplicate submissions are deduplicated through the shared
+//! content-addressed cache: the second identical job reports zero new
+//! simulations in its `Result` frame.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use nvp_experiments::wire::{read_frame, write_frame, Message};
+use nvp_experiments::{run_request, CachePolicy, CampaignRequest};
+
+/// How long the acceptor waits for a client's `Submit` frame before
+/// dropping the connection, so one stalled client cannot wedge
+/// admission for everyone else.
+const SUBMIT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tuning knobs for [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bounded admission-queue capacity; a submit that finds the queue
+    /// full is rejected rather than buffered without limit.
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs. The default is 1, which keeps the
+    /// per-job cache/scheduler counter deltas exact (each job's
+    /// simulations still spread over the work-stealing pool via
+    /// `NVP_THREADS`); more workers overlap whole jobs at the cost of
+    /// approximate per-job counters.
+    pub workers: usize,
+    /// Accept this many jobs, then drain the queue and return — the
+    /// clean-shutdown path used by tests, benches, and CI smoke runs.
+    /// `None` serves forever.
+    pub max_jobs: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { queue_capacity: 64, workers: 1, max_jobs: None }
+    }
+}
+
+/// Counters reported by [`Server::run`] when it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Jobs admitted into the queue (an `Accepted` frame was sent).
+    pub accepted: u64,
+    /// Submissions refused at admission (a `Reject` frame was sent).
+    pub rejected: u64,
+    /// Jobs that ran to completion (a `Result` frame was sent).
+    pub completed: u64,
+}
+
+/// An admitted job waiting for a worker: the request plus the
+/// connection the result frame goes back on.
+struct Job {
+    id: u64,
+    request: CampaignRequest,
+    stream: TcpStream,
+}
+
+/// The bounded admission queue: a mutex-guarded deque with a condvar
+/// for the workers. `closed` flips when the acceptor is done; workers
+/// drain what remains and exit. Generic over the job type so the
+/// admission bound is testable without sockets.
+struct Queue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    fn new(capacity: usize) -> Queue<T> {
+        Queue { state: Mutex::new((VecDeque::new(), false)), ready: Condvar::new(), capacity }
+    }
+
+    /// The current queue depth if a slot is free, `None` when full.
+    /// The acceptor is the *sole* pusher, so a free slot observed here
+    /// is still free at the matching [`push`](Self::push) — workers
+    /// only ever shrink the queue.
+    fn depth_if_free(&self) -> Option<u32> {
+        let state = self.state.lock().expect("queue lock");
+        if state.0.len() >= self.capacity {
+            None
+        } else {
+            Some(u32::try_from(state.0.len()).unwrap_or(u32::MAX))
+        }
+    }
+
+    /// Enqueues an admitted job and wakes a worker. Callers must have
+    /// observed a free slot via [`depth_if_free`](Self::depth_if_free)
+    /// on the same (sole-pusher) thread.
+    fn push(&self, job: T) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.0.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` means the queue is closed and
+    /// drained, so the worker should exit.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Marks the queue closed and wakes every worker to drain it.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.1 = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// A bound campaign server. [`bind`](Server::bind) it, read the
+/// ephemeral port back with [`local_addr`](Server::local_addr), then
+/// [`run`](Server::run) it (typically on a dedicated thread).
+pub struct Server {
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Binds the listening socket (e.g. `127.0.0.1:0` for an ephemeral
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Any socket bind error passes through.
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address, including the kernel-assigned port when bound
+    /// to port 0.
+    ///
+    /// # Errors
+    ///
+    /// Any socket introspection error passes through.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until `cfg.max_jobs` jobs have been accepted
+    /// (forever when `None`), then drains the queue, joins the workers,
+    /// and returns the counters.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors pass through; per-connection I/O errors
+    /// (client gone, malformed frame) are absorbed into the counters.
+    pub fn run(&self, cfg: &ServerConfig) -> io::Result<ServerStats> {
+        let queue = Queue::new(cfg.queue_capacity.max(1));
+        let workers = cfg.workers.max(1);
+        let mut stats = ServerStats::default();
+        let completed = Mutex::new(0u64);
+
+        std::thread::scope(|scope| -> io::Result<()> {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(job) = queue.pop() {
+                        let done = run_job(job);
+                        *completed.lock().expect("completed lock") += done;
+                    }
+                });
+            }
+
+            let mut next_job: u64 = 0;
+            for conn in self.listener.incoming() {
+                let stream = match conn {
+                    Ok(s) => s,
+                    // Transient accept errors (e.g. a connection reset
+                    // before accept) should not take the server down.
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                    Err(e) => {
+                        queue.close();
+                        return Err(e);
+                    }
+                };
+                match admit(stream, next_job, &queue) {
+                    Admission::Accepted => {
+                        next_job += 1;
+                        stats.accepted += 1;
+                    }
+                    Admission::Rejected => stats.rejected += 1,
+                    Admission::Dropped => {}
+                }
+                if cfg.max_jobs.is_some_and(|max| stats.accepted >= max) {
+                    break;
+                }
+            }
+            queue.close();
+            Ok(())
+        })?;
+
+        stats.completed = *completed.lock().expect("completed lock");
+        Ok(stats)
+    }
+}
+
+/// What became of one incoming connection at admission time.
+enum Admission {
+    /// Job queued; `Accepted` frame sent.
+    Accepted,
+    /// `Reject` frame sent (or attempted) with a reason.
+    Rejected,
+    /// Connection unusable (timeout, framing error, client gone) —
+    /// nothing was admitted and no reject could be delivered.
+    Dropped,
+}
+
+/// Reads one `Submit` frame off a fresh connection and either queues
+/// the job (streaming `Accepted`) or answers `Reject` with a reason.
+fn admit(mut stream: TcpStream, id: u64, queue: &Queue<Job>) -> Admission {
+    // A stalled or hostile client must not wedge the acceptor.
+    if stream.set_read_timeout(Some(SUBMIT_READ_TIMEOUT)).is_err() {
+        return Admission::Dropped;
+    }
+    let request = match read_frame(&mut stream) {
+        Ok(Message::Submit(req)) => req,
+        Ok(_) => return reject(stream, "expected a Submit frame to open the connection"),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return reject(stream, &format!("malformed frame: {e}"));
+        }
+        Err(_) => return Admission::Dropped,
+    };
+    if request.cache == CachePolicy::MemoryOnly {
+        return reject(
+            stream,
+            "MemoryOnly cache policy is not admissible: the server's resident store is \
+             process-wide (run locally with `repro --no-cache` instead)",
+        );
+    }
+    // Catch unknown experiment ids before the job occupies a queue slot.
+    if let Err(e) = request.resolve() {
+        return reject(stream, &e.to_string());
+    }
+    let Some(depth) = queue.depth_if_free() else {
+        return reject(stream, "admission queue full; retry later");
+    };
+    // Stream the status frame now, then hand the connection to a
+    // worker for the Result frame.
+    if write_frame(&mut stream, &Message::Accepted { job: id, queued: depth }).is_err() {
+        return Admission::Dropped;
+    }
+    queue.push(Job { id, request, stream });
+    Admission::Accepted
+}
+
+/// Sends a `Reject` frame (best effort) and reports the refusal.
+fn reject(mut stream: TcpStream, reason: &str) -> Admission {
+    let _ = write_frame(&mut stream, &Message::Reject { reason: reason.to_string() });
+    Admission::Rejected
+}
+
+/// Runs one admitted job and streams its `Result` (or failure `Reject`)
+/// frame. Returns 1 when a `Result` frame was delivered, else 0.
+fn run_job(mut job: Job) -> u64 {
+    match run_request(&job.request) {
+        Ok(result) => {
+            match write_frame(&mut job.stream, &Message::Result { job: job.id, result }) {
+                Ok(()) => 1,
+                Err(_) => 0, // client went away; the work still warmed the cache
+            }
+        }
+        Err(e) => {
+            let _ = write_frame(
+                &mut job.stream,
+                &Message::Reject { reason: format!("job {} failed: {e}", job.id) },
+            );
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_bound_refuses_when_full_and_depth_counts_waiters() {
+        let q: Queue<u64> = Queue::new(2);
+        assert_eq!(q.depth_if_free(), Some(0), "empty queue admits at depth 0");
+        q.push(1);
+        assert_eq!(q.depth_if_free(), Some(1), "one job ahead");
+        q.push(2);
+        assert_eq!(q.depth_if_free(), None, "at capacity: admission refused");
+        assert_eq!(q.pop(), Some(1), "FIFO order");
+        assert_eq!(q.depth_if_free(), Some(1), "slot freed by the pop");
+    }
+
+    #[test]
+    fn closed_queue_drains_then_signals_exit() {
+        let q: Queue<u64> = Queue::new(4);
+        q.push(7);
+        q.push(8);
+        q.close();
+        assert_eq!(q.pop(), Some(7), "close drains queued jobs first");
+        assert_eq!(q.pop(), Some(8));
+        assert_eq!(q.pop(), None, "then tells workers to exit");
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_worker() {
+        let q: Queue<u64> = Queue::new(1);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.pop());
+            q.close();
+            assert_eq!(waiter.join().expect("worker thread"), None);
+        });
+    }
+
+    #[test]
+    fn default_config_is_single_worker_for_exact_per_job_counters() {
+        let cfg = ServerConfig::default();
+        assert_eq!(cfg.workers, 1);
+        assert!(cfg.queue_capacity >= 1);
+        assert_eq!(cfg.max_jobs, None);
+    }
+}

@@ -1,0 +1,169 @@
+//! The `nvpd` command: serve campaigns, or submit one to a server.
+//!
+//! `nvpd serve` binds the daemon and runs jobs until stopped (or until
+//! `--max-jobs`); `nvpd submit` is the same thin client `repro
+//! --connect` uses, sharing the `repro` run grammar for its arguments.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nvp_experiments::cli::{self, Command};
+use nvp_experiments::{client, set_cache_dir};
+use nvpd::{Server, ServerConfig};
+
+/// Command-line reference, printed by `--help` and on usage errors.
+const USAGE: &str = "\
+nvpd — resident NVP campaign server
+
+USAGE:
+    nvpd serve [ADDR] [OPTIONS]
+    nvpd submit ADDR [OUT_DIR] [--quick] [--only IDS] [--seed N]
+    nvpd --help
+
+serve options (ADDR defaults to 127.0.0.1:7117; use port 0 for an
+ephemeral port and read it back via --port-file):
+    --cache-dir DIR    attach the persistent simulation store at DIR
+                       (default: in-memory only, or NVP_CACHE_DIR)
+    --queue N          admission queue capacity (default 64)
+    --workers N        concurrent jobs (default 1, which keeps each
+                       job's cache/scheduler counter deltas exact)
+    --max-jobs N       accept N jobs, drain the queue, then exit
+    --port-file PATH   write the bound address to PATH once listening
+
+submit takes the `repro` run grammar after ADDR and writes the returned
+artifacts to OUT_DIR (default `out`): byte-identical to a local run.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        _ => Err("expected a subcommand: `serve` or `submit`".to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed `nvpd serve` options.
+struct ServeArgs {
+    addr: String,
+    cache_dir: Option<PathBuf>,
+    port_file: Option<PathBuf>,
+    config: ServerConfig,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:7117".to_string(),
+        cache_dir: None,
+        port_file: None,
+        config: ServerConfig::default(),
+    };
+    let mut saw_addr = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--cache-dir" => out.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--port-file" => out.port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--queue" => out.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
+            "--workers" => out.config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--max-jobs" => {
+                out.config.max_jobs = Some(parse_num(&value("--max-jobs")?, "--max-jobs")?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            addr if !saw_addr => {
+                if !addr.contains(':') {
+                    return Err(format!("`{addr}` is not a bind address (need host:port)"));
+                }
+                out.addr = addr.to_string();
+                saw_addr = true;
+            }
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    if out.config.queue_capacity == 0 {
+        return Err("--queue must be at least 1".to_string());
+    }
+    if out.config.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_serve(args)?;
+    if let Some(dir) = &opts.cache_dir {
+        set_cache_dir(Some(dir))
+            .map_err(|e| format!("cannot attach cache at {}: {e}", dir.display()))?;
+    }
+    let server = Server::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, bound.to_string())
+            .map_err(|e| format!("cannot write port file {}: {e}", path.display()))?;
+    }
+    eprintln!("nvpd: listening on {bound}");
+    let stats = server.run(&opts.config).map_err(|e| format!("server failed: {e}"))?;
+    eprintln!(
+        "nvpd: done — {} accepted, {} completed, {} rejected",
+        stats.accepted, stats.completed, stats.rejected
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn submit(args: &[String]) -> Result<ExitCode, String> {
+    let Some((addr, rest)) = args.split_first() else {
+        return Err("submit requires a server address".to_string());
+    };
+    if !addr.contains(':') {
+        return Err(format!("`{addr}` is not a server address (need host:port)"));
+    }
+    // Reuse the repro run grammar (and its validation) for what to run.
+    let cmd = cli::parse(rest)?;
+    let Command::Run { out_dir, only, quick, seed, no_cache, connect } = cmd else {
+        return Err(
+            "submit only takes run arguments (OUT_DIR, --quick, --only, --seed)".to_string()
+        );
+    };
+    if connect.is_some() {
+        return Err("--connect is implied by submit; pass the address positionally".to_string());
+    }
+    if no_cache {
+        return Err("--no-cache is not admissible remotely: the server owns its store".to_string());
+    }
+    let mut request = nvp_experiments::CampaignRequest::all(Command::config(quick));
+    request.only = only;
+    request.seed = seed;
+    eprintln!("submitting campaign to nvpd at {addr} ...");
+    let outcome = client::submit(addr, &request).map_err(|e| e.to_string())?;
+    let files = outcome.result.write(&out_dir).map_err(|e| e.to_string())?;
+    for t in &outcome.result.tables {
+        println!("{}", t.to_markdown());
+    }
+    eprintln!(
+        "nvpd job {} (queue depth {} at admission): {} unique simulations, {} deduplicated, \
+         {} served from the server's disk store",
+        outcome.job,
+        outcome.queued,
+        outcome.result.cache.misses,
+        outcome.result.cache.hits,
+        outcome.result.cache.disk_hits
+    );
+    eprintln!("wrote {} files to {}", files.len(), out_dir.display());
+    Ok(ExitCode::SUCCESS)
+}

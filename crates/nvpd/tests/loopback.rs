@@ -1,0 +1,212 @@
+//! Loopback tests: a real `nvpd` server on 127.0.0.1 driven by the real
+//! client, pinning the acceptance criteria — over-the-wire artifacts
+//! byte-identical to in-process runs, duplicate submissions deduped
+//! through the shared cache, and admission control rejecting what it
+//! must without taking the server down.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+
+use nvp_experiments::wire::{read_frame, write_frame, Message};
+use nvp_experiments::{
+    client, reset_sim_cache, run_request, set_cache_dir, CachePolicy, CampaignRequest, ExpConfig,
+};
+use nvpd::{Server, ServerConfig, ServerStats};
+
+/// The simulation cache is process-global; serialize every test that
+/// runs jobs so counters and store state don't interleave.
+fn cache_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("nvpd_{tag}_{}_{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Binds a server on an ephemeral loopback port and runs it on its own
+/// thread; `max_jobs` must be set in `cfg` so the thread terminates.
+fn start_server(cfg: ServerConfig) -> (SocketAddr, thread::JoinHandle<io::Result<ServerStats>>) {
+    assert!(cfg.max_jobs.is_some(), "test servers must have a shutdown point");
+    let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = thread::spawn(move || server.run(&cfg));
+    (addr, handle)
+}
+
+/// Reads every regular file in `dir` into a name → bytes map.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.insert(name, fs::read(entry.path()).expect("read file"));
+        }
+    }
+    out
+}
+
+#[test]
+fn wire_and_in_process_runs_render_byte_identical_artifacts() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+
+    // The full quick campaign — the same artifact set the golden
+    // digests pin — through both transports.
+    let request = CampaignRequest::all(ExpConfig::quick());
+    let local_dir = scratch("local");
+    let local = run_request(&request).expect("in-process run");
+    local.write(&local_dir).expect("write local artifacts");
+
+    let (addr, handle) =
+        start_server(ServerConfig { max_jobs: Some(1), ..ServerConfig::default() });
+    let remote_dir = scratch("remote");
+    let outcome = client::submit(&addr.to_string(), &request).expect("remote run");
+    outcome.result.write(&remote_dir).expect("write remote artifacts");
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!((stats.accepted, stats.completed, stats.rejected), (1, 1, 0));
+
+    let local_files = dir_bytes(&local_dir);
+    let remote_files = dir_bytes(&remote_dir);
+    assert_eq!(
+        local_files.keys().collect::<Vec<_>>(),
+        remote_files.keys().collect::<Vec<_>>(),
+        "same artifact set through both transports"
+    );
+    for (name, bytes) in &local_files {
+        assert_eq!(bytes, &remote_files[name], "{name} differs across transports");
+    }
+
+    reset_sim_cache();
+    let _ = fs::remove_dir_all(&local_dir);
+    let _ = fs::remove_dir_all(&remote_dir);
+}
+
+#[test]
+fn concurrent_duplicate_submissions_dedup_through_the_shared_store() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let cache_dir = scratch("cache");
+    set_cache_dir(Some(&cache_dir)).expect("attach persistent store");
+
+    // f3 runs real (cached) simulations; f2/f12 are pure trace
+    // statistics and would never touch the store.
+    let mut request = CampaignRequest::only(ExpConfig::quick(), &["f3"]);
+    request.seed = Some(7);
+
+    let (addr, handle) =
+        start_server(ServerConfig { max_jobs: Some(2), ..ServerConfig::default() });
+    let (first, second) = thread::scope(|scope| {
+        let a = scope.spawn(|| client::submit(&addr.to_string(), &request));
+        let b = scope.spawn(|| client::submit(&addr.to_string(), &request));
+        (a.join().expect("client a"), b.join().expect("client b"))
+    });
+    let first = first.expect("first submission");
+    let second = second.expect("second submission");
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!((stats.accepted, stats.completed, stats.rejected), (2, 2, 0));
+
+    // Identical values back on both connections...
+    assert_eq!(first.result.tables, second.result.tables);
+    assert_eq!(first.result.results_markdown(), second.result.results_markdown());
+    // ...and (single-worker server, so per-job deltas are exact) every
+    // simulation ran exactly once: whichever job went second was served
+    // entirely from the resident cache.
+    let (cold, warm) = if first.result.cache.misses >= second.result.cache.misses {
+        (&first.result.cache, &second.result.cache)
+    } else {
+        (&second.result.cache, &first.result.cache)
+    };
+    assert!(cold.misses > 0, "the cold job simulates");
+    assert_eq!(warm.misses, 0, "the duplicate job runs zero new simulations");
+    assert!(warm.hits > 0, "the duplicate job is served from the shared store");
+
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+    let _ = fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn admission_control_rejects_without_taking_the_server_down() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+
+    let (addr, handle) =
+        start_server(ServerConfig { max_jobs: Some(1), ..ServerConfig::default() });
+    let addr = addr.to_string();
+
+    // A MemoryOnly job is refused at admission: the daemon's store is
+    // process-wide and cannot be bypassed per job.
+    let mut memory_only = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+    memory_only.cache = CachePolicy::MemoryOnly;
+    let err = client::submit(&addr, &memory_only).expect_err("MemoryOnly must be rejected");
+    assert!(err.to_string().contains("MemoryOnly"), "{err}");
+
+    // Unknown experiment ids are caught before the job takes a slot.
+    let bogus = CampaignRequest::only(ExpConfig::quick(), &["f99"]);
+    let err = client::submit(&addr, &bogus).expect_err("unknown id must be rejected");
+    assert!(err.to_string().contains("unknown experiment id"), "{err}");
+
+    // The server is still healthy: a valid job completes afterwards.
+    let ok = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+    let outcome = client::submit(&addr, &ok).expect("valid job after rejects");
+    assert_eq!(outcome.result.tables.len(), 1);
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!((stats.accepted, stats.completed, stats.rejected), (1, 1, 2));
+    reset_sim_cache();
+}
+
+#[test]
+fn malformed_and_out_of_order_frames_draw_a_reject_frame() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+
+    let (addr, handle) =
+        start_server(ServerConfig { max_jobs: Some(1), ..ServerConfig::default() });
+    let addr = addr.to_string();
+
+    // A syntactically valid frame that is not a Submit.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write_frame(&mut stream, &Message::Accepted { job: 9, queued: 0 }).expect("send frame");
+    match read_frame(&mut stream).expect("reject frame") {
+        Message::Reject { reason } => assert!(reason.contains("Submit"), "{reason}"),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // Garbage bytes with a plausible header shape: rejected as a
+    // malformed frame, connection answered rather than wedged.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    {
+        use io::Write;
+        // len=4, bogus crc, 4 payload bytes.
+        stream.write_all(&[4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]).expect("send bytes");
+    }
+    match read_frame(&mut stream).expect("reject frame") {
+        Message::Reject { reason } => assert!(reason.contains("malformed"), "{reason}"),
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // And the server still serves real work.
+    let ok = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+    client::submit(&addr, &ok).expect("valid job after malformed frames");
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!((stats.accepted, stats.completed, stats.rejected), (1, 1, 2));
+    reset_sim_cache();
+}
