@@ -1,0 +1,51 @@
+//! `nvp-flow` — static CFG/dataflow intermittency-safety analysis for
+//! NV16 program images.
+//!
+//! Intermittently-powered nonvolatile processors checkpoint volatile
+//! state and replay code after power loss. Replay is only transparent
+//! if every *backup region* (the code between two backup boundaries) is
+//! idempotent with respect to nonvolatile data memory. This crate
+//! answers that question statically, before a program ever runs on the
+//! simulator:
+//!
+//! - [`cfg`](mod@cfg) builds a control-flow graph from the decoded image using
+//!   the same leader analysis the simulator's block engine uses, plus
+//!   dominators and natural-loop detection;
+//! - [`absint`] runs an interval abstract interpretation over register
+//!   values so memory accesses get constant or bounded addresses;
+//! - [`dataflow`] provides register liveness and reaching definitions;
+//! - [`analysis`] combines them into the four diagnostic rules
+//!   (`war-hazard`, `dead-store`, `unreachable-block`,
+//!   `no-progress-loop`) and the per-backup-point footprint table that
+//!   an incremental backup controller consumes;
+//! - [`waiver`] parses `nvp-flow: allow(...)` markers out of assembly
+//!   comments so residual findings can be acknowledged per site;
+//! - [`trace`] replays a program on the real [`nvp_sim::Machine`] while
+//!   collecting dynamic read/write/backup events, the ground truth the
+//!   differential soundness tests compare static sets against.
+//!
+//! The over-approximation contract: for every terminating execution,
+//! the dynamic read set is contained in [`Analysis::read_set`], the
+//! dynamic write set in [`Analysis::write_set`], the registers a resumed
+//! execution actually consumes in the static live-in mask at the resume
+//! pc, and the words dirtied since the previous backup in the static
+//! dirty set at the backup point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod analysis;
+pub mod cfg;
+pub mod dataflow;
+pub mod trace;
+pub mod waiver;
+
+pub use absint::{AbsInt, AccessKind, Interval, MemAccess};
+pub use analysis::{
+    analyze, set_contains, set_words, Analysis, AnalysisConfig, BackupSite, Diagnostic, Rule,
+    SiteKind, Span,
+};
+pub use cfg::{Cfg, CfgError, EdgeKind};
+pub use trace::{record, BackupEvent, DynTrace};
+pub use waiver::Waivers;

@@ -1,0 +1,156 @@
+//! Differential soundness harness: static sets must over-approximate
+//! dynamic ground truth on every registry kernel.
+//!
+//! Each kernel runs to completion on the real simulator under a trace
+//! observer ([`nvp_flow::record`]) with a pseudo-random demand-backup
+//! schedule, at two image seeds. For every run the harness asserts the
+//! over-approximation contract:
+//!
+//! - every dynamically read word address lies in the static read set;
+//! - every dynamically written address lies in the static write set;
+//! - at every backup event, the registers the resumed execution
+//!   actually consumed are contained in the static live-in mask at the
+//!   resume pc;
+//! - the words dirtied since the previous backup are contained in the
+//!   static dirty set at the backup pc;
+//! - the static per-site footprint (and the worst-case table row) is at
+//!   least the dynamic footprint.
+//!
+//! And, independently, that every shipped kernel analyzes clean.
+
+use nvp_flow::{analyze, record, set_contains, set_words, AnalysisConfig, Waivers};
+use nvp_workloads::{GrayImage, KernelKind};
+
+/// Deterministic LCG for the demand-backup schedule.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Roughly one demand backup every `PERIOD` instructions.
+const PERIOD: u64 = 701;
+const MAX_INSTS: u64 = 5_000_000;
+
+fn check_kernel(kind: KernelKind, seed: u64) {
+    let image = GrayImage::synthetic(seed, 16, 16);
+    let instance = kind.build(&image).expect("kernel builds");
+    let program = instance.program();
+    let dmem = instance.min_dmem_words();
+
+    let config = AnalysisConfig { dmem_words: dmem, ..AnalysisConfig::default() };
+    let a = analyze(program, &config, &Waivers::none()).expect("analyzes");
+    assert!(
+        a.is_clean(),
+        "{} (seed {seed}) must analyze clean, got: {:?}",
+        kind.name(),
+        a.diagnostics
+    );
+    assert!(!a.sites.is_empty(), "footprint table always has the worst-case row");
+
+    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let trace = record(program, dmem, MAX_INSTS, |_, _| lcg(&mut rng).is_multiple_of(PERIOD))
+        .expect("kernel runs on the simulator");
+    assert!(trace.halted, "{} (seed {seed}) must halt within budget", kind.name());
+    assert!(!trace.backups.is_empty(), "schedule fired at least once");
+
+    for &addr in &trace.reads {
+        assert!(
+            a.may_read(addr),
+            "{} (seed {seed}): dynamic read of dmem[{addr:#06x}] outside static read set {:?}",
+            kind.name(),
+            a.read_set
+        );
+    }
+    for &addr in &trace.writes {
+        assert!(
+            a.may_write(addr),
+            "{} (seed {seed}): dynamic write of dmem[{addr:#06x}] outside static write set {:?}",
+            kind.name(),
+            a.write_set
+        );
+    }
+
+    let worst = a.worst_case();
+    for ev in &trace.backups {
+        let live_static = a.live_in[ev.resume_pc as usize];
+        assert_eq!(
+            ev.live_seen & !live_static,
+            0,
+            "{} (seed {seed}): backup at pc {} resumed at pc {} and read registers \
+             {:#06x} not in the static live-in mask {:#06x}",
+            kind.name(),
+            ev.backup_pc,
+            ev.resume_pc,
+            ev.live_seen,
+            live_static
+        );
+        let dirty_static = &a.dirty_before[ev.backup_pc as usize];
+        for &addr in &ev.dirty {
+            assert!(
+                set_contains(dirty_static, addr),
+                "{} (seed {seed}): dmem[{addr:#06x}] dirtied before backup at pc {} \
+                 is outside the static dirty set {dirty_static:?}",
+                kind.name(),
+                ev.backup_pc
+            );
+        }
+
+        // Footprint direction: static row >= dynamic requirement.
+        let dyn_bits = u64::from(ev.live_seen.count_ones()) * 16 + 32 + ev.dirty.len() as u64 * 16;
+        let static_bits = u64::from(live_static.count_ones()) * 16
+            + 32
+            + set_words(dirty_static).min(dmem as u64) * 16;
+        assert!(
+            static_bits >= dyn_bits,
+            "{} (seed {seed}): static footprint {static_bits} bits at pc {} is below the \
+             dynamic requirement {dyn_bits} bits",
+            kind.name(),
+            ev.backup_pc
+        );
+        assert!(
+            worst.footprint_bits >= dyn_bits,
+            "{} (seed {seed}): worst-case table row ({} bits) is below a dynamic backup \
+             ({dyn_bits} bits at pc {})",
+            kind.name(),
+            worst.footprint_bits,
+            ev.backup_pc
+        );
+    }
+}
+
+macro_rules! differential {
+    ($($name:ident => $kind:expr),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check_kernel($kind, 1);
+                check_kernel($kind, 2);
+            }
+        )+
+    };
+}
+
+differential! {
+    sobel_over_approximates => KernelKind::Sobel,
+    median_over_approximates => KernelKind::Median,
+    smooth_over_approximates => KernelKind::Smooth,
+    edges_over_approximates => KernelKind::Edges,
+    corners_over_approximates => KernelKind::Corners,
+    integral_over_approximates => KernelKind::Integral,
+    fft16_over_approximates => KernelKind::Fft16,
+    dct8_over_approximates => KernelKind::Dct8,
+    crc16_over_approximates => KernelKind::Crc16,
+    strsearch_over_approximates => KernelKind::StrSearch,
+    rle_over_approximates => KernelKind::Rle,
+    matmul8_over_approximates => KernelKind::MatMul8,
+    histogram_over_approximates => KernelKind::Histogram,
+    fir8_over_approximates => KernelKind::Fir8,
+    downsample_over_approximates => KernelKind::Downsample,
+}
+
+/// The registry is exactly the fifteen kernels covered above; a new
+/// kernel must be added to this harness to ship.
+#[test]
+fn registry_is_fully_covered() {
+    assert_eq!(KernelKind::ALL.len(), 15);
+}

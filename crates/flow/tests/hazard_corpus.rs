@@ -1,0 +1,133 @@
+//! Seeded hazard corpus: one hand-written kernel per diagnostic class,
+//! asserting the exact rule id and span the analyzer must produce —
+//! and that waivers silence exactly the acknowledged finding.
+
+use nvp_flow::{analyze, AnalysisConfig, Rule, Waivers};
+use nvp_isa::asm::assemble;
+
+/// A counter in nonvolatile memory is read, incremented, and stored
+/// back inside one backup region: the canonical WAR idempotency
+/// violation. Replay after a torn backup re-reads its own increment.
+const WAR_SRC: &str = "\
+.equ CTR, 64
+    ckpt
+    li r1, CTR
+    lw r2, 0(r1)
+    addi r2, r2, 1
+    sw r2, 0(r1)
+    halt
+";
+
+/// The first store is shadowed by the second on the only path.
+const DEAD_STORE_SRC: &str = "\
+.equ OUT, 32
+    li r1, OUT
+    li r2, 1
+    sw r2, 0(r1)
+    li r2, 2
+    sw r2, 0(r1)
+    halt
+";
+
+/// The instruction after the jump can never execute.
+const UNREACHABLE_SRC: &str = "\
+    j done
+    addi r1, r1, 1
+done:
+    halt
+";
+
+/// A checkpoint-free loop of expensive instructions; under a tiny
+/// storage capacitor no iteration can ever finish.
+const NO_PROGRESS_SRC: &str = "\
+loop:
+    divu r4, r2, r3
+    divu r4, r2, r3
+    bne r1, r0, loop
+    halt
+";
+
+fn run(src: &str, config: &AnalysisConfig) -> nvp_flow::Analysis {
+    let program = assemble(src).expect("corpus program assembles");
+    analyze(&program, config, &Waivers::from_asm_source(src)).expect("analyzes")
+}
+
+#[test]
+fn war_kernel_is_flagged_with_exact_span() {
+    let a = run(WAR_SRC, &AnalysisConfig::default());
+    assert_eq!(a.diagnostics.len(), 1, "diagnostics: {:?}", a.diagnostics);
+    let d = &a.diagnostics[0];
+    assert_eq!(d.rule, Rule::WarHazard);
+    assert_eq!(d.rule.id(), "war-hazard");
+    // Read at pc 2 (lw), rewritten at pc 4 (sw).
+    assert_eq!((d.span.lo, d.span.hi), (2, 4), "message: {}", d.message);
+    assert!(d.message.contains("0x0040"), "names the address: {}", d.message);
+}
+
+#[test]
+fn dead_store_is_flagged_at_the_shadowed_store() {
+    let a = run(DEAD_STORE_SRC, &AnalysisConfig::default());
+    assert_eq!(a.diagnostics.len(), 1, "diagnostics: {:?}", a.diagnostics);
+    let d = &a.diagnostics[0];
+    assert_eq!(d.rule, Rule::DeadStore);
+    assert_eq!(d.rule.id(), "dead-store");
+    // The first store (pc 2); the final store is live (halt commits).
+    assert_eq!((d.span.lo, d.span.hi), (2, 2), "message: {}", d.message);
+}
+
+#[test]
+fn unreachable_block_is_flagged() {
+    let a = run(UNREACHABLE_SRC, &AnalysisConfig::default());
+    assert_eq!(a.diagnostics.len(), 1, "diagnostics: {:?}", a.diagnostics);
+    let d = &a.diagnostics[0];
+    assert_eq!(d.rule, Rule::UnreachableBlock);
+    assert_eq!(d.rule.id(), "unreachable-block");
+    assert_eq!((d.span.lo, d.span.hi), (1, 1), "message: {}", d.message);
+}
+
+#[test]
+fn no_progress_loop_is_flagged_under_a_tiny_capacitor() {
+    let config = AnalysisConfig { max_stored_j: 1e-15, ..AnalysisConfig::default() };
+    let a = run(NO_PROGRESS_SRC, &config);
+    assert_eq!(a.diagnostics.len(), 1, "diagnostics: {:?}", a.diagnostics);
+    let d = &a.diagnostics[0];
+    assert_eq!(d.rule, Rule::NoProgressLoop);
+    assert_eq!(d.rule.id(), "no-progress-loop");
+    // The whole single-block loop body.
+    assert_eq!((d.span.lo, d.span.hi), (0, 2), "message: {}", d.message);
+}
+
+#[test]
+fn no_progress_loop_is_quiet_under_the_default_capacitor() {
+    // Two divisions cost far less than the default ½CV² store.
+    let a = run(NO_PROGRESS_SRC, &AnalysisConfig::default());
+    assert!(a.is_clean(), "diagnostics: {:?}", a.diagnostics);
+}
+
+#[test]
+fn waiver_marker_silences_exactly_the_acknowledged_finding() {
+    // Same WAR kernel, with the store waived in a comment.
+    let src = "\
+.equ CTR, 64
+    ckpt
+    li r1, CTR
+    lw r2, 0(r1)
+    addi r2, r2, 1
+    sw r2, 0(r1) ; nvp-flow: allow(war-hazard) -- replay tolerated in this test
+    halt
+";
+    let program = assemble(src).expect("assembles");
+    let waivers = Waivers::from_asm_source(src);
+    let a = analyze(&program, &AnalysisConfig::default(), &waivers).expect("analyzes");
+    assert!(a.is_clean(), "diagnostics: {:?}", a.diagnostics);
+    assert_eq!(a.waived.len(), 1);
+    assert_eq!(a.waived[0].rule, Rule::WarHazard);
+}
+
+#[test]
+fn rule_ids_round_trip_through_parse() {
+    for rule in Rule::ALL {
+        assert_eq!(Rule::parse(rule.id()), Some(rule));
+    }
+    assert_eq!(Rule::parse("not-a-rule"), None);
+}

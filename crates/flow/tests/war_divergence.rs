@@ -1,0 +1,118 @@
+//! End-to-end proof that the `war-hazard` rule flags a *real* defect:
+//! the seeded WAR kernel is caught statically AND demonstrably
+//! diverges under fault-injected backup tearing, while its idempotent
+//! twin — clean under the analyzer — survives the same fault plan
+//! bit-exactly.
+//!
+//! The platform mechanism (PR 5's fault subsystem): a torn backup
+//! exhausts its retry budget, the platform enters safe mode and powers
+//! down, and the next restore falls back to an older checkpoint slot —
+//! replaying a span of code against nonvolatile memory the first
+//! attempt already mutated. A read-modify-write of one word inside a
+//! backup region then re-reads its own output and double-counts.
+
+use nvp_core::{BackupModel, BackupPolicy, FaultPlan, IntermittentSystem, SystemConfig};
+use nvp_device::NvmTechnology;
+use nvp_energy::PowerTrace;
+use nvp_flow::{analyze, AnalysisConfig, Rule, Waivers};
+use nvp_isa::asm::assemble;
+use nvp_sim::ArchState;
+
+/// Eight-iteration loop that increments a nonvolatile counter via
+/// load-modify-store inside the `ckpt`-delimited region: WAR hazard.
+const WAR_SRC: &str = "\
+.equ CTR, 64
+    li r1, CTR
+    li r4, 8
+loop:
+    ckpt
+    lw r2, 0(r1)
+    addi r2, r2, 1
+    sw r2, 0(r1)
+    addi r3, r3, 1
+    bne r3, r4, loop
+    halt
+";
+
+/// The idempotent twin: the stored value is derived from the loop
+/// index register (restored by every checkpoint), never read back from
+/// memory — replaying any span rewrites identical values.
+const TWIN_SRC: &str = "\
+.equ CTR, 64
+    li r1, CTR
+    li r4, 8
+loop:
+    ckpt
+    addi r2, r3, 1
+    sw r2, 0(r1)
+    addi r3, r3, 1
+    bne r3, r4, loop
+    halt
+";
+
+const CTR_ADDR: u16 = 64;
+const ITERS: u16 = 8;
+
+/// Runs a program on the faulted intermittent platform to task
+/// completion; returns (final counter value, torn backups, safe-mode
+/// entries).
+fn run_faulted(src: &str, plan: FaultPlan) -> (u16, u64, u64) {
+    let program = assemble(src).expect("kernel assembles");
+    let sys = SystemConfig { restart_on_halt: false, ..SystemConfig::default() };
+    let backup = BackupModel::distributed(NvmTechnology::Feram, u64::from(ArchState::BITS));
+    let mut system =
+        IntermittentSystem::with_faults(&program, sys, backup, BackupPolicy::demand(), plan)
+            .expect("platform builds");
+    let trace = PowerTrace::constant(1e-4, 2e-3, 1.0);
+    let report = system.run(&trace).expect("run completes");
+    assert!(report.tasks_completed >= 1, "kernel must reach halt, report: {report:?}");
+    let ctr = system.machine().read_word(CTR_ADDR).expect("counter in installed dmem");
+    (ctr, report.backups_torn, report.safe_mode_entries)
+}
+
+#[test]
+fn war_kernel_is_flagged_statically_and_twin_is_clean() {
+    let war = assemble(WAR_SRC).expect("assembles");
+    let a = analyze(&war, &AnalysisConfig::default(), &Waivers::none()).expect("analyzes");
+    assert_eq!(a.diagnostics.len(), 1, "diagnostics: {:?}", a.diagnostics);
+    assert_eq!(a.diagnostics[0].rule, Rule::WarHazard);
+    // lw at pc 3, sw at pc 5.
+    assert_eq!((a.diagnostics[0].span.lo, a.diagnostics[0].span.hi), (3, 5));
+
+    let twin = assemble(TWIN_SRC).expect("assembles");
+    let b = analyze(&twin, &AnalysisConfig::default(), &Waivers::none()).expect("analyzes");
+    assert!(b.is_clean(), "twin diagnostics: {:?}", b.diagnostics);
+}
+
+#[test]
+fn fault_free_runs_are_exact() {
+    let (ctr, torn, safe) = run_faulted(WAR_SRC, FaultPlan::none());
+    assert_eq!((ctr, torn, safe), (ITERS, 0, 0));
+    let (ctr, torn, safe) = run_faulted(TWIN_SRC, FaultPlan::none());
+    assert_eq!((ctr, torn, safe), (ITERS, 0, 0));
+}
+
+#[test]
+fn war_kernel_diverges_under_backup_tearing_and_twin_does_not() {
+    let mut diverged = false;
+    for seed in 1..=20u64 {
+        let plan = FaultPlan::with_rates(seed, 0.5, 0.0);
+        let (war_ctr, _, war_safe) = run_faulted(WAR_SRC, plan.clone());
+        let (twin_ctr, _, _) = run_faulted(TWIN_SRC, plan);
+
+        // The twin commits exactly one increment per loop index no
+        // matter how often spans replay.
+        assert_eq!(twin_ctr, ITERS, "seed {seed}: idempotent twin must stay exact");
+        // The hazardous counter can only ever over-count.
+        assert!(war_ctr >= ITERS, "seed {seed}: counter is monotone");
+        // Without a fallback replay there is no divergence channel.
+        if war_ctr > ITERS {
+            assert!(war_safe > 0, "seed {seed}: divergence requires a fallback replay");
+            diverged = true;
+        }
+    }
+    assert!(
+        diverged,
+        "no seed in 1..=20 produced a divergent replay; fault plan too weak for the test"
+    );
+}

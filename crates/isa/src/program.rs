@@ -165,6 +165,41 @@ impl Program {
     pub fn data_len(&self) -> usize {
         self.data.iter().map(|s| s.words.len()).sum()
     }
+
+    /// Renders the whole image — symbols, entry point, code, and data
+    /// segments — as assembly source that re-assembles to an identical
+    /// [`Program`] (full structural equality, not just the code words).
+    ///
+    /// Symbols are emitted as `.equ` definitions (the symbol table does
+    /// not distinguish labels from constants, and the assembler stores
+    /// both the same way), instructions with raw numeric operands, and
+    /// each non-empty data segment as its own `.data`/`.word` group so
+    /// the segment list survives byte-for-byte. Empty data segments
+    /// cannot be expressed in source and are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if any stored code word is not a valid
+    /// instruction (possible only for hand-built images).
+    pub fn render_asm(&self) -> Result<String, DecodeError> {
+        use fmt::Write;
+        let mut out = String::new();
+        for (name, value) in &self.symbols {
+            writeln!(out, ".equ {name}, {value}").expect("write to String");
+        }
+        writeln!(out, ".entry {}", self.entry).expect("write to String");
+        for &word in &self.code {
+            writeln!(out, "    {}", Inst::decode(word)?).expect("write to String");
+        }
+        for seg in self.data.iter().filter(|s| !s.words.is_empty()) {
+            writeln!(out, ".data {}", seg.addr).expect("write to String");
+            for chunk in seg.words.chunks(8) {
+                let words: Vec<String> = chunk.iter().map(|w| w.to_string()).collect();
+                writeln!(out, "    .word {}", words.join(", ")).expect("write to String");
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +235,23 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("li r1, 5"));
         assert!(text.contains("out 0, r1"));
+    }
+
+    #[test]
+    fn render_asm_round_trips_exactly() {
+        let mut p = Program::from_insts(vec![
+            Inst::Li { rd: Reg::R1, imm: 0x80 },
+            Inst::Lw { rd: Reg::R2, rs1: Reg::R1, offset: -1 },
+            Inst::Beq { rs1: Reg::R2, rs2: Reg::R0, offset: 1 },
+            Inst::Halt,
+        ]);
+        p.define_symbol("BUF", 0x80);
+        p.add_data(0x80, &[1, 2, 3]);
+        p.add_data(0x200, &[0xFFFF]);
+        p.set_entry(0);
+        let src = p.render_asm().expect("decodable image");
+        let rebuilt = crate::asm::assemble(&src).expect("renders valid source");
+        assert_eq!(rebuilt, p, "source:\n{src}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Program admission: the static-safety gate for program-carrying
+//! requests.
+//!
+//! Today's wire protocol ships [`nvp_experiments::CampaignRequest`]s
+//! that name registry experiments, so no client-supplied program image
+//! reaches the server yet. This module is the gate such requests will
+//! pass through when they land (ROADMAP: remote kernel submission): a
+//! submitted [`Program`] is admitted only if the `nvp-flow` analyzer
+//! finds zero intermittency-safety diagnostics. The rejection is typed
+//! — rule id plus pc — and rendered into the existing `Reject` frame's
+//! reason string under a stable `nvp-flow/` prefix, so clients can
+//! parse the verdict back out of the wire error without a protocol
+//! bump.
+
+use std::fmt;
+
+use nvp_flow::{analyze, AnalysisConfig, Waivers};
+use nvp_isa::Program;
+
+/// Stable prefix identifying an analyzer rejection inside a `Reject`
+/// frame's reason string.
+pub const REASON_PREFIX: &str = "nvp-flow/";
+
+/// A typed program rejection: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramRejection {
+    /// Rule id (`war-hazard`, `dead-store`, ...).
+    pub rule: String,
+    /// First instruction address of the offending span.
+    pub pc: u32,
+    /// Human-readable detail from the analyzer.
+    pub detail: String,
+}
+
+impl fmt::Display for ProgramRejection {
+    /// Wire form: `nvp-flow/<rule>@<pc>: <detail>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{REASON_PREFIX}{}@{}: {}", self.rule, self.pc, self.detail)
+    }
+}
+
+impl std::error::Error for ProgramRejection {}
+
+/// Parses a `Reject` reason back into a typed rejection, if it carries
+/// the analyzer prefix. The inverse of [`ProgramRejection`]'s
+/// `Display`.
+#[must_use]
+pub fn parse_reject_reason(reason: &str) -> Option<ProgramRejection> {
+    let rest = reason.strip_prefix(REASON_PREFIX)?;
+    let (head, detail) = rest.split_once(": ")?;
+    let (rule, pc) = head.split_once('@')?;
+    Some(ProgramRejection {
+        rule: rule.to_string(),
+        pc: pc.parse().ok()?,
+        detail: detail.to_string(),
+    })
+}
+
+/// Admits `program` only if the static analyzer reports zero
+/// diagnostics under the default platform configuration and no
+/// waivers (a server cannot trust client-side waivers).
+///
+/// # Errors
+///
+/// Returns the first (most severe by rule order) diagnostic as a
+/// [`ProgramRejection`]; undecodable images are rejected under the
+/// pseudo-rule `undecodable`.
+pub fn admit_program(program: &Program) -> Result<(), ProgramRejection> {
+    let analysis = analyze(program, &AnalysisConfig::default(), &Waivers::none()).map_err(|e| {
+        ProgramRejection { rule: "undecodable".to_string(), pc: e.pc, detail: e.to_string() }
+    })?;
+    match analysis.diagnostics.first() {
+        None => Ok(()),
+        Some(d) => Err(ProgramRejection {
+            rule: d.rule.id().to_string(),
+            pc: d.span.lo,
+            detail: d.message.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::asm::assemble;
+
+    #[test]
+    fn clean_program_is_admitted() {
+        let p = assemble("li r1, 64\nli r2, 7\nsw r2, 0(r1)\nhalt").expect("assembles");
+        assert_eq!(admit_program(&p), Ok(()));
+    }
+
+    #[test]
+    fn war_program_is_rejected_with_typed_reason() {
+        let src = "ckpt\nli r1, 64\nlw r2, 0(r1)\naddi r2, r2, 1\nsw r2, 0(r1)\nhalt";
+        let p = assemble(src).expect("assembles");
+        let err = admit_program(&p).expect_err("WAR program must be refused");
+        assert_eq!(err.rule, "war-hazard");
+        assert_eq!(err.pc, 2);
+        // The wire round trip preserves the typed fields.
+        let wire = err.to_string();
+        assert!(wire.starts_with(REASON_PREFIX));
+        assert_eq!(parse_reject_reason(&wire), Some(err));
+    }
+
+    #[test]
+    fn non_analyzer_reasons_do_not_parse() {
+        assert_eq!(parse_reject_reason("admission queue full; retry later"), None);
+        assert_eq!(parse_reject_reason("nvp-flow/"), None);
+    }
+}

@@ -28,6 +28,28 @@ fn every_kernel_disassembles_and_reassembles() {
 }
 
 #[test]
+fn every_kernel_renders_and_reassembles_byte_identically() {
+    // The strong closure property: `Program::render_asm` emits source
+    // that reassembles to a structurally identical image — code words,
+    // data segments, entry point, AND symbol table. Two frame seeds so
+    // data-dependent segment contents are exercised too.
+    for seed in [7u64, 99] {
+        let frame = GrayImage::synthetic(seed, 16, 16);
+        for kind in KernelKind::ALL {
+            let inst = kind.build(&frame).expect("kernel builds");
+            let src = inst.program().render_asm().expect("kernel image decodes");
+            let rebuilt = assemble(&src)
+                .unwrap_or_else(|e| panic!("{kind}: rendered source does not assemble: {e}"));
+            assert_eq!(
+                &rebuilt,
+                inst.program(),
+                "{kind} (seed {seed}): reassembled image differs from the original"
+            );
+        }
+    }
+}
+
+#[test]
 fn kernel_programs_are_nontrivial() {
     // Guard against degenerate codegen: each kernel is a real program
     // with loops (backward branches) and memory traffic.
