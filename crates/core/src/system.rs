@@ -8,9 +8,11 @@
 use nvp_energy::units::{Farads, Joules, Seconds, Volts, Watts};
 use nvp_energy::{EnergyFrontEnd, FrontEndConfig, PowerTrace, Rectifier, TickIncome};
 use nvp_isa::Program;
+use std::sync::Arc;
+
 use nvp_sim::{
-    torn_prefix_words, ArchState, Checkpoint, CycleModel, EnergyModel, Machine, SimError,
-    CHECKPOINT_WORDS, DEFAULT_DMEM_WORDS,
+    torn_prefix_words, ArchState, Checkpoint, CycleModel, EnergyModel, Machine, MachineImage,
+    SimError, CHECKPOINT_WORDS, DEFAULT_DMEM_WORDS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -326,7 +328,9 @@ pub struct IntermittentSystem {
     backup: BackupModel,
     policy: BackupPolicy,
     thresholds: Thresholds,
-    program: Program,
+    /// Shared immutable program image (decoded code + block plans);
+    /// campaigns running many trials of one program share a single image.
+    image: Arc<MachineImage>,
     machine: Machine,
     fe: EnergyFrontEnd,
     phase: Phase,
@@ -385,12 +389,32 @@ impl IntermittentSystem {
         policy: BackupPolicy,
         fault: FaultPlan,
     ) -> Result<Self, SimError> {
-        let machine = Machine::with_config(
+        let image = Arc::new(MachineImage::build(
             program,
             config.dmem_words,
             config.cycle_model,
             config.energy_model,
-        )?;
+        )?);
+        Ok(Self::with_faults_on_image(&image, config, backup, policy, fault))
+    }
+
+    /// [`with_faults`](Self::with_faults) over a prebuilt shared
+    /// [`MachineImage`]. Campaigns dispatching many trials of one
+    /// program build the image (decode + block partition) once and share
+    /// it across every platform instead of redoing that work per trial.
+    ///
+    /// The image must have been built with the same `dmem_words`,
+    /// `cycle_model`, and `energy_model` as `config`, or the reported
+    /// costs will not match the configuration.
+    #[must_use]
+    pub fn with_faults_on_image(
+        image: &Arc<MachineImage>,
+        config: SystemConfig,
+        backup: BackupModel,
+        policy: BackupPolicy,
+        fault: FaultPlan,
+    ) -> Self {
+        let machine = Machine::from_image(image);
         let thresholds = Thresholds::derive(&backup, &policy, Joules::new(config.work_headroom_j));
         // An NVP's buffer sits directly at the rectifier output: no
         // trickle penalty, no charger input clipping.
@@ -401,12 +425,12 @@ impl IntermittentSystem {
             Seconds::new(config.cap_leak_tau_s),
         ));
         let rng = StdRng::seed_from_u64(fault.seed);
-        Ok(IntermittentSystem {
+        IntermittentSystem {
             config,
             backup,
             policy,
             thresholds,
-            program: program.clone(),
+            image: Arc::clone(image),
             machine,
             fe,
             phase: Phase::Off,
@@ -425,7 +449,13 @@ impl IntermittentSystem {
             time_debt_s: 0.0,
             current_clock_hz: config.clock_hz,
             report: RunReport::default(),
-        })
+        }
+    }
+
+    /// The shared program image this platform executes.
+    #[must_use]
+    pub fn image(&self) -> &Arc<MachineImage> {
+        &self.image
     }
 
     /// The fault-injection plan in effect.
@@ -645,7 +675,7 @@ impl IntermittentSystem {
                 block = block.min(safe_count(interval - self.since_ckpt_s, max_step_s));
             }
             if block >= 2 {
-                let stats = self.machine.run_blocks(block)?;
+                let stats = self.machine.run_superblocks(block)?;
                 let t = stats.cycles as f64 / clock;
                 budget -= t;
                 self.report.on_time_s += t;
@@ -745,12 +775,12 @@ impl IntermittentSystem {
         } else {
             // Volatile SRAM: rebuild the machine, losing data memory too,
             // and invalidate the checkpoints (they reference lost data).
-            self.machine = Machine::with_config(
-                &self.program,
-                self.config.dmem_words,
-                self.config.cycle_model,
-                self.config.energy_model,
-            )?;
+            // The superblock profile is execution metadata, not machine
+            // state, so the rebuilt machine adopts it rather than
+            // re-warming from scratch after every brown-out.
+            let mut fresh = Machine::from_image(&self.image);
+            fresh.adopt_profile_from(&mut self.machine);
+            self.machine = fresh;
             self.slots = [None, None];
             self.write_idx = 0;
         }

@@ -15,6 +15,20 @@ use nvp_experiments::{
     client, feasibility, run_request, set_cache_dir, CachePolicy, CampaignRequest,
 };
 
+/// One-line execution-tier summary, printed alongside the sim-cache
+/// line by both the in-process and `--connect` paths.
+fn exec_summary(exec: &nvp_experiments::ExecStats) -> String {
+    format!(
+        "exec tiers: {} superblock chain(s) formed, {} chain run(s), {} side exit(s), \
+         {} lane group(s) covering {} simulation(s)",
+        exec.chains_formed,
+        exec.chain_runs,
+        exec.side_exits,
+        exec.lane_groups,
+        exec.lane_group_items
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match cli::parse(&args) {
@@ -130,6 +144,7 @@ fn main() -> ExitCode {
                     outcome.result.cache.hits,
                     outcome.result.cache.disk_hits
                 );
+                eprintln!("{}", exec_summary(&outcome.result.exec));
                 eprintln!("wrote {} files to {}", files.len(), out_dir.display());
                 ExitCode::SUCCESS
             }
@@ -180,6 +195,7 @@ fn main() -> ExitCode {
                 result.cache.disk_hits,
                 result.cache.persisted
             );
+            eprintln!("{}", exec_summary(&result.exec));
             eprintln!("wrote {} files to {}", files.len(), out_dir.display());
             ExitCode::SUCCESS
         }

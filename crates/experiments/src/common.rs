@@ -175,7 +175,9 @@ pub(crate) fn run_nvp_with(
     simcache::cached_run(key.finish(), || {
         let mut system =
             IntermittentSystem::new(inst.program(), sys, backup, policy).expect("platform builds");
-        system.run(trace).expect("workload does not fault")
+        let report = system.run(trace).expect("workload does not fault");
+        crate::stats::record_superblocks(system.machine().superblock_stats());
+        report
     })
 }
 

@@ -21,11 +21,14 @@
 //! so the table is bit-identical across reruns and thread counts
 //! (pinned by `tests/fault_resilience.rs`).
 
+use std::sync::Arc;
+
 use nvp_core::{
     BackupModel, BackupPolicy, FaultPlan, IntermittentSystem, RunReport, SimEvent, SimObserver,
     SystemConfig,
 };
 use nvp_device::{NvmTechnology, RelaxPolicy, RetentionShaper};
+use nvp_sim::MachineImage;
 use nvp_workloads::{KernelInstance, KernelKind};
 use serde::{Deserialize, Serialize};
 
@@ -177,24 +180,28 @@ fn recovery_latencies_ms(events: &[(f64, SimEvent)]) -> Vec<f64> {
 
 /// Runs one seeded trial, returning the report and its recovery
 /// latencies. Deliberately bypasses the simulation cache (see module
-/// docs).
+/// docs). Every trial shares one prebuilt machine image: all three
+/// styles run the same program under the same cycle/energy models, so
+/// decode and block partitioning happen once per campaign, not per
+/// trial.
 fn run_trial(
-    inst: &KernelInstance,
+    image: &Arc<MachineImage>,
     trace: &nvp_energy::PowerTrace,
     style: &Style,
     plan: FaultPlan,
 ) -> (RunReport, Vec<f64>) {
-    let mut system = IntermittentSystem::with_faults(
-        inst.program(),
+    let mut system = IntermittentSystem::with_faults_on_image(
+        image,
         style.sys,
         style.backup,
         style.policy,
         plan,
-    )
-    .expect("platform builds");
+    );
     let mut log = EventLog::default();
     let report = system.run_observed(trace, &mut log).expect("workload does not fault");
-    (report, recovery_latencies_ms(&log.events))
+    let (report, latencies) = (report, recovery_latencies_ms(&log.events));
+    crate::stats::record_superblocks(system.machine().superblock_stats());
+    (report, latencies)
 }
 
 /// Runs the full campaign: every style × fault rate × trial.
@@ -203,6 +210,14 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
     let inst = kernel(cfg, KernelKind::Sobel);
     let trace = watch_trace(cfg, cfg.profile_seeds[0]);
     let styles = styles(&inst);
+    // One shared image for the whole campaign: the styles differ only
+    // in backup hardware and data-memory volatility, never in the
+    // image-relevant configuration (memory size, cycle/energy models).
+    let sys = styles[0].sys;
+    let image = Arc::new(
+        MachineImage::build(inst.program(), sys.dmem_words, sys.cycle_model, sys.energy_model)
+            .expect("kernel image builds"),
+    );
 
     // Flattened work grid; the fault-free control runs one trial (the
     // disabled plan is deterministic, so further trials are identical).
@@ -215,9 +230,12 @@ pub fn rows(cfg: &ExpConfig) -> Vec<Row> {
             }
         }
     }
-    let results = sched::par_map(&grid, |&(si, ri, trial)| {
+    // Monte-Carlo trials of the same kernel dispatch as lane groups:
+    // one scheduler task per group of consecutive trials, all sharing
+    // the hot image instead of travelling as independent tasks.
+    let results = sched::par_map_groups(&grid, sched::GROUP_WIDTH, |&(si, ri, trial)| {
         let plan = plan_for(cfg, FAULT_RATES[ri], si, trial);
-        run_trial(&inst, &trace, &styles[si], plan)
+        run_trial(&image, &trace, &styles[si], plan)
     });
 
     let mut out = Vec::new();

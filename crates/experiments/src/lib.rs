@@ -50,6 +50,7 @@ mod report;
 mod runner;
 mod sched;
 mod simcache;
+mod stats;
 pub mod wire;
 
 pub mod f10_policy_sweep;
@@ -70,9 +71,10 @@ pub mod t3_backup_strategies;
 
 pub use config::ExpConfig;
 pub use job::{run_request, CachePolicy, CampaignRequest, CampaignResult};
-pub use par::{set_thread_override, thread_count};
+pub use par::{set_thread_limit, set_thread_override, thread_count};
 pub use registry::{find, registry, Experiment};
 pub use report::Table;
 pub use runner::{run_all, run_all_sequential, run_only, RunArtifacts};
 pub use sched::{sched_stats, SchedStats};
 pub use simcache::{reset_sim_cache, set_cache_dir, sim_cache_stats, SimCacheStats};
+pub use stats::{exec_stats, ExecStats};

@@ -30,11 +30,13 @@ use nvp_sim::crc32_bytes;
 use crate::job::{CachePolicy, CampaignRequest, CampaignResult};
 use crate::sched::SchedStats;
 use crate::simcache::SimCacheStats;
+use crate::stats::ExecStats;
 use crate::{ExpConfig, Table};
 
 /// Protocol schema tag carried inside every [`Message::Submit`]; bump
-/// when the request or result encoding changes shape.
-pub const PROTOCOL: &str = "nvpd/1";
+/// when the request or result encoding changes shape. `nvpd/2` added
+/// the execution-tier counters (superblocks, lane groups) to results.
+pub const PROTOCOL: &str = "nvpd/2";
 
 /// Upper bound a frame's length prefix may claim. Large enough for any
 /// full-evaluation result with headroom, small enough that a corrupt or
@@ -173,6 +175,15 @@ fn put_result(out: &mut Vec<u8>, result: &CampaignResult) {
     for v in [result.sched.tasks, result.sched.steals, result.sched.helpers] {
         put_u64(out, v);
     }
+    for v in [
+        result.exec.chains_formed,
+        result.exec.chain_runs,
+        result.exec.side_exits,
+        result.exec.lane_groups,
+        result.exec.lane_group_items,
+    ] {
+        put_u64(out, v);
+    }
 }
 
 /// Serializes a message payload (tag + body), without framing.
@@ -294,7 +305,7 @@ fn get_config(r: &mut Reader<'_>) -> io::Result<ExpConfig> {
 fn get_request(r: &mut Reader<'_>) -> io::Result<CampaignRequest> {
     let proto = r.str()?;
     if proto != PROTOCOL {
-        return Err(bad("protocol mismatch (expected nvpd/1)"));
+        return Err(bad("protocol mismatch (expected nvpd/2)"));
     }
     let only = match r.u8()? {
         0 => None,
@@ -367,7 +378,14 @@ fn get_result(r: &mut Reader<'_>) -> io::Result<CampaignResult> {
         persisted: r.u64()?,
     };
     let sched = SchedStats { tasks: r.u64()?, steals: r.u64()?, helpers: r.u64()? };
-    Ok(CampaignResult { tables, profiles, cache, sched })
+    let exec = ExecStats {
+        chains_formed: r.u64()?,
+        chain_runs: r.u64()?,
+        side_exits: r.u64()?,
+        lane_groups: r.u64()?,
+        lane_group_items: r.u64()?,
+    };
+    Ok(CampaignResult { tables, profiles, cache, sched, exec })
 }
 
 /// Decodes one payload (tag + body) into a [`Message`].
@@ -452,6 +470,13 @@ mod tests {
             profiles: vec![(1, "t_s,power_uW\n0.0,12.5\n".into())],
             cache: SimCacheStats { hits: 7, disk_hits: 2, misses: 3, persisted: 3 },
             sched: SchedStats { tasks: 10, steals: 4, helpers: 2 },
+            exec: ExecStats {
+                chains_formed: 5,
+                chain_runs: 80,
+                side_exits: 6,
+                lane_groups: 4,
+                lane_group_items: 30,
+            },
         }
     }
 

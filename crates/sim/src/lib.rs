@@ -37,11 +37,15 @@
 mod block;
 mod checkpoint;
 mod energy;
+mod lanes;
 mod machine;
 
 pub use checkpoint::{crc32_bytes, crc32_words, torn_prefix_words, Checkpoint, CHECKPOINT_WORDS};
 pub use energy::{CycleModel, EnergyModel, InstClass};
-pub use machine::{ArchState, BlockStats, Counters, Machine, SimError, Step};
+pub use lanes::{LaneMachine, LaneStats, MAX_LANES};
+pub use machine::{
+    ArchState, BlockStats, Counters, Machine, MachineImage, SimError, Step, SuperblockStats,
+};
 
 /// Default installed data-memory size in 16-bit words (8 Ki-words = 16 KiB).
 pub const DEFAULT_DMEM_WORDS: usize = 8192;

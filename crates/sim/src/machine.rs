@@ -1,12 +1,13 @@
 //! The NV16 machine: architectural state, execution, accounting.
 
 use std::fmt;
+use std::sync::Arc;
 
 use nvp_isa::blocks::branch_target;
 use nvp_isa::{DecodeError, Inst, Program, Reg};
 use serde::{Deserialize, Serialize};
 
-use crate::block::{BlockTable, Cond, MicroKind, Term, NO_PLAN, NUM_SLOTS};
+use crate::block::{BlockTable, Cond, MicroKind, MicroOp, Term, NO_PLAN, NUM_SLOTS};
 use crate::{CycleModel, EnergyModel, InstClass, DEFAULT_DMEM_WORDS};
 
 /// The volatile architectural state an NVP must back up: the register file
@@ -171,6 +172,193 @@ impl std::error::Error for SimError {
     }
 }
 
+/// The immutable, shareable part of a loaded program: predecoded code,
+/// fused block plans, worst-case step costs, and the initial data-memory
+/// contents (zero-fill plus data segments).
+///
+/// Building an image does all the per-program work — decode, block
+/// partitioning, micro-op lowering — exactly once; any number of
+/// [`Machine`]s (or [`LaneMachine`](crate::LaneMachine) lanes) can then
+/// be instantiated from the same `Arc`'d image without re-decoding.
+/// Monte-Carlo campaigns that run thousands of same-program trials share
+/// one image across every trial and every power-failure rebuild.
+#[derive(Debug)]
+pub struct MachineImage {
+    pub(crate) code: Vec<Decoded>,
+    pub(crate) blocks: BlockTable,
+    pub(crate) max_step_cycles: u32,
+    pub(crate) max_step_energy_j: f64,
+    pub(crate) entry: u32,
+    pub(crate) dmem_init: Vec<u16>,
+}
+
+impl MachineImage {
+    /// Decodes and lowers a program into a reusable image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Decode`] if the image contains an undecodable
+    /// word and [`SimError::MemOutOfRange`] if a data segment exceeds the
+    /// installed data memory.
+    pub fn build(
+        program: &Program,
+        dmem_words: usize,
+        cycle_model: CycleModel,
+        energy_model: EnergyModel,
+    ) -> Result<MachineImage, SimError> {
+        let mut code = Vec::with_capacity(program.code().len());
+        for (pc, &word) in program.code().iter().enumerate() {
+            let inst =
+                Inst::decode(word).map_err(|source| SimError::Decode { pc: pc as u32, source })?;
+            code.push(Decoded::new(inst, &cycle_model, &energy_model));
+        }
+        // Worst-case single-step cost over this image, used by platform
+        // models to bound how many instructions can safely run as one
+        // batch before re-checking energy/time thresholds.
+        let max_step_cycles =
+            code.iter().map(|d| d.cycles_not_taken.max(d.cycles_taken)).max().unwrap_or(1);
+        let max_step_energy_j =
+            code.iter().map(|d| d.energy_not_taken_j.max(d.energy_taken_j)).fold(0.0f64, f64::max);
+        let mut dmem_init = vec![0u16; dmem_words];
+        for seg in program.data_segments() {
+            let start = usize::from(seg.addr);
+            let end = start + seg.words.len();
+            if end > dmem_init.len() {
+                return Err(SimError::MemOutOfRange {
+                    addr: (end - 1).min(u16::MAX as usize) as u16,
+                    pc: 0,
+                });
+            }
+            dmem_init[start..end].copy_from_slice(&seg.words);
+        }
+        let blocks = BlockTable::build(&code, program.entry());
+        Ok(MachineImage {
+            code,
+            blocks,
+            max_step_cycles,
+            max_step_energy_j,
+            entry: program.entry(),
+            dmem_init,
+        })
+    }
+
+    /// Entry-point word address.
+    #[must_use]
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Installed data-memory size, in words.
+    #[must_use]
+    pub fn dmem_words(&self) -> usize {
+        self.dmem_init.len()
+    }
+
+    /// Number of instructions in the image.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+}
+
+/// Cumulative statistics for the superblock tier of one [`Machine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperblockStats {
+    /// Chains formed when the profiling warm-up completed (0 until then).
+    pub chains_formed: u64,
+    /// Dispatches that entered execution at a chain head.
+    pub chain_runs: u64,
+    /// Blocks retired through chain links (head included).
+    pub chained_blocks: u64,
+    /// Early exits out of a chain: a link's entry guard failed (control
+    /// left the hot trace) or the remaining budget could not fit the next
+    /// link, falling back to the block tier.
+    pub side_exits: u64,
+}
+
+/// Per-machine superblock state: warm-up profile, built chains, stats.
+///
+/// Profiling counts block executions and inter-block edges at streak
+/// granularity; once [`SB_WARMUP_EXECS`] block executions are observed
+/// the hot chains are built (once) and dispatch switches to them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SuperState {
+    execs: Vec<u64>,
+    edges: Vec<[(u32, u64); 2]>,
+    ticks: u64,
+    built: bool,
+    chain_elems: Vec<u32>,
+    chain_span: Vec<(u32, u32)>,
+    stats: SuperblockStats,
+}
+
+/// Block executions observed before hot chains are built.
+const SB_WARMUP_EXECS: u64 = 512;
+
+impl SuperState {
+    /// (Re)sizes the profile arrays for an image with `nplans` blocks.
+    fn ensure(&mut self, nplans: usize) {
+        if self.execs.len() != nplans {
+            self.execs = vec![0; nplans];
+            self.edges = vec![[(NO_PLAN, 0); 2]; nplans];
+            self.chain_span = vec![(0, 0); nplans];
+            self.chain_elems.clear();
+            self.ticks = 0;
+            self.built = false;
+        }
+    }
+
+    /// The chain rooted at `plan`, as a span into `chain_elems`, if one
+    /// was built.
+    #[inline]
+    fn chain_at(&self, plan: u32) -> Option<(u32, u32)> {
+        if !self.built {
+            return None;
+        }
+        let (start, len) = self.chain_span[plan as usize];
+        (len >= 2).then_some((start, len))
+    }
+
+    /// Records one streak: `repeats` back-to-back executions of `plan`
+    /// followed by an exit towards `succ` (or [`NO_PLAN`] when the run
+    /// stopped). Builds the chains once warm.
+    fn record(&mut self, plan: u32, repeats: u64, succ: u32, table: &BlockTable) {
+        self.execs[plan as usize] += repeats;
+        self.ticks += repeats;
+        if repeats > 1 {
+            self.record_edge(plan, plan, repeats - 1);
+        }
+        if succ != NO_PLAN {
+            self.record_edge(plan, succ, 1);
+        }
+        if !self.built && self.ticks >= SB_WARMUP_EXECS {
+            let (elems, span) = table.build_chains(&self.execs, &self.edges);
+            self.stats.chains_formed = span.iter().filter(|&&(_, len)| len >= 2).count() as u64;
+            self.chain_elems = elems;
+            self.chain_span = span;
+            self.built = true;
+        }
+    }
+
+    /// Two-way counters per source block: enough to find a dominant
+    /// successor without unbounded edge maps.
+    fn record_edge(&mut self, from: u32, to: u32, n: u64) {
+        let e = &mut self.edges[from as usize];
+        if e[0].0 == to {
+            e[0].1 += n;
+        } else if e[1].0 == to {
+            e[1].1 += n;
+            if e[1].1 > e[0].1 {
+                e.swap(0, 1);
+            }
+        } else if e[0].0 == NO_PLAN {
+            e[0] = (to, n);
+        } else if e[1].0 == NO_PLAN || n > e[1].1 {
+            e[1] = (to, n);
+        }
+    }
+}
+
 /// A deterministic NV16 machine instance.
 ///
 /// The machine separates *volatile* state (registers + PC, lost on a power
@@ -179,20 +367,21 @@ impl std::error::Error for SimError {
 /// baselines lose SRAM contents. Platform models in `nvp-core` call
 /// [`snapshot`](Machine::snapshot) / [`restore`](Machine::restore) /
 /// [`reset_volatile`](Machine::reset_volatile) to implement their policies.
+///
+/// The immutable per-program tables live in an `Arc`'d [`MachineImage`];
+/// cloning a machine or building one [`from_image`](Machine::from_image)
+/// shares them.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    code: Vec<Decoded>,
-    blocks: BlockTable,
-    max_step_cycles: u32,
-    max_step_energy_j: f64,
+    image: Arc<MachineImage>,
     regs: [u16; 16],
     pc: u32,
-    entry: u32,
     halted: bool,
     dmem: Vec<u16>,
     inputs: [u16; 16],
     out_log: Vec<(u8, u16)>,
     counters: Counters,
+    sb: SuperState,
 }
 
 impl Machine {
@@ -223,46 +412,73 @@ impl Machine {
         cycle_model: CycleModel,
         energy_model: EnergyModel,
     ) -> Result<Machine, SimError> {
-        let mut code = Vec::with_capacity(program.code().len());
-        for (pc, &word) in program.code().iter().enumerate() {
-            let inst =
-                Inst::decode(word).map_err(|source| SimError::Decode { pc: pc as u32, source })?;
-            code.push(Decoded::new(inst, &cycle_model, &energy_model));
-        }
-        // Worst-case single-step cost over this image, used by platform
-        // models to bound how many instructions can safely run as one
-        // batch before re-checking energy/time thresholds.
-        let max_step_cycles =
-            code.iter().map(|d| d.cycles_not_taken.max(d.cycles_taken)).max().unwrap_or(1);
-        let max_step_energy_j =
-            code.iter().map(|d| d.energy_not_taken_j.max(d.energy_taken_j)).fold(0.0f64, f64::max);
-        let mut dmem = vec![0u16; dmem_words];
-        for seg in program.data_segments() {
-            let start = usize::from(seg.addr);
-            let end = start + seg.words.len();
-            if end > dmem.len() {
-                return Err(SimError::MemOutOfRange {
-                    addr: (end - 1).min(u16::MAX as usize) as u16,
-                    pc: 0,
-                });
-            }
-            dmem[start..end].copy_from_slice(&seg.words);
-        }
-        let blocks = BlockTable::build(&code, program.entry());
-        Ok(Machine {
-            code,
-            blocks,
-            max_step_cycles,
-            max_step_energy_j,
+        let image = MachineImage::build(program, dmem_words, cycle_model, energy_model)?;
+        Ok(Machine::from_image(&Arc::new(image)))
+    }
+
+    /// Creates a fresh machine (reset state, initial data memory) from a
+    /// prebuilt shared image, skipping decode and block lowering.
+    #[must_use]
+    pub fn from_image(image: &Arc<MachineImage>) -> Machine {
+        Machine {
+            image: Arc::clone(image),
             regs: [0; 16],
-            pc: program.entry(),
-            entry: program.entry(),
+            pc: image.entry,
             halted: false,
-            dmem,
+            dmem: image.dmem_init.clone(),
             inputs: [0; 16],
             out_log: Vec::new(),
             counters: Counters::default(),
-        })
+            sb: SuperState::default(),
+        }
+    }
+
+    /// Assembles a machine from lane-extracted state (same image).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_lane_parts(
+        image: Arc<MachineImage>,
+        regs: [u16; 16],
+        pc: u32,
+        halted: bool,
+        dmem: Vec<u16>,
+        inputs: [u16; 16],
+        out_log: Vec<(u8, u16)>,
+        counters: Counters,
+    ) -> Machine {
+        Machine {
+            image,
+            regs,
+            pc,
+            halted,
+            dmem,
+            inputs,
+            out_log,
+            counters,
+            sb: SuperState::default(),
+        }
+    }
+
+    /// The shared program image this machine executes.
+    #[must_use]
+    pub fn image(&self) -> &Arc<MachineImage> {
+        &self.image
+    }
+
+    /// Moves the superblock warm-up profile, built chains, and stats from
+    /// `donor` into `self`, so a machine rebuilt after a power failure
+    /// (same image) keeps its learned hot traces instead of re-warming.
+    pub fn adopt_profile_from(&mut self, donor: &mut Machine) {
+        debug_assert!(
+            Arc::ptr_eq(&self.image, &donor.image),
+            "superblock profiles are only portable between machines sharing an image"
+        );
+        self.sb = std::mem::take(&mut donor.sb);
+    }
+
+    /// Cumulative superblock-tier statistics for this machine.
+    #[must_use]
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sb.stats
     }
 
     /// Executes one instruction.
@@ -284,7 +500,7 @@ impl Machine {
             });
         }
         let pc = self.pc;
-        let decoded = *self.code.get(pc as usize).ok_or(SimError::PcOutOfRange { pc })?;
+        let decoded = *self.image.code.get(pc as usize).ok_or(SimError::PcOutOfRange { pc })?;
         let class = decoded.class;
         let mut taken = false;
         let mut checkpoint = false;
@@ -482,6 +698,37 @@ impl Machine {
     /// architectural state and counters reflect every instruction
     /// retired before the fault, exactly as in step mode.
     pub fn run_blocks(&mut self, max_insts: u64) -> Result<BlockStats, SimError> {
+        self.run_fused::<false>(max_insts)
+    }
+
+    /// Like [`run_blocks`](Machine::run_blocks), plus a profile-directed
+    /// superblock tier stacked on top: during warm-up the engine counts
+    /// block executions and inter-block edges; once warm it fuses hot
+    /// block *chains* across static branches and `jal` targets and
+    /// dispatches whole chains without returning to the outer loop
+    /// between links. Every link carries a side-exit guard — if control
+    /// leaves the recorded trace or the budget cannot fit the next link,
+    /// the chain exits early and the block tier (with its streak
+    /// batching) resumes exactly where step mode would be.
+    ///
+    /// Results are bit-identical to [`run_blocks`](Machine::run_blocks)
+    /// and therefore to [`step`](Machine::step), including [`Counters`],
+    /// energy bit patterns, and fault accounting. See
+    /// [`superblock_stats`](Machine::superblock_stats) for chain/side-exit
+    /// counts and [`adopt_profile_from`](Machine::adopt_profile_from) for
+    /// carrying the learned profile across power-failure rebuilds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution fault (see [`Machine::step`]).
+    pub fn run_superblocks(&mut self, max_insts: u64) -> Result<BlockStats, SimError> {
+        self.run_fused::<true>(max_insts)
+    }
+
+    /// The fused execution engine behind both block-level tiers. `SB`
+    /// selects the superblock tier (profiling + chain dispatch) at
+    /// compile time so the plain block tier pays nothing for it.
+    fn run_fused<const SB: bool>(&mut self, max_insts: u64) -> Result<BlockStats, SimError> {
         let mut stats = BlockStats::default();
         // Local register file (slot 16 absorbs r0 writes) and energy
         // accumulators, synced back on every exit and around fallbacks.
@@ -489,11 +736,15 @@ impl Machine {
         lr[..16].copy_from_slice(&self.regs);
         let mut c_energy = self.counters.energy_j;
         let mut s_energy = 0.0f64;
+        if SB {
+            self.sb.ensure(self.image.blocks.plans.len());
+        }
 
         while stats.executed < max_insts && !self.halted {
-            let plan_idx = self.blocks.leader.get(self.pc as usize).copied().unwrap_or(NO_PLAN);
+            let plan_idx =
+                self.image.blocks.leader.get(self.pc as usize).copied().unwrap_or(NO_PLAN);
             let whole_block_fits = plan_idx != NO_PLAN
-                && self.blocks.plans[plan_idx as usize].insts <= max_insts - stats.executed;
+                && self.image.blocks.plans[plan_idx as usize].insts <= max_insts - stats.executed;
             if !whole_block_fits {
                 // Fallback: single-step with state synced to the machine.
                 self.regs.copy_from_slice(&lr[..16]);
@@ -511,9 +762,89 @@ impl Machine {
                 continue;
             }
 
-            let plan = &self.blocks.plans[plan_idx as usize];
-            let ops =
-                &self.blocks.ops[plan.op_start as usize..(plan.op_start + plan.op_len) as usize];
+            if SB {
+                if let Some((chain_start, chain_len)) = self.sb.chain_at(plan_idx) {
+                    self.sb.stats.chain_runs += 1;
+                    for k in 0..chain_len {
+                        let q = self.sb.chain_elems[(chain_start + k) as usize] as usize;
+                        let plan = self.image.blocks.plans[q];
+                        // Side-exit guard: control must still be on the
+                        // recorded trace and the whole link must fit the
+                        // remaining budget; otherwise fall back to the
+                        // block tier (the outer loop re-dispatches).
+                        if k > 0
+                            && (self.pc != plan.start || plan.insts > max_insts - stats.executed)
+                        {
+                            self.sb.stats.side_exits += 1;
+                            break;
+                        }
+                        let ops = &self.image.blocks.ops
+                            [plan.op_start as usize..(plan.op_start + plan.op_len) as usize];
+                        if let Some((done, addr)) = exec_body(
+                            ops,
+                            &mut lr,
+                            &mut self.dmem,
+                            &self.inputs,
+                            &mut self.out_log,
+                            &mut c_energy,
+                            &mut s_energy,
+                        ) {
+                            // Partial link: account the retired prefix
+                            // exactly as step mode would, then report the
+                            // fault at its pc.
+                            self.counters.instructions += done as u64;
+                            for op in &ops[..done] {
+                                self.counters.cycles += u64::from(op.cycles);
+                                self.counters.class_counts[usize::from(op.class_idx)] += 1;
+                            }
+                            self.counters.energy_j = c_energy;
+                            self.regs.copy_from_slice(&lr[..16]);
+                            let pc = plan.start + done as u32;
+                            self.pc = pc;
+                            return Err(SimError::MemOutOfRange { addr, pc });
+                        }
+                        let t = exec_term(
+                            &plan.term,
+                            &mut lr,
+                            plan.start + plan.op_len,
+                            &mut c_energy,
+                            &mut s_energy,
+                        );
+                        self.counters.instructions += plan.insts;
+                        self.counters.cycles += plan.body_cycles + u64::from(t.cycles);
+                        stats.executed += plan.insts;
+                        stats.cycles += plan.body_cycles + u64::from(t.cycles);
+                        for (count, add) in
+                            self.counters.class_counts.iter_mut().zip(&plan.body_class_counts)
+                        {
+                            *count += add;
+                        }
+                        if !matches!(plan.term, Term::FallThrough { .. }) {
+                            self.counters.class_counts[usize::from(plan.term_class)] += 1;
+                        }
+                        self.counters.branches_taken += u64::from(t.taken);
+                        self.sb.stats.chained_blocks += 1;
+                        if t.halted {
+                            self.halted = true;
+                        }
+                        if t.checkpoint {
+                            stats.checkpoint = true;
+                        }
+                        self.pc = t.next;
+                        if t.halted || t.checkpoint {
+                            break;
+                        }
+                    }
+                    if stats.checkpoint {
+                        break;
+                    }
+                    continue;
+                }
+            }
+
+            let plan = &self.image.blocks.plans[plan_idx as usize];
+            let ops = &self.image.blocks.ops
+                [plan.op_start as usize..(plan.op_start + plan.op_len) as usize];
             // Streak loop: hot loops whose terminator jumps back to this
             // same leader re-execute the block without leaving this arm.
             // Integer accounting is associative, so it is applied once
@@ -524,202 +855,43 @@ impl Machine {
             let mut term_cycles = 0u64;
             let mut taken_count = 0u64;
             let mut fault: Option<(usize, u16)> = None;
+            let mut stopped = false;
             'streak: loop {
-                for (i, op) in ops.iter().enumerate() {
-                    match op.kind {
-                        MicroKind::Add { d, a, b } => {
-                            lr[usize::from(d)] =
-                                lr[usize::from(a)].wrapping_add(lr[usize::from(b)]);
-                        }
-                        MicroKind::Sub { d, a, b } => {
-                            lr[usize::from(d)] =
-                                lr[usize::from(a)].wrapping_sub(lr[usize::from(b)]);
-                        }
-                        MicroKind::And { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] & lr[usize::from(b)];
-                        }
-                        MicroKind::Or { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] | lr[usize::from(b)];
-                        }
-                        MicroKind::Xor { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] ^ lr[usize::from(b)];
-                        }
-                        MicroKind::Sll { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] << (lr[usize::from(b)] & 0xF);
-                        }
-                        MicroKind::Srl { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] >> (lr[usize::from(b)] & 0xF);
-                        }
-                        MicroKind::Sra { d, a, b } => {
-                            lr[usize::from(d)] =
-                                ((lr[usize::from(a)] as i16) >> (lr[usize::from(b)] & 0xF)) as u16;
-                        }
-                        MicroKind::Mul { d, a, b } => {
-                            let p = i32::from(lr[usize::from(a)] as i16)
-                                * i32::from(lr[usize::from(b)] as i16);
-                            lr[usize::from(d)] = p as u16;
-                        }
-                        MicroKind::Mulh { d, a, b } => {
-                            let p = i32::from(lr[usize::from(a)] as i16)
-                                * i32::from(lr[usize::from(b)] as i16);
-                            lr[usize::from(d)] = (p >> 16) as u16;
-                        }
-                        MicroKind::Slt { d, a, b } => {
-                            lr[usize::from(d)] = u16::from(
-                                (lr[usize::from(a)] as i16) < (lr[usize::from(b)] as i16),
-                            );
-                        }
-                        MicroKind::Sltu { d, a, b } => {
-                            lr[usize::from(d)] = u16::from(lr[usize::from(a)] < lr[usize::from(b)]);
-                        }
-                        MicroKind::Divu { d, a, b } => {
-                            lr[usize::from(d)] = lr[usize::from(a)]
-                                .checked_div(lr[usize::from(b)])
-                                .unwrap_or(0xFFFF);
-                        }
-                        MicroKind::Remu { d, a, b } => {
-                            let div = lr[usize::from(b)];
-                            lr[usize::from(d)] = if div == 0 {
-                                lr[usize::from(a)]
-                            } else {
-                                lr[usize::from(a)] % div
-                            };
-                        }
-                        MicroKind::Addi { d, a, imm } => {
-                            lr[usize::from(d)] = lr[usize::from(a)].wrapping_add(imm);
-                        }
-                        MicroKind::Andi { d, a, imm } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] & imm;
-                        }
-                        MicroKind::Ori { d, a, imm } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] | imm;
-                        }
-                        MicroKind::Xori { d, a, imm } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] ^ imm;
-                        }
-                        MicroKind::Slli { d, a, shamt } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] << shamt;
-                        }
-                        MicroKind::Srli { d, a, shamt } => {
-                            lr[usize::from(d)] = lr[usize::from(a)] >> shamt;
-                        }
-                        MicroKind::Srai { d, a, shamt } => {
-                            lr[usize::from(d)] = ((lr[usize::from(a)] as i16) >> shamt) as u16;
-                        }
-                        MicroKind::Slti { d, a, imm } => {
-                            lr[usize::from(d)] = u16::from((lr[usize::from(a)] as i16) < imm);
-                        }
-                        MicroKind::Li { d, imm } => lr[usize::from(d)] = imm,
-                        MicroKind::Lw { d, a, offset } => {
-                            let addr = lr[usize::from(a)].wrapping_add(offset);
-                            match self.dmem.get(usize::from(addr)) {
-                                Some(&v) => lr[usize::from(d)] = v,
-                                None => {
-                                    fault = Some((i, addr));
-                                    break;
-                                }
-                            }
-                        }
-                        MicroKind::Sw { s, a, offset } => {
-                            let addr = lr[usize::from(a)].wrapping_add(offset);
-                            match self.dmem.get_mut(usize::from(addr)) {
-                                Some(slot) => *slot = lr[usize::from(s)],
-                                None => {
-                                    fault = Some((i, addr));
-                                    break;
-                                }
-                            }
-                        }
-                        MicroKind::Nop => {}
-                        MicroKind::Out { port, s } => {
-                            self.out_log.push((port, lr[usize::from(s)]));
-                        }
-                        MicroKind::In { d, port } => {
-                            lr[usize::from(d)] = self.inputs[usize::from(port)];
-                        }
-                    }
-                    c_energy += op.energy_j;
-                    s_energy += op.energy_j;
-                }
-                if fault.is_some() {
+                if let Some(f) = exec_body(
+                    ops,
+                    &mut lr,
+                    &mut self.dmem,
+                    &self.inputs,
+                    &mut self.out_log,
+                    &mut c_energy,
+                    &mut s_energy,
+                ) {
+                    fault = Some(f);
                     break 'streak;
                 }
 
-                // `stop`: halt/ckpt ends not just the streak but the call.
-                let mut stop = false;
-                let next = match plan.term {
-                    Term::FallThrough { next } => next,
-                    Term::Branch {
-                        cond,
-                        a,
-                        b,
-                        taken_pc,
-                        fall_pc,
-                        cycles_nt,
-                        cycles_t,
-                        energy_nt_j,
-                        energy_t_j,
-                    } => {
-                        let x = lr[usize::from(a)];
-                        let y = lr[usize::from(b)];
-                        let taken = match cond {
-                            Cond::Eq => x == y,
-                            Cond::Ne => x != y,
-                            Cond::Lt => (x as i16) < (y as i16),
-                            Cond::Ge => (x as i16) >= (y as i16),
-                            Cond::Ltu => x < y,
-                            Cond::Geu => x >= y,
-                        };
-                        let (cycles, energy) =
-                            if taken { (cycles_t, energy_t_j) } else { (cycles_nt, energy_nt_j) };
-                        term_cycles += u64::from(cycles);
-                        taken_count += u64::from(taken);
-                        c_energy += energy;
-                        s_energy += energy;
-                        if taken {
-                            taken_pc
-                        } else {
-                            fall_pc
-                        }
-                    }
-                    Term::Jal { link_slot, link_val, target, cycles, energy_j } => {
-                        lr[usize::from(link_slot)] = link_val;
-                        term_cycles += u64::from(cycles);
-                        c_energy += energy_j;
-                        s_energy += energy_j;
-                        target
-                    }
-                    Term::Jalr { link_slot, link_val, a, offset, cycles, energy_j } => {
-                        // Target reads rs1 before the link write (rd == rs1).
-                        let target = u32::from(lr[usize::from(a)].wrapping_add(offset));
-                        lr[usize::from(link_slot)] = link_val;
-                        term_cycles += u64::from(cycles);
-                        c_energy += energy_j;
-                        s_energy += energy_j;
-                        target
-                    }
-                    Term::Halt { cycles, energy_j } => {
-                        self.halted = true;
-                        term_cycles += u64::from(cycles);
-                        c_energy += energy_j;
-                        s_energy += energy_j;
-                        stop = true;
-                        // As in step mode, pc stays on the halt instruction.
-                        plan.start + plan.op_len
-                    }
-                    Term::Ckpt { next, cycles, energy_j } => {
-                        term_cycles += u64::from(cycles);
-                        c_energy += energy_j;
-                        s_energy += energy_j;
-                        stats.checkpoint = true;
-                        stop = true;
-                        next
-                    }
-                };
+                let t = exec_term(
+                    &plan.term,
+                    &mut lr,
+                    plan.start + plan.op_len,
+                    &mut c_energy,
+                    &mut s_energy,
+                );
+                term_cycles += u64::from(t.cycles);
+                taken_count += u64::from(t.taken);
+                if t.halted {
+                    self.halted = true;
+                }
+                if t.checkpoint {
+                    stats.checkpoint = true;
+                }
                 repeats += 1;
                 budget_left -= plan.insts;
-                if stop || next != plan.start || plan.insts > budget_left {
-                    self.pc = next;
+                // halt/ckpt ends not just the streak but the call.
+                let stop = t.halted || t.checkpoint;
+                if stop || t.next != plan.start || plan.insts > budget_left {
+                    self.pc = t.next;
+                    stopped = stop;
                     break 'streak;
                 }
             }
@@ -757,6 +929,17 @@ impl Machine {
                 return Err(SimError::MemOutOfRange { addr, pc });
             }
 
+            if SB && !self.sb.built {
+                // Streak-granularity profiling: `repeats` executions of
+                // this block, `repeats - 1` self-edges, one exit edge.
+                let succ = if stopped {
+                    NO_PLAN
+                } else {
+                    self.image.blocks.leader.get(self.pc as usize).copied().unwrap_or(NO_PLAN)
+                };
+                self.sb.record(plan_idx, repeats, succ, &self.image.blocks);
+            }
+
             if stats.checkpoint {
                 break;
             }
@@ -772,21 +955,21 @@ impl Machine {
     /// Number of basic blocks in the loaded image's block plan.
     #[must_use]
     pub fn block_count(&self) -> usize {
-        self.blocks.plans.len()
+        self.image.blocks.plans.len()
     }
 
     /// Worst-case cycles any single instruction in the loaded image can
     /// take (taken-branch outcome included).
     #[must_use]
     pub fn max_step_cycles(&self) -> u32 {
-        self.max_step_cycles
+        self.image.max_step_cycles
     }
 
     /// Worst-case energy any single instruction in the loaded image can
     /// draw, joules.
     #[must_use]
     pub fn max_step_energy_j(&self) -> f64 {
-        self.max_step_energy_j
+        self.image.max_step_energy_j
     }
 
     #[inline]
@@ -902,7 +1085,7 @@ impl Machine {
     /// Data memory is left untouched — callers model its volatility.
     pub fn reset_volatile(&mut self) {
         self.regs = [0; 16];
-        self.pc = self.entry;
+        self.pc = self.image.entry;
         self.halted = false;
     }
 
@@ -914,8 +1097,218 @@ impl Machine {
     /// Number of instructions in the loaded image.
     #[must_use]
     pub fn code_len(&self) -> usize {
-        self.code.len()
+        self.image.code.len()
     }
+}
+
+/// Outcome of executing a block terminator against the local register
+/// file: the successor pc plus the data-dependent accounting bits the
+/// caller folds into its own counters.
+pub(crate) struct TermOutcome {
+    pub(crate) next: u32,
+    pub(crate) cycles: u32,
+    pub(crate) taken: bool,
+    pub(crate) halted: bool,
+    pub(crate) checkpoint: bool,
+}
+
+/// Executes a block body's micro-ops against a local register file,
+/// adding each op's energy to both accumulators in program order.
+/// Returns `Some((op_index, addr))` at the first out-of-range access,
+/// with ops `0..op_index` fully applied and the faulting op unretired
+/// and uncharged — exactly the state `step()` leaves behind.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_body(
+    ops: &[MicroOp],
+    lr: &mut [u16; NUM_SLOTS],
+    dmem: &mut [u16],
+    inputs: &[u16; 16],
+    out_log: &mut Vec<(u8, u16)>,
+    c_energy: &mut f64,
+    s_energy: &mut f64,
+) -> Option<(usize, u16)> {
+    for (i, op) in ops.iter().enumerate() {
+        match op.kind {
+            MicroKind::Add { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)].wrapping_add(lr[usize::from(b)]);
+            }
+            MicroKind::Sub { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)].wrapping_sub(lr[usize::from(b)]);
+            }
+            MicroKind::And { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)] & lr[usize::from(b)];
+            }
+            MicroKind::Or { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)] | lr[usize::from(b)];
+            }
+            MicroKind::Xor { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)] ^ lr[usize::from(b)];
+            }
+            MicroKind::Sll { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)] << (lr[usize::from(b)] & 0xF);
+            }
+            MicroKind::Srl { d, a, b } => {
+                lr[usize::from(d)] = lr[usize::from(a)] >> (lr[usize::from(b)] & 0xF);
+            }
+            MicroKind::Sra { d, a, b } => {
+                lr[usize::from(d)] =
+                    ((lr[usize::from(a)] as i16) >> (lr[usize::from(b)] & 0xF)) as u16;
+            }
+            MicroKind::Mul { d, a, b } => {
+                let p = i32::from(lr[usize::from(a)] as i16) * i32::from(lr[usize::from(b)] as i16);
+                lr[usize::from(d)] = p as u16;
+            }
+            MicroKind::Mulh { d, a, b } => {
+                let p = i32::from(lr[usize::from(a)] as i16) * i32::from(lr[usize::from(b)] as i16);
+                lr[usize::from(d)] = (p >> 16) as u16;
+            }
+            MicroKind::Slt { d, a, b } => {
+                lr[usize::from(d)] =
+                    u16::from((lr[usize::from(a)] as i16) < (lr[usize::from(b)] as i16));
+            }
+            MicroKind::Sltu { d, a, b } => {
+                lr[usize::from(d)] = u16::from(lr[usize::from(a)] < lr[usize::from(b)]);
+            }
+            MicroKind::Divu { d, a, b } => {
+                lr[usize::from(d)] =
+                    lr[usize::from(a)].checked_div(lr[usize::from(b)]).unwrap_or(0xFFFF);
+            }
+            MicroKind::Remu { d, a, b } => {
+                let div = lr[usize::from(b)];
+                lr[usize::from(d)] =
+                    if div == 0 { lr[usize::from(a)] } else { lr[usize::from(a)] % div };
+            }
+            MicroKind::Addi { d, a, imm } => {
+                lr[usize::from(d)] = lr[usize::from(a)].wrapping_add(imm);
+            }
+            MicroKind::Andi { d, a, imm } => {
+                lr[usize::from(d)] = lr[usize::from(a)] & imm;
+            }
+            MicroKind::Ori { d, a, imm } => {
+                lr[usize::from(d)] = lr[usize::from(a)] | imm;
+            }
+            MicroKind::Xori { d, a, imm } => {
+                lr[usize::from(d)] = lr[usize::from(a)] ^ imm;
+            }
+            MicroKind::Slli { d, a, shamt } => {
+                lr[usize::from(d)] = lr[usize::from(a)] << shamt;
+            }
+            MicroKind::Srli { d, a, shamt } => {
+                lr[usize::from(d)] = lr[usize::from(a)] >> shamt;
+            }
+            MicroKind::Srai { d, a, shamt } => {
+                lr[usize::from(d)] = ((lr[usize::from(a)] as i16) >> shamt) as u16;
+            }
+            MicroKind::Slti { d, a, imm } => {
+                lr[usize::from(d)] = u16::from((lr[usize::from(a)] as i16) < imm);
+            }
+            MicroKind::Li { d, imm } => lr[usize::from(d)] = imm,
+            MicroKind::Lw { d, a, offset } => {
+                let addr = lr[usize::from(a)].wrapping_add(offset);
+                match dmem.get(usize::from(addr)) {
+                    Some(&v) => lr[usize::from(d)] = v,
+                    None => return Some((i, addr)),
+                }
+            }
+            MicroKind::Sw { s, a, offset } => {
+                let addr = lr[usize::from(a)].wrapping_add(offset);
+                match dmem.get_mut(usize::from(addr)) {
+                    Some(slot) => *slot = lr[usize::from(s)],
+                    None => return Some((i, addr)),
+                }
+            }
+            MicroKind::Nop => {}
+            MicroKind::Out { port, s } => {
+                out_log.push((port, lr[usize::from(s)]));
+            }
+            MicroKind::In { d, port } => {
+                lr[usize::from(d)] = inputs[usize::from(port)];
+            }
+        }
+        *c_energy += op.energy_j;
+        *s_energy += op.energy_j;
+    }
+    None
+}
+
+/// Executes a block terminator against the local register file. Energy
+/// is charged to both accumulators; integer accounting is returned for
+/// the caller to fold in. `halt_pc` is the terminator's own address —
+/// as in step mode, `halt` leaves the pc on itself.
+#[inline(always)]
+pub(crate) fn exec_term(
+    term: &Term,
+    lr: &mut [u16; NUM_SLOTS],
+    halt_pc: u32,
+    c_energy: &mut f64,
+    s_energy: &mut f64,
+) -> TermOutcome {
+    let mut out =
+        TermOutcome { next: 0, cycles: 0, taken: false, halted: false, checkpoint: false };
+    match *term {
+        Term::FallThrough { next } => out.next = next,
+        Term::Branch {
+            cond,
+            a,
+            b,
+            taken_pc,
+            fall_pc,
+            cycles_nt,
+            cycles_t,
+            energy_nt_j,
+            energy_t_j,
+        } => {
+            let x = lr[usize::from(a)];
+            let y = lr[usize::from(b)];
+            let taken = match cond {
+                Cond::Eq => x == y,
+                Cond::Ne => x != y,
+                Cond::Lt => (x as i16) < (y as i16),
+                Cond::Ge => (x as i16) >= (y as i16),
+                Cond::Ltu => x < y,
+                Cond::Geu => x >= y,
+            };
+            let (cycles, energy) =
+                if taken { (cycles_t, energy_t_j) } else { (cycles_nt, energy_nt_j) };
+            out.cycles = cycles;
+            out.taken = taken;
+            *c_energy += energy;
+            *s_energy += energy;
+            out.next = if taken { taken_pc } else { fall_pc };
+        }
+        Term::Jal { link_slot, link_val, target, cycles, energy_j } => {
+            lr[usize::from(link_slot)] = link_val;
+            out.cycles = cycles;
+            *c_energy += energy_j;
+            *s_energy += energy_j;
+            out.next = target;
+        }
+        Term::Jalr { link_slot, link_val, a, offset, cycles, energy_j } => {
+            // Target reads rs1 before the link write (rd == rs1).
+            let target = u32::from(lr[usize::from(a)].wrapping_add(offset));
+            lr[usize::from(link_slot)] = link_val;
+            out.cycles = cycles;
+            *c_energy += energy_j;
+            *s_energy += energy_j;
+            out.next = target;
+        }
+        Term::Halt { cycles, energy_j } => {
+            out.cycles = cycles;
+            *c_energy += energy_j;
+            *s_energy += energy_j;
+            out.halted = true;
+            out.next = halt_pc;
+        }
+        Term::Ckpt { next, cycles, energy_j } => {
+            out.cycles = cycles;
+            *c_energy += energy_j;
+            *s_energy += energy_j;
+            out.checkpoint = true;
+            out.next = next;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1142,46 +1535,52 @@ mod tests {
         assert_eq!(a.counters().cycles, b.counters().cycles);
     }
 
-    /// Asserts that `run_blocks(budget)` and a `run_block(budget)` step
-    /// loop over the same program leave bit-identical machines and
-    /// return bit-identical stats.
+    /// Asserts two machines are bit-identical in every observable way.
+    fn assert_machines_match(a: &Machine, b: &Machine, what: &str) {
+        assert_eq!(a.snapshot(), b.snapshot(), "{what}");
+        assert_eq!(a.halted(), b.halted(), "{what}");
+        assert_eq!(a.dmem(), b.dmem(), "{what}");
+        assert_eq!(a.out_log(), b.out_log(), "{what}");
+        let ca = a.counters();
+        let cb = b.counters();
+        assert_eq!(ca.instructions, cb.instructions, "{what}");
+        assert_eq!(ca.cycles, cb.cycles, "{what}");
+        assert_eq!(ca.energy_j.to_bits(), cb.energy_j.to_bits(), "counter energy, {what}");
+        assert_eq!(ca.class_counts, cb.class_counts, "{what}");
+        assert_eq!(ca.branches_taken, cb.branches_taken, "{what}");
+    }
+
+    /// Asserts that `run_blocks(budget)`, `run_superblocks(budget)`, and
+    /// a `run_block(budget)` step loop over the same program leave
+    /// bit-identical machines and return bit-identical stats.
     fn assert_block_equivalence(src: &str, budgets: &[u64]) {
         let p = assemble(src).expect("assembles");
         for &budget in budgets {
             let mut by_step = Machine::new(&p).expect("loads");
             let mut by_block = Machine::new(&p).expect("loads");
+            let mut by_super = Machine::new(&p).expect("loads");
             let a = by_step.run_block(budget);
             let b = by_block.run_blocks(budget);
-            match (a, b) {
-                (Ok(sa), Ok(sb)) => {
-                    assert_eq!(sa.executed, sb.executed, "budget {budget}");
-                    assert_eq!(sa.cycles, sb.cycles, "budget {budget}");
-                    assert_eq!(
-                        sa.energy_j.to_bits(),
-                        sb.energy_j.to_bits(),
-                        "stats energy, budget {budget}"
-                    );
-                    assert_eq!(sa.halted, sb.halted, "budget {budget}");
-                    assert_eq!(sa.checkpoint, sb.checkpoint, "budget {budget}");
+            let c = by_super.run_superblocks(budget);
+            for (name, r) in [("block", &b), ("superblock", &c)] {
+                match (&a, r) {
+                    (Ok(sa), Ok(sb)) => {
+                        assert_eq!(sa.executed, sb.executed, "{name}, budget {budget}");
+                        assert_eq!(sa.cycles, sb.cycles, "{name}, budget {budget}");
+                        assert_eq!(
+                            sa.energy_j.to_bits(),
+                            sb.energy_j.to_bits(),
+                            "stats energy, {name}, budget {budget}"
+                        );
+                        assert_eq!(sa.halted, sb.halted, "{name}, budget {budget}");
+                        assert_eq!(sa.checkpoint, sb.checkpoint, "{name}, budget {budget}");
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{name}, budget {budget}"),
+                    (a, b) => panic!("budget {budget}: step {a:?} vs {name} {b:?}"),
                 }
-                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "budget {budget}"),
-                (a, b) => panic!("budget {budget}: step {a:?} vs block {b:?}"),
             }
-            assert_eq!(by_step.snapshot(), by_block.snapshot(), "budget {budget}");
-            assert_eq!(by_step.halted(), by_block.halted(), "budget {budget}");
-            assert_eq!(by_step.dmem(), by_block.dmem(), "budget {budget}");
-            assert_eq!(by_step.out_log(), by_block.out_log(), "budget {budget}");
-            let ca = by_step.counters();
-            let cb = by_block.counters();
-            assert_eq!(ca.instructions, cb.instructions, "budget {budget}");
-            assert_eq!(ca.cycles, cb.cycles, "budget {budget}");
-            assert_eq!(
-                ca.energy_j.to_bits(),
-                cb.energy_j.to_bits(),
-                "counter energy, budget {budget}"
-            );
-            assert_eq!(ca.class_counts, cb.class_counts, "budget {budget}");
-            assert_eq!(ca.branches_taken, cb.branches_taken, "budget {budget}");
+            assert_machines_match(&by_step, &by_block, &format!("block, budget {budget}"));
+            assert_machines_match(&by_step, &by_super, &format!("superblock, budget {budget}"));
         }
     }
 
@@ -1255,5 +1654,74 @@ mod tests {
         let m = Machine::new(&p).unwrap();
         // entry block [li], loop block [addi, bnez], halt block.
         assert_eq!(m.block_count(), 3);
+    }
+
+    /// A loop whose body spans three basic blocks, steered by input
+    /// port 0: input 1 takes the `addi r3` arm, input 0 the `addi r4`
+    /// arm. Six instructions per iteration either way.
+    const CHAIN_SRC: &str = "
+        li r1, 6000
+    loop:
+        in r2, 0
+        beqz r2, skip
+        addi r3, r3, 1
+        beq r0, r0, join
+    skip:
+        addi r4, r4, 1
+    join:
+        addi r1, r1, -1
+        bnez r1, loop
+        halt
+    ";
+
+    #[test]
+    fn superblocks_form_chains_and_side_exit_exactly() {
+        let p = assemble(CHAIN_SRC).unwrap();
+        let mut by_step = Machine::new(&p).unwrap();
+        let mut by_super = Machine::new(&p).unwrap();
+        by_step.set_input(0, 1);
+        by_super.set_input(0, 1);
+        by_step.run_block(6000).unwrap();
+        by_super.run_superblocks(6000).unwrap();
+        let stats = by_super.superblock_stats();
+        assert!(stats.chains_formed >= 1, "hot trace fused after warm-up: {stats:?}");
+        assert!(stats.chain_runs > 0, "{stats:?}");
+        assert!(stats.chained_blocks > 0, "{stats:?}");
+        assert_machines_match(&by_step, &by_super, "warm phase");
+        // Steer off the recorded trace: every remaining iteration must
+        // side-exit the chain and finish on the block tier, exactly.
+        by_step.set_input(0, 0);
+        by_super.set_input(0, 0);
+        by_step.run_block(u64::MAX).unwrap();
+        by_super.run_superblocks(u64::MAX).unwrap();
+        assert!(by_super.superblock_stats().side_exits > 0, "off-trace input side-exits");
+        assert!(by_super.halted());
+        assert_machines_match(&by_step, &by_super, "after side exits");
+    }
+
+    #[test]
+    fn adopted_profile_survives_machine_rebuild() {
+        let p = assemble(CHAIN_SRC).unwrap();
+        let mut warm = Machine::new(&p).unwrap();
+        warm.set_input(0, 1);
+        warm.run_superblocks(u64::MAX).unwrap();
+        let warmed = warm.superblock_stats();
+        assert!(warmed.chains_formed >= 1);
+        // Power-failure rebuild: fresh state, same image, learned chains
+        // carried over instead of re-warming.
+        let image = Arc::clone(warm.image());
+        let mut rebuilt = Machine::from_image(&image);
+        rebuilt.adopt_profile_from(&mut warm);
+        assert_eq!(rebuilt.superblock_stats(), warmed);
+        rebuilt.set_input(0, 1);
+        let mut by_step = Machine::new(&p).unwrap();
+        by_step.set_input(0, 1);
+        by_step.run_block(u64::MAX).unwrap();
+        rebuilt.run_superblocks(u64::MAX).unwrap();
+        assert!(
+            rebuilt.superblock_stats().chain_runs > warmed.chain_runs,
+            "chains reused immediately, not re-warmed"
+        );
+        assert_machines_match(&by_step, &rebuilt, "rebuilt machine");
     }
 }
