@@ -7,7 +7,7 @@
 //! run, Result frame, decode — then writes `BENCH_nvpd.json` at the
 //! repository root (override with `NVP_BENCH_NVPD_JSON`).
 //!
-//! Measured quantities (schema `nvp-bench-nvpd/1`):
+//! Measured quantities (schema `nvp-bench-nvpd/2`):
 //!
 //! * `cold_jobs_per_sec` — duplicate `f3` campaign jobs submitted
 //!   back-to-back with the simulation cache reset before each, so every
@@ -19,6 +19,12 @@
 //! * `wire_round_trip_s` — best-of-reps single-job latency for a
 //!   trivially small campaign (`t1`, a static table) on a warm cache:
 //!   an upper bound on protocol + framing + scheduling overhead.
+//! * `journal.*` — the same cold jobs against a *journalled* server
+//!   (`--state-dir` semantics: write-ahead journal plus
+//!   content-addressed result store). `cold_overhead_frac` is the
+//!   durability tax on a cold job — the budget says ≤10% — and
+//!   `replay_round_trip_s` is the latency of answering an identical
+//!   resubmission from the durable result store without re-simulation.
 //!
 //! Wall-clock reads are confined to this crate (`crates/bench` is the
 //! nvp-lint wall-clock exemption; measuring time is its job).
@@ -84,6 +90,60 @@ fn main() {
     assert_eq!(stats.completed, total_jobs as u64, "every job answered");
     reset_sim_cache();
 
+    // Journalled server: the same cold work with the write-ahead
+    // journal and result store in the path. Each cold rep uses a
+    // distinct seed — identical requests would (by design) be replayed
+    // from the result store instead of simulated.
+    let state_dir = std::env::temp_dir().join(format!("nvpd_bench_state_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&state_dir);
+    let journal_jobs = 1 + COLD_REPS + 1 + WARM_REPS;
+    let server = Server::bind("127.0.0.1:0").expect("bind loopback");
+    let jaddr = server.local_addr().expect("bound address").to_string();
+    let jcfg = ServerConfig {
+        max_jobs: Some(journal_jobs as u64),
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let journal_thread = thread::spawn(move || server.run(&jcfg).expect("journalled server run"));
+
+    let seeded = |seed: u64| {
+        let mut req = CampaignRequest::only(ExpConfig::quick(), &["f3"]);
+        req.seed = Some(seed);
+        req
+    };
+    reset_sim_cache();
+    client::submit(&jaddr, &seeded(100)).expect("journal warm-up job");
+    let mut journal_cold_best_s = f64::INFINITY;
+    for rep in 0..COLD_REPS {
+        reset_sim_cache();
+        let req = seeded(101 + rep as u64);
+        let t0 = Instant::now();
+        let outcome = client::submit(&jaddr, &req).expect("journalled cold job");
+        journal_cold_best_s = journal_cold_best_s.min(t0.elapsed().as_secs_f64());
+        assert!(outcome.result.cache.misses > 0, "journalled cold job must simulate");
+        assert!(!outcome.replayed, "distinct seeds must not replay");
+    }
+
+    // Replay: an identical resubmission is answered straight from the
+    // durable result store — the idempotent-retry fast path.
+    let replay_req = seeded(101);
+    client::submit(&jaddr, &replay_req).expect("replay warm-up");
+    let mut replay_best_s = f64::INFINITY;
+    for _ in 0..WARM_REPS {
+        let t0 = Instant::now();
+        let outcome = client::submit(&jaddr, &replay_req).expect("replayed job");
+        replay_best_s = replay_best_s.min(t0.elapsed().as_secs_f64());
+        assert!(outcome.replayed, "identical resubmission must replay");
+    }
+
+    let jstats = journal_thread.join().expect("journalled server thread");
+    assert_eq!(jstats.completed, journal_jobs as u64, "every journalled job answered");
+    assert_eq!(jstats.quarantined, 0, "a clean bench run quarantines nothing");
+    let _ = fs::remove_dir_all(&state_dir);
+    reset_sim_cache();
+
+    let journal_overhead = journal_cold_best_s / cold_best_s - 1.0;
+
     let cold_jobs_per_sec = 1.0 / cold_best_s;
     let warm_jobs_per_sec = WARM_REPS as f64 / warm_total_s;
     let warm_speedup = cold_best_s / (warm_total_s / WARM_REPS as f64);
@@ -95,6 +155,20 @@ fn main() {
     println!("bench nvpd/warm_jobs_per_sec   {warm_jobs_per_sec:>12.2} ({WARM_REPS} deduped jobs)");
     println!("bench nvpd/warm_speedup        {warm_speedup:>12.2} x");
     println!("bench nvpd/wire_round_trip_s   {rt_best_s:>12.6} s (best of {WARM_REPS}, t1 quick)");
+    println!(
+        "bench nvpd/journal_cold_job_s  {journal_cold_best_s:>12.4} s ({:+.1}% vs plain cold)",
+        journal_overhead * 100.0
+    );
+    println!(
+        "bench nvpd/replay_round_trip_s {replay_best_s:>12.6} s (identical resubmission, \
+         served from the result store)"
+    );
+    if journal_overhead > 0.10 {
+        eprintln!(
+            "bench nvpd: WARNING — journal overhead {:.1}% exceeds the 10% cold-job budget",
+            journal_overhead * 100.0
+        );
+    }
 
     let out = std::env::var("NVP_BENCH_NVPD_JSON").map_or_else(
         |_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nvpd.json")),
@@ -103,14 +177,21 @@ fn main() {
     let comment = "recorded by `cargo bench -p nvp-bench --bench nvpd`; one resident server on \
                    loopback, jobs submitted through the real client; cold resets the simulation \
                    cache per job, warm reuses the resident cache (pure dedup + wire overhead); \
-                   wire_round_trip_s is a warm t1-only job, an upper bound on protocol cost";
+                   wire_round_trip_s is a warm t1-only job, an upper bound on protocol cost; \
+                   journal.* repeats the cold jobs against a --state-dir server (write-ahead \
+                   journal + result store), cold_overhead_frac is the durability tax (budget \
+                   0.10), replay_round_trip_s answers an identical resubmission from the \
+                   durable result store";
     let json = format!(
-        "{{\n  \"schema\": \"nvp-bench-nvpd/1\",\n  \"comment\": \"{comment}\",\n  \
+        "{{\n  \"schema\": \"nvp-bench-nvpd/2\",\n  \"comment\": \"{comment}\",\n  \
          \"cold\": {{\n    \"job_s\": {cold_best_s:.4},\n    \
          \"jobs_per_sec\": {cold_jobs_per_sec:.2},\n    \"reps\": {COLD_REPS}\n  }},\n  \
          \"warm\": {{\n    \"jobs_per_sec\": {warm_jobs_per_sec:.2},\n    \
          \"speedup_vs_cold\": {warm_speedup:.2},\n    \"reps\": {WARM_REPS}\n  }},\n  \
-         \"wire_round_trip_s\": {rt_best_s:.6}\n}}\n"
+         \"wire_round_trip_s\": {rt_best_s:.6},\n  \
+         \"journal\": {{\n    \"cold_job_s\": {journal_cold_best_s:.4},\n    \
+         \"cold_overhead_frac\": {journal_overhead:.4},\n    \
+         \"replay_round_trip_s\": {replay_best_s:.6},\n    \"reps\": {COLD_REPS}\n  }}\n}}\n"
     );
     fs::write(&out, json).expect("write BENCH_nvpd.json");
     println!("wrote {}", out.display());

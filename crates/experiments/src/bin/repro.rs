@@ -38,7 +38,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (out_dir, only, quick, seed, no_cache, connect) = match cmd {
+    let (out_dir, only, quick, seed, no_cache, connect, timeout, retries) = match cmd {
         Command::Help => {
             println!("{}", cli::USAGE);
             return ExitCode::SUCCESS;
@@ -104,8 +104,8 @@ fn main() -> ExitCode {
             );
             return ExitCode::SUCCESS;
         }
-        Command::Run { out_dir, only, quick, seed, no_cache, connect } => {
-            (out_dir, only, quick, seed, no_cache, connect)
+        Command::Run { out_dir, only, quick, seed, no_cache, connect, timeout, retries } => {
+            (out_dir, only, quick, seed, no_cache, connect, timeout, retries)
         }
     };
 
@@ -122,8 +122,15 @@ fn main() -> ExitCode {
 
     if let Some(addr) = connect {
         // Thin-client mode: the server simulates, we render.
+        let mut cfg = client::ClientConfig::default();
+        if let Some(secs) = timeout {
+            cfg.timeout = std::time::Duration::from_secs_f64(secs);
+        }
+        if let Some(n) = retries {
+            cfg.retries = n;
+        }
         eprintln!("submitting campaign to nvpd at {addr} ...");
-        return match client::submit(&addr, &request) {
+        return match client::submit_with(&addr, &request, &cfg) {
             Ok(outcome) => {
                 let files = match outcome.result.write(&out_dir) {
                     Ok(files) => files,
@@ -136,17 +143,26 @@ fn main() -> ExitCode {
                     println!("{}", t.to_markdown());
                 }
                 eprintln!(
-                    "nvpd job {} (queue depth {} at admission): {} unique simulations, \
-                     {} deduplicated, {} served from the server's disk store",
+                    "nvpd job {} (queue depth {} at admission{}): {} unique simulations, \
+                     {} deduplicated, {} served from the server's disk store, \
+                     {} shard(s) quarantined",
                     outcome.job,
                     outcome.queued,
+                    if outcome.replayed { "; replayed from journal" } else { "" },
                     outcome.result.cache.misses,
                     outcome.result.cache.hits,
-                    outcome.result.cache.disk_hits
+                    outcome.result.cache.disk_hits,
+                    outcome.result.cache.quarantined
                 );
                 eprintln!("{}", exec_summary(&outcome.result.exec));
                 eprintln!("wrote {} files to {}", files.len(), out_dir.display());
                 ExitCode::SUCCESS
+            }
+            Err(e @ client::ClientError::Unreachable { .. }) => {
+                // A dead address is a usage error, like a bad flag: the
+                // command as typed cannot work.
+                eprintln!("error: {e}");
+                ExitCode::from(2)
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -189,11 +205,12 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "sim cache: {} unique simulations, {} duplicate run(s) deduplicated, \
-                 {} served from disk, {} record(s) persisted",
+                 {} served from disk, {} record(s) persisted, {} shard(s) quarantined",
                 result.cache.misses,
                 result.cache.hits,
                 result.cache.disk_hits,
-                result.cache.persisted
+                result.cache.persisted,
+                result.cache.quarantined
             );
             eprintln!("{}", exec_summary(&result.exec));
             eprintln!("wrote {} files to {}", files.len(), out_dir.display());

@@ -5,15 +5,16 @@
 //!
 //! ```text
 //! repro [out_dir] [--quick] [--only IDS] [--seed N] [--no-cache]
-//!       [--connect ADDR] [--check] [--list] [--help]
+//!       [--connect ADDR] [--timeout SECS] [--retries N]
+//!       [--check] [--list] [--help]
 //! ```
 //!
 //! Unknown `--flags` are rejected with a usage error instead of being
 //! silently treated as the output directory, and contradictory
 //! combinations (`--check --seed 3`, `--list --only f5`,
-//! `--connect --no-cache`) are rejected instead of silently ignoring
-//! one of the flags — the only exception is `--help`, which always
-//! wins.
+//! `--connect --no-cache`, `--timeout` without `--connect`) are
+//! rejected instead of silently ignoring one of the flags — the only
+//! exception is `--help`, which always wins.
 
 use std::path::PathBuf;
 
@@ -43,6 +44,14 @@ Options:
                      (e.g. 127.0.0.1:7117) instead of simulating in
                      process; artifacts are still written locally and
                      are byte-identical to an in-process run
+  --timeout SECS     with --connect: bound on connecting and on the
+                     submit handshake, in seconds (fractions allowed;
+                     default 10). An unreachable server is a usage
+                     error (exit 2), never a hang.
+  --retries N        with --connect: extra attempts after a transient
+                     failure, with jittered exponential backoff
+                     (default 2). Resubmission is safe — the server
+                     deduplicates by idempotency key.
   --check            validate every registered experiment's platform
                      configurations for physical feasibility and exit
                      (0 = all feasible, 1 = diagnostics printed)
@@ -50,7 +59,7 @@ Options:
   --help             show this help and exit";
 
 /// What the command line asked for.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum Command {
     /// Print [`USAGE`] and exit successfully.
     Help,
@@ -81,6 +90,12 @@ pub enum Command {
         /// `--connect ADDR`: submit to an nvpd campaign server instead
         /// of running in process.
         connect: Option<String>,
+        /// `--timeout SECS`: connect/handshake bound for `--connect`,
+        /// or `None` for the client default.
+        timeout: Option<f64>,
+        /// `--retries N`: transient-failure retry budget for
+        /// `--connect`, or `None` for the client default.
+        retries: Option<u32>,
     },
 }
 
@@ -118,6 +133,8 @@ struct Raw {
     seed: Option<u64>,
     no_cache: bool,
     connect: Option<String>,
+    timeout: Option<f64>,
+    retries: Option<u32>,
 }
 
 /// Parses `repro` arguments (without the program name).
@@ -160,6 +177,20 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Command, String> {
             _ if arg.starts_with("--connect=") => {
                 raw.connect = Some(parse_connect(&arg["--connect=".len()..])?);
             }
+            "--timeout" => {
+                let value = iter.next().ok_or("--timeout needs a positive seconds value")?;
+                raw.timeout = Some(parse_timeout(value)?);
+            }
+            _ if arg.starts_with("--timeout=") => {
+                raw.timeout = Some(parse_timeout(&arg["--timeout=".len()..])?);
+            }
+            "--retries" => {
+                let value = iter.next().ok_or("--retries needs an unsigned integer value")?;
+                raw.retries = Some(parse_retries(value)?);
+            }
+            _ if arg.starts_with("--retries=") => {
+                raw.retries = Some(parse_retries(&arg["--retries=".len()..])?);
+            }
             _ if arg.starts_with('-') && arg.len() > 1 => {
                 return Err(format!("unknown option `{arg}`"));
             }
@@ -197,6 +228,12 @@ fn validate(raw: Raw) -> Result<Command, String> {
         if let Some(addr) = &raw.connect {
             extras.push(format!("--connect {addr}"));
         }
+        if let Some(t) = raw.timeout {
+            extras.push(format!("--timeout {t}"));
+        }
+        if let Some(r) = raw.retries {
+            extras.push(format!("--retries {r}"));
+        }
         if let Some(dir) = &raw.out_dir {
             extras.push(format!("out_dir `{}`", dir.display()));
         }
@@ -221,6 +258,15 @@ fn validate(raw: Raw) -> Result<Command, String> {
         return Err("--connect contradicts --no-cache (the nvpd server owns its resident cache)"
             .to_string());
     }
+    if raw.connect.is_none() {
+        // Socket policy only makes sense for a socket.
+        if raw.timeout.is_some() {
+            return Err("--timeout requires --connect".to_string());
+        }
+        if raw.retries.is_some() {
+            return Err("--retries requires --connect".to_string());
+        }
+    }
     Ok(Command::Run {
         out_dir: raw.out_dir.unwrap_or_else(|| PathBuf::from("results")),
         only: raw.only,
@@ -228,6 +274,8 @@ fn validate(raw: Raw) -> Result<Command, String> {
         seed: raw.seed,
         no_cache: raw.no_cache,
         connect: raw.connect,
+        timeout: raw.timeout,
+        retries: raw.retries,
     })
 }
 
@@ -237,6 +285,23 @@ fn parse_seed(value: &str) -> Result<u64, String> {
         .trim()
         .parse::<u64>()
         .map_err(|_| format!("--seed needs an unsigned integer, got `{value}`"))
+}
+
+/// Parses a `--timeout` value: positive, finite seconds (fractions
+/// allowed).
+fn parse_timeout(value: &str) -> Result<f64, String> {
+    match value.trim().parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs > 0.0 => Ok(secs),
+        _ => Err(format!("--timeout needs a positive seconds value, got `{value}`")),
+    }
+}
+
+/// Parses a `--retries` value.
+fn parse_retries(value: &str) -> Result<u32, String> {
+    value
+        .trim()
+        .parse::<u32>()
+        .map_err(|_| format!("--retries needs an unsigned integer, got `{value}`"))
 }
 
 /// Parses a `--connect` address: any non-empty `host:port` string (the
@@ -292,6 +357,8 @@ mod tests {
                 seed: None,
                 no_cache: false,
                 connect: None,
+                timeout: None,
+                retries: None,
             }
         );
     }
@@ -308,6 +375,8 @@ mod tests {
                 seed: None,
                 no_cache: false,
                 connect: None,
+                timeout: None,
+                retries: None,
             }
         );
     }
@@ -353,6 +422,8 @@ mod tests {
                 seed: Some(42),
                 no_cache: false,
                 connect: None,
+                timeout: None,
+                retries: None,
             }
         );
         match parse(&["--seed=7"]).unwrap() {
@@ -450,6 +521,40 @@ mod tests {
         assert!(err.contains("host:port"), "{err}");
         let err = parse(&["--connect="]).unwrap_err();
         assert!(err.contains("host:port"), "{err}");
+    }
+
+    #[test]
+    fn timeout_and_retries_parse_and_require_connect() {
+        match parse(&["--connect", "h:1", "--timeout", "2.5", "--retries", "4"]).unwrap() {
+            Command::Run { connect, timeout, retries, .. } => {
+                assert_eq!(connect.as_deref(), Some("h:1"));
+                assert_eq!(timeout, Some(2.5));
+                assert_eq!(retries, Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["--connect=h:1", "--timeout=0.25", "--retries=0"]).unwrap() {
+            Command::Run { timeout, retries, .. } => {
+                assert_eq!(timeout, Some(0.25));
+                assert_eq!(retries, Some(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Socket policy without a socket is a usage error.
+        let err = parse(&["--timeout", "5"]).unwrap_err();
+        assert!(err.contains("--timeout") && err.contains("--connect"), "{err}");
+        let err = parse(&["--retries", "1"]).unwrap_err();
+        assert!(err.contains("--retries") && err.contains("--connect"), "{err}");
+        // Value validation.
+        for bad in ["0", "-1", "nan", "inf", ""] {
+            let err = parse(&["--connect", "h:1", &format!("--timeout={bad}")]).unwrap_err();
+            assert!(err.contains("--timeout"), "{bad}: {err}");
+        }
+        let err = parse(&["--connect", "h:1", "--retries", "-2"]).unwrap_err();
+        assert!(err.contains("--retries"), "{err}");
+        // --check / --list reject them like other run-mode flags.
+        let err = parse(&["--check", "--connect", "h:1", "--timeout", "1"]).unwrap_err();
+        assert!(err.contains("--timeout 1"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,20 @@
 //!   interleave whole records; a duplicated header (both processes
 //!   creating the same shard) is recognized and skipped. Duplicate
 //!   keys are benign — both writers computed bit-identical reports.
+//!
+//! ## Quarantine
+//!
+//! A shard that shows *any* damage on load — a torn tail, a CRC
+//! mismatch, a foreign or stale-schema file — is **quarantined**:
+//! renamed to `<name>.quarantine` (suffixed `.2`, `.3`, … if earlier
+//! quarantines exist) and counted in [`LoadOutcome::quarantined`], so
+//! operators can tell a *cold* cache from a *corrupted* one instead of
+//! records silently vanishing. Records salvaged from a damaged shard
+//! are still served, and are immediately re-appended to a fresh shard
+//! file so the on-disk state heals while the quarantined file preserves
+//! the evidence. The counter flows through
+//! [`crate::SimCacheStats::quarantined`] into the `repro` cache summary
+//! and the `nvpd/3` wire stats.
 
 use std::fs;
 use std::io::{self, Write as _};
@@ -76,6 +90,10 @@ pub(crate) struct LoadOutcome {
     /// Records (or whole unreadable/foreign files) dropped during the
     /// scan — corruption tolerated, never served.
     pub skipped: u64,
+    /// Shard files renamed to `*.quarantine` because the scan found
+    /// damage in them. Salvaged records were re-appended to a fresh
+    /// shard, so a subsequent open reports the directory clean.
+    pub quarantined: u64,
 }
 
 /// An open cache directory: load-once at open, append-only afterwards.
@@ -89,6 +107,7 @@ impl PersistentStore {
     /// shard for valid records.
     pub(crate) fn open(dir: &Path) -> io::Result<(PersistentStore, LoadOutcome)> {
         fs::create_dir_all(dir)?;
+        let store = PersistentStore { dir: dir.to_path_buf() };
         let mut outcome = LoadOutcome::default();
         // Deterministic scan order: sorted shard names.
         let mut shards: Vec<PathBuf> = fs::read_dir(dir)?
@@ -98,12 +117,42 @@ impl PersistentStore {
             .collect();
         shards.sort();
         for shard in shards {
+            let mut local = LoadOutcome::default();
             match fs::read(&shard) {
-                Ok(bytes) => scan_shard(&bytes, &mut outcome),
-                Err(_) => outcome.skipped += 1,
+                Ok(bytes) => scan_shard(&bytes, &mut local),
+                Err(_) => local.skipped += 1,
             }
+            if local.skipped > 0 {
+                // Any damage quarantines the whole file: rename it
+                // aside as evidence, then heal by re-appending the
+                // salvaged records to a fresh shard. Operators see a
+                // counter instead of records silently vanishing.
+                match quarantine_file(&shard) {
+                    Ok(target) => {
+                        outcome.quarantined += 1;
+                        eprintln!(
+                            "warning: sim cache shard {} damaged ({} record(s) lost); \
+                             quarantined as {}",
+                            shard.display(),
+                            local.skipped,
+                            target.display()
+                        );
+                        for (key, report) in &local.records {
+                            // Healing is best-effort; the records are
+                            // already in memory either way.
+                            let _ = store.append(key, report);
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "warning: sim cache shard {} damaged but could not be quarantined ({e})",
+                        shard.display()
+                    ),
+                }
+            }
+            outcome.skipped += local.skipped;
+            outcome.records.append(&mut local.records);
         }
-        Ok((PersistentStore { dir: dir.to_path_buf() }, outcome))
+        Ok((store, outcome))
     }
 
     /// Appends one record to the key's shard. The header (for a fresh
@@ -127,6 +176,28 @@ impl PersistentStore {
         record.extend_from_slice(&payload);
         file.write_all(&record)
     }
+}
+
+/// Renames a damaged shard to the first free `<name>.quarantine[.N]`
+/// sibling and returns the chosen path.
+fn quarantine_file(path: &Path) -> io::Result<PathBuf> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::other("shard path has no utf-8 file name"))?;
+    for n in 1..=1000u32 {
+        let candidate = if n == 1 {
+            dir.join(format!("{name}.quarantine"))
+        } else {
+            dir.join(format!("{name}.quarantine.{n}"))
+        };
+        if !candidate.exists() {
+            fs::rename(path, &candidate)?;
+            return Ok(candidate);
+        }
+    }
+    Err(io::Error::other("no free quarantine name after 1000 attempts"))
 }
 
 /// Walks one shard's bytes, pushing valid records and counting damage.
@@ -330,6 +401,13 @@ mod tests {
         assert_eq!(loaded.records.len(), 1, "intact prefix record must survive");
         assert_eq!(loaded.records[0].1.committed, sample_report(1).committed);
         assert_eq!(loaded.skipped, 1);
+        assert_eq!(loaded.quarantined, 1);
+        assert!(dir.join("11.log.quarantine").exists(), "damaged shard renamed aside");
+        // Healing: salvage was re-appended, so the next open is clean.
+        let (_, healed) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(healed.records.len(), 1);
+        assert_eq!(healed.skipped, 0);
+        assert_eq!(healed.quarantined, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -350,8 +428,34 @@ mod tests {
         let (_, loaded) = PersistentStore::open(&dir).unwrap();
         assert_eq!(loaded.records.len(), 2, "records around the corrupt one must survive");
         assert_eq!(loaded.skipped, 1);
+        assert_eq!(loaded.quarantined, 1);
         let committed: Vec<u64> = loaded.records.iter().map(|(_, r)| r.committed).collect();
         assert_eq!(committed, vec![sample_report(1).committed, sample_report(3).committed]);
+        // Both survivors were healed into a fresh shard.
+        let (_, healed) = PersistentStore::open(&dir).unwrap();
+        assert_eq!(healed.records.len(), 2);
+        assert_eq!(healed.quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_quarantines_get_numbered_suffixes() {
+        let dir = unique_dir("nvp_persist_requarantine");
+        let (store, _) = PersistentStore::open(&dir).unwrap();
+        let key = key_of(0x44);
+        for round in 1..=3u64 {
+            store.append(&key, &sample_report(round)).unwrap();
+            let shard = dir.join("44.log");
+            let mut bytes = fs::read(&shard).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            fs::write(&shard, &bytes).unwrap();
+            let (_, loaded) = PersistentStore::open(&dir).unwrap();
+            assert_eq!(loaded.quarantined, 1, "round {round}");
+        }
+        assert!(dir.join("44.log.quarantine").exists());
+        assert!(dir.join("44.log.quarantine.2").exists());
+        assert!(dir.join("44.log.quarantine.3").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -365,6 +469,10 @@ mod tests {
         let (_, loaded) = PersistentStore::open(&dir).unwrap();
         assert_eq!(loaded.records.len(), 1);
         assert_eq!(loaded.skipped, 2);
+        assert_eq!(loaded.quarantined, 2);
+        assert!(dir.join("zz.log.quarantine").exists());
+        assert!(dir.join("not-a-cache.log.quarantine").exists());
+        assert!(dir.join("33.log").exists(), "healthy shard untouched");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -391,6 +499,7 @@ mod tests {
         });
         let (_, loaded) = PersistentStore::open(&dir).unwrap();
         assert_eq!(loaded.skipped, 0, "interleaved whole-record appends never corrupt");
+        assert_eq!(loaded.quarantined, 0);
         assert_eq!(loaded.records.len(), 100);
         let mut committed: Vec<u64> = loaded.records.iter().map(|(_, r)| r.committed).collect();
         committed.sort_unstable();

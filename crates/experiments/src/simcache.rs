@@ -257,6 +257,10 @@ pub struct SimCacheStats {
     pub misses: u64,
     /// Reports this process appended to the persistent store.
     pub persisted: u64,
+    /// Damaged shard files the persistent store quarantined on load
+    /// (renamed `*.quarantine`; salvage re-appended). Distinguishes a
+    /// corrupted cache from a merely cold one.
+    pub quarantined: u64,
 }
 
 impl SimCacheStats {
@@ -269,6 +273,7 @@ impl SimCacheStats {
             disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
             misses: self.misses.saturating_sub(earlier.misses),
             persisted: self.persisted.saturating_sub(earlier.persisted),
+            quarantined: self.quarantined.saturating_sub(earlier.quarantined),
         }
     }
 }
@@ -299,6 +304,7 @@ static HITS: AtomicU64 = AtomicU64::new(0);
 static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static PERSISTED: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
 fn cache() -> &'static Mutex<BTreeMap<Digest, (RunReport, Origin)>> {
     CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
@@ -322,6 +328,7 @@ fn persist_lock() -> std::sync::MutexGuard<'static, PersistState> {
 /// addresses: a hit is bit-identical wherever it came from.
 fn activate(state: &mut PersistState, dir: &Path) -> std::io::Result<u64> {
     let (store, loaded) = PersistentStore::open(dir)?;
+    QUARANTINED.fetch_add(loaded.quarantined, Ordering::Relaxed);
     let mut map = cache().lock().expect("sim cache lock");
     map.retain(|_, (_, origin)| *origin != Origin::Disk);
     let mut merged = 0u64;
@@ -416,6 +423,7 @@ pub fn sim_cache_stats() -> SimCacheStats {
         disk_hits: DISK_HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         persisted: PERSISTED.load(Ordering::Relaxed),
+        quarantined: QUARANTINED.load(Ordering::Relaxed),
     }
 }
 
@@ -429,6 +437,7 @@ pub fn reset_sim_cache() {
     DISK_HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
     PERSISTED.store(0, Ordering::Relaxed);
+    QUARANTINED.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -29,14 +29,17 @@ use nvp_sim::crc32_bytes;
 
 use crate::job::{CachePolicy, CampaignRequest, CampaignResult};
 use crate::sched::SchedStats;
-use crate::simcache::SimCacheStats;
+use crate::simcache::{Sha256, SimCacheStats};
 use crate::stats::ExecStats;
 use crate::{ExpConfig, Table};
 
 /// Protocol schema tag carried inside every [`Message::Submit`]; bump
 /// when the request or result encoding changes shape. `nvpd/2` added
-/// the execution-tier counters (superblocks, lane groups) to results.
-pub const PROTOCOL: &str = "nvpd/2";
+/// the execution-tier counters (superblocks, lane groups) to results;
+/// `nvpd/3` added the cache quarantine counter, the `retryable` hint on
+/// `Reject` frames, and the `replayed` idempotency marker on `Result`
+/// frames (crash-durable server).
+pub const PROTOCOL: &str = "nvpd/3";
 
 /// Upper bound a frame's length prefix may claim. Large enough for any
 /// full-evaluation result with headroom, small enough that a corrupt or
@@ -61,6 +64,11 @@ pub enum Message {
     Result {
         /// The job id this result answers.
         job: u64,
+        /// `true` when the server answered from its content-addressed
+        /// result store (idempotent replay of an earlier identical
+        /// submission) without scheduling any simulation work; the
+        /// counters inside `result` then describe the original job.
+        replayed: bool,
         /// The campaign output.
         result: CampaignResult,
     },
@@ -69,6 +77,10 @@ pub enum Message {
     Reject {
         /// Human-readable refusal reason.
         reason: String,
+        /// `true` when the refusal is transient (e.g. a full admission
+        /// queue) and an identical resubmission may succeed; the client
+        /// retry loop keys off this instead of parsing the reason.
+        retryable: bool,
     },
 }
 
@@ -167,9 +179,13 @@ fn put_result(out: &mut Vec<u8>, result: &CampaignResult) {
         put_u64(out, *seed);
         put_str(out, csv);
     }
-    for v in
-        [result.cache.hits, result.cache.disk_hits, result.cache.misses, result.cache.persisted]
-    {
+    for v in [
+        result.cache.hits,
+        result.cache.disk_hits,
+        result.cache.misses,
+        result.cache.persisted,
+        result.cache.quarantined,
+    ] {
         put_u64(out, v);
     }
     for v in [result.sched.tasks, result.sched.steals, result.sched.helpers] {
@@ -199,14 +215,16 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             put_u64(&mut out, *job);
             put_u32(&mut out, *queued);
         }
-        Message::Result { job, result } => {
+        Message::Result { job, replayed, result } => {
             out.push(TAG_RESULT);
             put_u64(&mut out, *job);
+            out.push(u8::from(*replayed));
             put_result(&mut out, result);
         }
-        Message::Reject { reason } => {
+        Message::Reject { reason, retryable } => {
             out.push(TAG_REJECT);
             put_str(&mut out, reason);
+            out.push(u8::from(*retryable));
         }
     }
     out
@@ -305,7 +323,7 @@ fn get_config(r: &mut Reader<'_>) -> io::Result<ExpConfig> {
 fn get_request(r: &mut Reader<'_>) -> io::Result<CampaignRequest> {
     let proto = r.str()?;
     if proto != PROTOCOL {
-        return Err(bad("protocol mismatch (expected nvpd/2)"));
+        return Err(bad(&format!("protocol mismatch (expected {PROTOCOL}, got {proto})")));
     }
     let only = match r.u8()? {
         0 => None,
@@ -376,6 +394,7 @@ fn get_result(r: &mut Reader<'_>) -> io::Result<CampaignResult> {
         disk_hits: r.u64()?,
         misses: r.u64()?,
         persisted: r.u64()?,
+        quarantined: r.u64()?,
     };
     let sched = SchedStats { tasks: r.u64()?, steals: r.u64()?, helpers: r.u64()? };
     let exec = ExecStats {
@@ -394,12 +413,103 @@ fn decode_payload(payload: &[u8]) -> io::Result<Message> {
     let msg = match r.u8()? {
         TAG_SUBMIT => Message::Submit(get_request(&mut r)?),
         TAG_ACCEPTED => Message::Accepted { job: r.u64()?, queued: r.u32()? },
-        TAG_RESULT => Message::Result { job: r.u64()?, result: get_result(&mut r)? },
-        TAG_REJECT => Message::Reject { reason: r.str()? },
+        TAG_RESULT => {
+            let job = r.u64()?;
+            let replayed = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("invalid replay flag")),
+            };
+            Message::Result { job, replayed, result: get_result(&mut r)? }
+        }
+        TAG_REJECT => {
+            let reason = r.str()?;
+            let retryable = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("invalid retryable flag")),
+            };
+            Message::Reject { reason, retryable }
+        }
         tag => return Err(bad(&format!("unknown message tag {tag}"))),
     };
     r.done()?;
     Ok(msg)
+}
+
+// ---------------------------------------------------------------------
+// Standalone value codecs: the crash-durable `nvpd` journal and its
+// content-addressed result store persist requests and results with the
+// exact wire encoding, so a replayed value is bit-identical to one that
+// travelled a socket.
+// ---------------------------------------------------------------------
+
+/// Serializes a [`CampaignRequest`] body (the `Submit` payload without
+/// its tag byte) — the canonical durable encoding of a request.
+#[must_use]
+pub fn encode_request_bytes(req: &CampaignRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_request(&mut out, req);
+    out
+}
+
+/// Decodes a [`CampaignRequest`] from [`encode_request_bytes`] output.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for any malformed or trailing bytes —
+/// including requests journalled under a different protocol version.
+pub fn decode_request_bytes(bytes: &[u8]) -> io::Result<CampaignRequest> {
+    let mut r = Reader::new(bytes);
+    let req = get_request(&mut r)?;
+    r.done()?;
+    Ok(req)
+}
+
+/// Serializes a [`CampaignResult`] body — the canonical durable
+/// encoding of a finished job's values.
+#[must_use]
+pub fn encode_result_bytes(result: &CampaignResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_result(&mut out, result);
+    out
+}
+
+/// Decodes a [`CampaignResult`] from [`encode_result_bytes`] output.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] for any malformed or trailing bytes.
+pub fn decode_result_bytes(bytes: &[u8]) -> io::Result<CampaignResult> {
+    let mut r = Reader::new(bytes);
+    let result = get_result(&mut r)?;
+    r.done()?;
+    Ok(result)
+}
+
+/// The content-addressed idempotency key of a request: a SHA-256 over
+/// its canonical wire encoding (which embeds [`PROTOCOL`], so keys
+/// never alias across protocol revisions). Two byte-identical
+/// submissions — e.g. a client retry after an observed failure — map to
+/// the same key, which is what lets the server deduplicate them through
+/// its result store.
+#[must_use]
+pub fn request_key(req: &CampaignRequest) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"nvpd-idem/1");
+    h.update(&encode_request_bytes(req));
+    h.finalize()
+}
+
+/// SHA-256 content digest of an arbitrary byte string (the same
+/// in-tree FIPS 180-4 core the simulation cache keys on). The journal
+/// records this digest for every completed result so recovery can
+/// verify the result store against the write-ahead log.
+#[must_use]
+pub fn content_digest(bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finalize()
 }
 
 // ---------------------------------------------------------------------
@@ -468,7 +578,7 @@ mod tests {
         CampaignResult {
             tables: vec![t],
             profiles: vec![(1, "t_s,power_uW\n0.0,12.5\n".into())],
-            cache: SimCacheStats { hits: 7, disk_hits: 2, misses: 3, persisted: 3 },
+            cache: SimCacheStats { hits: 7, disk_hits: 2, misses: 3, persisted: 3, quarantined: 1 },
             sched: SchedStats { tasks: 10, steals: 4, helpers: 2 },
             exec: ExecStats {
                 chains_formed: 5,
@@ -494,17 +604,21 @@ mod tests {
         assert_eq!(roundtrip(&full), full);
         let accepted = Message::Accepted { job: 9, queued: 3 };
         assert_eq!(roundtrip(&accepted), accepted);
-        let result = Message::Result { job: 9, result: sample_result() };
+        let result = Message::Result { job: 9, replayed: false, result: sample_result() };
         assert_eq!(roundtrip(&result), result);
-        let reject = Message::Reject { reason: "queue full".into() };
+        let replay = Message::Result { job: 10, replayed: true, result: sample_result() };
+        assert_eq!(roundtrip(&replay), replay);
+        let reject = Message::Reject { reason: "queue full".into(), retryable: true };
         assert_eq!(roundtrip(&reject), reject);
+        let fatal = Message::Reject { reason: "unknown id".into(), retryable: false };
+        assert_eq!(roundtrip(&fatal), fatal);
     }
 
     #[test]
     fn result_tables_render_identically_after_the_wire() {
         let result = sample_result();
         let Message::Result { result: decoded, .. } =
-            roundtrip(&Message::Result { job: 1, result: result.clone() })
+            roundtrip(&Message::Result { job: 1, replayed: false, result: result.clone() })
         else {
             panic!("wrong message kind");
         };
@@ -579,6 +693,7 @@ mod tests {
     fn corrupt_counts_inside_a_valid_frame_are_rejected() {
         let mut payload = vec![TAG_RESULT];
         payload.extend_from_slice(&1u64.to_le_bytes()); // job id
+        payload.push(0); // replayed flag
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // "tables"
         let mut buf = Vec::new();
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -603,6 +718,99 @@ mod tests {
         let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("protocol"), "{err}");
+    }
+
+    #[test]
+    fn durable_value_codecs_round_trip_and_reject_trailing_bytes() {
+        let req = sample_request();
+        let bytes = encode_request_bytes(&req);
+        assert_eq!(decode_request_bytes(&bytes).unwrap(), req);
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(decode_request_bytes(&trailing).unwrap_err().kind(), io::ErrorKind::InvalidData);
+
+        let result = sample_result();
+        let bytes = encode_result_bytes(&result);
+        assert_eq!(decode_result_bytes(&bytes).unwrap(), result);
+        assert_eq!(
+            decode_result_bytes(&bytes[..bytes.len() - 1]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn request_keys_are_content_addresses() {
+        let a = sample_request();
+        let mut b = sample_request();
+        assert_eq!(request_key(&a), request_key(&a), "same request, same key");
+        assert_eq!(request_key(&a), request_key(&b), "byte-identical clones collide");
+        b.seed = Some(43);
+        assert_ne!(request_key(&a), request_key(&b), "any field change moves the key");
+        let digest = content_digest(b"abc");
+        // Pinned FIPS vector: content_digest is plain SHA-256.
+        assert_eq!(
+            digest[..4],
+            [0xba, 0x78, 0x16, 0xbf],
+            "content digest must be the standard SHA-256"
+        );
+    }
+
+    /// A peer that delivers half a frame and then stalls must trip the
+    /// socket read timeout, not hang the reader forever — the failure
+    /// mode behind the old `repro --connect` hang.
+    #[test]
+    fn stalled_peer_trips_the_read_timeout_instead_of_hanging() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::time::Duration;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &Message::Accepted { job: 1, queued: 0 }).unwrap();
+            s.write_all(&buf[..buf.len() / 2]).expect("half a frame");
+            s.flush().expect("flush");
+            s // ... then stall, keeping the socket open
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        conn.set_read_timeout(Some(Duration::from_millis(200))).expect("read timeout");
+        let err = read_frame(&mut conn).unwrap_err();
+        assert!(
+            matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut),
+            "expected a read timeout, got {err:?}"
+        );
+        drop(writer.join().expect("writer thread"));
+    }
+
+    /// A slow writer that dribbles the frame byte-by-byte (but does
+    /// finish) must still parse cleanly: framing cannot assume whole
+    /// frames arrive in one read.
+    #[test]
+    fn a_dribbled_frame_still_reads_whole() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::time::Duration;
+
+        let msg = Message::Accepted { job: 42, queued: 7 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("bound address");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).expect("nodelay");
+            for byte in buf {
+                s.write_all(&[byte]).expect("dribble");
+                s.flush().expect("flush");
+            }
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        conn.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        assert_eq!(read_frame(&mut conn).expect("reassembled frame"), msg);
+        writer.join().expect("writer thread");
     }
 
     #[test]

@@ -23,25 +23,45 @@
 //! Duplicate submissions are deduplicated through the shared
 //! content-addressed cache: the second identical job reports zero new
 //! simulations in its `Result` frame.
+//!
+//! ## Crash consistency
+//!
+//! With `--state-dir`, the server is crash-consistent end to end: a
+//! write-ahead [`journal`] records every admission *before* the
+//! `Accepted` frame is sent, so a `kill -9` mid-campaign loses
+//! nothing — the restarted server replays the journal, re-enqueues
+//! admitted-but-not-completed jobs, and answers resubmissions of
+//! already-finished requests from a content-addressed result store
+//! (the `Result` frame carries `replayed: true` and costs zero new
+//! simulations). The [`faultplan`] module injects exactly these
+//! crashes on demand; `tests/crash_recovery.rs` proves the round trip
+//! byte-identical against uninterrupted runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod faultplan;
+pub mod journal;
 
 use std::collections::VecDeque;
-use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-use nvp_experiments::wire::{read_frame, write_frame, Message};
+use nvp_experiments::wire::{read_frame, request_key, write_frame, Message};
 use nvp_experiments::{run_request, CachePolicy, CampaignRequest};
 
-/// How long the acceptor waits for a client's `Submit` frame before
-/// dropping the connection, so one stalled client cannot wedge
-/// admission for everyone else.
-const SUBMIT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+use faultplan::ServiceFaultPlan;
+use journal::{Digest, Journal, PendingJob};
+
+/// Default bound on how long the acceptor waits for a client's
+/// `Submit` frame ([`ServerConfig::submit_timeout`]), so one stalled
+/// client cannot wedge admission for everyone else.
+pub const DEFAULT_SUBMIT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Tuning knobs for [`Server::run`].
 #[derive(Debug, Clone)]
@@ -57,13 +77,30 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Accept this many jobs, then drain the queue and return — the
     /// clean-shutdown path used by tests, benches, and CI smoke runs.
-    /// `None` serves forever.
+    /// `None` serves forever. Recovered (journal-replayed) jobs do not
+    /// count against the budget.
     pub max_jobs: Option<u64>,
+    /// Durable state directory for the write-ahead job journal and the
+    /// content-addressed result store. `None` runs the server
+    /// memoryless, exactly as before journalling existed.
+    pub state_dir: Option<PathBuf>,
+    /// How long the acceptor waits for each read of a client's
+    /// `Submit` frame before dropping the connection.
+    pub submit_timeout: Duration,
+    /// Injected service faults (tests only; defaults to none).
+    pub faults: ServiceFaultPlan,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { queue_capacity: 64, workers: 1, max_jobs: None }
+        ServerConfig {
+            queue_capacity: 64,
+            workers: 1,
+            max_jobs: None,
+            state_dir: None,
+            submit_timeout: DEFAULT_SUBMIT_TIMEOUT,
+            faults: ServiceFaultPlan::none(),
+        }
     }
 }
 
@@ -76,14 +113,28 @@ pub struct ServerStats {
     pub rejected: u64,
     /// Jobs that ran to completion (a `Result` frame was sent).
     pub completed: u64,
+    /// Jobs re-enqueued from the journal at startup (admitted by a
+    /// previous process, never completed).
+    pub recovered: u64,
+    /// Jobs answered from the content-addressed result store without
+    /// re-simulation (idempotency-key hits).
+    pub replayed: u64,
+    /// Damaged files quarantined by the journal/result store this run
+    /// (the simulation cache's own quarantines flow separately through
+    /// the per-job cache stats).
+    pub quarantined: u64,
 }
 
-/// An admitted job waiting for a worker: the request plus the
-/// connection the result frame goes back on.
+/// An admitted job waiting for a worker: the request, its idempotency
+/// key, and (for live submissions) the connection the result frame
+/// goes back on. Journal-recovered jobs have no connection — their
+/// value is the durable result-store entry the resubmitting client
+/// will hit.
 struct Job {
     id: u64,
+    key: Digest,
     request: CampaignRequest,
-    stream: TcpStream,
+    stream: Option<TcpStream>,
 }
 
 /// The bounded admission queue: a mutex-guarded deque with a condvar
@@ -180,27 +231,56 @@ impl Server {
     /// (forever when `None`), then drains the queue, joins the workers,
     /// and returns the counters.
     ///
+    /// With [`ServerConfig::state_dir`] set, the write-ahead journal
+    /// is opened (and replayed) first: recovered jobs are enqueued
+    /// *before* the accept loop starts, so — with the default single
+    /// worker — recovery completes ahead of any newly admitted job.
+    ///
     /// # Errors
     ///
-    /// Fatal listener errors pass through; per-connection I/O errors
-    /// (client gone, malformed frame) are absorbed into the counters.
+    /// Fatal listener errors pass through, as do state-directory
+    /// creation failures; per-connection I/O errors (client gone,
+    /// malformed frame) and damaged-but-quarantinable state files are
+    /// absorbed into the counters.
     pub fn run(&self, cfg: &ServerConfig) -> io::Result<ServerStats> {
         let queue = Queue::new(cfg.queue_capacity.max(1));
         let workers = cfg.workers.max(1);
         let mut stats = ServerStats::default();
-        let completed = Mutex::new(0u64);
+        let counters = Counters::default();
+
+        let journal = match &cfg.state_dir {
+            Some(dir) => {
+                let (journal, recovery) = Journal::open(dir, cfg.faults.clone())?;
+                stats.recovered = recovery.pending.len() as u64;
+                if !recovery.pending.is_empty() {
+                    eprintln!(
+                        "nvpd: journal replay — re-enqueueing {} unfinished job(s)",
+                        recovery.pending.len()
+                    );
+                }
+                for PendingJob { id, key, request } in recovery.pending {
+                    queue.push(Job { id, key, request, stream: None });
+                }
+                Some((journal, recovery.next_job))
+            }
+            None => None,
+        };
+        let (journal, first_id) = match journal {
+            Some((j, next)) => (Some(j), next),
+            None => (None, 0),
+        };
+        let journal = journal.as_ref();
 
         std::thread::scope(|scope| -> io::Result<()> {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some(job) = queue.pop() {
-                        let done = run_job(job);
-                        *completed.lock().expect("completed lock") += done;
+                        run_job(job, journal, &cfg.faults, &counters);
                     }
                 });
             }
 
-            let mut next_job: u64 = 0;
+            let mut next_job: u64 = first_id;
             for conn in self.listener.incoming() {
                 let stream = match conn {
                     Ok(s) => s,
@@ -212,7 +292,7 @@ impl Server {
                         return Err(e);
                     }
                 };
-                match admit(stream, next_job, &queue) {
+                match admit(stream, next_job, &queue, journal, cfg.submit_timeout) {
                     Admission::Accepted => {
                         next_job += 1;
                         stats.accepted += 1;
@@ -228,9 +308,20 @@ impl Server {
             Ok(())
         })?;
 
-        stats.completed = *completed.lock().expect("completed lock");
+        stats.completed = counters.completed.load(Ordering::Relaxed);
+        stats.replayed = counters.replayed.load(Ordering::Relaxed);
+        if let Some(j) = journal {
+            stats.quarantined = j.quarantined_total();
+        }
         Ok(stats)
     }
+}
+
+/// Worker-side counters, shared across the scope by reference.
+#[derive(Debug, Default)]
+struct Counters {
+    completed: AtomicU64,
+    replayed: AtomicU64,
 }
 
 /// What became of one incoming connection at admission time.
@@ -246,16 +337,26 @@ enum Admission {
 
 /// Reads one `Submit` frame off a fresh connection and either queues
 /// the job (streaming `Accepted`) or answers `Reject` with a reason.
-fn admit(mut stream: TcpStream, id: u64, queue: &Queue<Job>) -> Admission {
+///
+/// Write-ahead discipline: with a journal attached, the admission is
+/// made durable *before* the `Accepted` frame is sent — the server
+/// never promises work it could forget.
+fn admit(
+    mut stream: TcpStream,
+    id: u64,
+    queue: &Queue<Job>,
+    journal: Option<&Journal>,
+    submit_timeout: Duration,
+) -> Admission {
     // A stalled or hostile client must not wedge the acceptor.
-    if stream.set_read_timeout(Some(SUBMIT_READ_TIMEOUT)).is_err() {
+    if stream.set_read_timeout(Some(submit_timeout)).is_err() {
         return Admission::Dropped;
     }
     let request = match read_frame(&mut stream) {
         Ok(Message::Submit(req)) => req,
-        Ok(_) => return reject(stream, "expected a Submit frame to open the connection"),
+        Ok(_) => return reject(stream, "expected a Submit frame to open the connection", false),
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-            return reject(stream, &format!("malformed frame: {e}"));
+            return reject(stream, &format!("malformed frame: {e}"), false);
         }
         Err(_) => return Admission::Dropped,
     };
@@ -264,46 +365,119 @@ fn admit(mut stream: TcpStream, id: u64, queue: &Queue<Job>) -> Admission {
             stream,
             "MemoryOnly cache policy is not admissible: the server's resident store is \
              process-wide (run locally with `repro --no-cache` instead)",
+            false,
         );
     }
     // Catch unknown experiment ids before the job occupies a queue slot.
     if let Err(e) = request.resolve() {
-        return reject(stream, &e.to_string());
+        return reject(stream, &e.to_string(), false);
     }
     let Some(depth) = queue.depth_if_free() else {
-        return reject(stream, "admission queue full; retry later");
+        // The one *retryable* rejection: pressure, not a bad request.
+        return reject(stream, "admission queue full; retry later", true);
     };
+    let key = request_key(&request);
+    if let Some(j) = journal {
+        if let Err(e) = j.admitted(id, &key, &request) {
+            // Degrade rather than refuse: the job still runs, it just
+            // would not survive a crash between here and completion.
+            eprintln!("nvpd: warning: journal append failed ({e}); job {id} runs unjournalled");
+        }
+    }
     // Stream the status frame now, then hand the connection to a
     // worker for the Result frame.
     if write_frame(&mut stream, &Message::Accepted { job: id, queued: depth }).is_err() {
         return Admission::Dropped;
     }
-    queue.push(Job { id, request, stream });
+    queue.push(Job { id, key, request, stream: Some(stream) });
     Admission::Accepted
 }
 
 /// Sends a `Reject` frame (best effort) and reports the refusal.
-fn reject(mut stream: TcpStream, reason: &str) -> Admission {
-    let _ = write_frame(&mut stream, &Message::Reject { reason: reason.to_string() });
+/// `retryable` tells the client whether resubmitting later can help.
+fn reject(mut stream: TcpStream, reason: &str, retryable: bool) -> Admission {
+    let _ = write_frame(&mut stream, &Message::Reject { reason: reason.to_string(), retryable });
     Admission::Rejected
 }
 
-/// Runs one admitted job and streams its `Result` (or failure `Reject`)
-/// frame. Returns 1 when a `Result` frame was delivered, else 0.
-fn run_job(mut job: Job) -> u64 {
-    match run_request(&job.request) {
+/// Writes a frame through the fault plan: an armed one-shot cut
+/// delivers only a prefix and severs the socket mid-frame.
+fn send_frame(stream: &mut TcpStream, msg: &Message, faults: &ServiceFaultPlan) -> io::Result<()> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg)?;
+    if let Some(cut) = faults.result_frame_cut(buf.len()) {
+        let _ = stream.write_all(&buf[..cut]);
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
+        eprintln!("nvpd: injected mid-frame drop ({cut} of {} bytes delivered)", buf.len());
+        return Err(io::Error::other("injected mid-frame connection drop"));
+    }
+    stream.write_all(&buf)
+}
+
+/// Runs one admitted job and streams its `Result` (or failure
+/// `Reject`) frame.
+///
+/// With a journal attached the job walks the recovery state machine:
+/// an idempotency-key hit in the result store answers immediately
+/// (`replayed: true`, zero new simulations); otherwise the job runs,
+/// its result is stored content-addressed, and the `Completed`
+/// transition (with the stored digest) is journalled — compacting the
+/// log when it was the last live entry.
+fn run_job(job: Job, journal: Option<&Journal>, faults: &ServiceFaultPlan, counters: &Counters) {
+    faults.delay_job();
+    let Job { id, key, request, stream } = job;
+
+    // Idempotent resubmission: answer from the durable result store.
+    if let Some(j) = journal {
+        if let Some(result) = j.lookup_result(&key) {
+            let digest = nvp_experiments::wire::content_digest(
+                &nvp_experiments::wire::encode_result_bytes(&result),
+            );
+            if let Err(e) = j.completed(id, &digest) {
+                eprintln!("nvpd: warning: journal completion failed for job {id}: {e}");
+            }
+            counters.replayed.fetch_add(1, Ordering::Relaxed);
+            if let Some(mut stream) = stream {
+                let msg = Message::Result { job: id, replayed: true, result };
+                if send_frame(&mut stream, &msg, faults).is_ok() {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+        if let Err(e) = j.started(id) {
+            eprintln!("nvpd: warning: journal start failed for job {id}: {e}");
+        }
+    }
+
+    match run_request(&request) {
         Ok(result) => {
-            match write_frame(&mut job.stream, &Message::Result { job: job.id, result }) {
-                Ok(()) => 1,
-                Err(_) => 0, // client went away; the work still warmed the cache
+            if let Some(j) = journal {
+                match j.put_result(&key, &result) {
+                    Ok(digest) => {
+                        if let Err(e) = j.completed(id, &digest) {
+                            eprintln!("nvpd: warning: journal completion failed for job {id}: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("nvpd: warning: result store put failed for job {id}: {e}"),
+                }
+            }
+            if let Some(mut stream) = stream {
+                let msg = Message::Result { job: id, replayed: false, result };
+                if send_frame(&mut stream, &msg, faults).is_ok() {
+                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                // Client gone: the work still warmed the cache and the
+                // result store; the retry will be a replay.
             }
         }
         Err(e) => {
-            let _ = write_frame(
-                &mut job.stream,
-                &Message::Reject { reason: format!("job {} failed: {e}", job.id) },
-            );
-            0
+            if let Some(mut stream) = stream {
+                let msg =
+                    Message::Reject { reason: format!("job {id} failed: {e}"), retryable: false };
+                let _ = send_frame(&mut stream, &msg, faults);
+            }
         }
     }
 }

@@ -22,6 +22,12 @@ USAGE:
 
 serve options (ADDR defaults to 127.0.0.1:7117; use port 0 for an
 ephemeral port and read it back via --port-file):
+    --state-dir DIR    durable server state at DIR: the write-ahead job
+                       journal plus a content-addressed result store.
+                       Admitted jobs survive a crash and resume on
+                       restart; completed resubmissions replay without
+                       re-simulation. Implies `--cache-dir DIR/simcache`
+                       unless --cache-dir is given explicitly.
     --cache-dir DIR    attach the persistent simulation store at DIR
                        (default: in-memory only, or NVP_CACHE_DIR)
     --queue N          admission queue capacity (default 64)
@@ -29,9 +35,13 @@ ephemeral port and read it back via --port-file):
                        job's cache/scheduler counter deltas exact)
     --max-jobs N       accept N jobs, drain the queue, then exit
     --port-file PATH   write the bound address to PATH once listening
+    --fault-spec SPEC  inject seeded service faults (testing only; also
+                       read from NVPD_FAULT_SPEC). Grammar:
+                       crash-append=N,tear=B,drop-result=B,delay-ms=N
 
-submit takes the `repro` run grammar after ADDR and writes the returned
-artifacts to OUT_DIR (default `out`): byte-identical to a local run.";
+submit takes the `repro` run grammar after ADDR (plus --timeout SECS
+and --retries N) and writes the returned artifacts to OUT_DIR (default
+`out`): byte-identical to a local run.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +85,11 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
             |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--cache-dir" => out.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--state-dir" => out.config.state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--fault-spec" => {
+                out.config.faults =
+                    nvpd::faultplan::ServiceFaultPlan::parse(&value("--fault-spec")?)?;
+            }
             "--port-file" => out.port_file = Some(PathBuf::from(value("--port-file")?)),
             "--queue" => out.config.queue_capacity = parse_num(&value("--queue")?, "--queue")?,
             "--workers" => out.config.workers = parse_num(&value("--workers")?, "--workers")?,
@@ -106,7 +121,22 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
 }
 
 fn serve(args: &[String]) -> Result<ExitCode, String> {
-    let opts = parse_serve(args)?;
+    let mut opts = parse_serve(args)?;
+    // The crash-recovery suite steers child servers through the
+    // environment so the command line stays clean in process tables.
+    if !opts.config.faults.enabled() {
+        if let Ok(spec) = std::env::var("NVPD_FAULT_SPEC") {
+            opts.config.faults = nvpd::faultplan::ServiceFaultPlan::parse(&spec)?;
+        }
+    }
+    // A stateful server without an explicit cache dir keeps its
+    // simulation store next to the journal, so one --state-dir makes
+    // the whole server durable.
+    if opts.cache_dir.is_none() {
+        if let Some(state) = &opts.config.state_dir {
+            opts.cache_dir = Some(state.join("simcache"));
+        }
+    }
     if let Some(dir) = &opts.cache_dir {
         set_cache_dir(Some(dir))
             .map_err(|e| format!("cannot attach cache at {}: {e}", dir.display()))?;
@@ -120,8 +150,14 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     eprintln!("nvpd: listening on {bound}");
     let stats = server.run(&opts.config).map_err(|e| format!("server failed: {e}"))?;
     eprintln!(
-        "nvpd: done — {} accepted, {} completed, {} rejected",
-        stats.accepted, stats.completed, stats.rejected
+        "nvpd: done — {} accepted, {} completed, {} rejected, {} recovered from journal, \
+         {} replayed from result store, {} file(s) quarantined",
+        stats.accepted,
+        stats.completed,
+        stats.rejected,
+        stats.recovered,
+        stats.replayed,
+        stats.quarantined
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -135,7 +171,8 @@ fn submit(args: &[String]) -> Result<ExitCode, String> {
     }
     // Reuse the repro run grammar (and its validation) for what to run.
     let cmd = cli::parse(rest)?;
-    let Command::Run { out_dir, only, quick, seed, no_cache, connect } = cmd else {
+    let Command::Run { out_dir, only, quick, seed, no_cache, connect, timeout, retries } = cmd
+    else {
         return Err(
             "submit only takes run arguments (OUT_DIR, --quick, --only, --seed)".to_string()
         );
@@ -149,20 +186,29 @@ fn submit(args: &[String]) -> Result<ExitCode, String> {
     let mut request = nvp_experiments::CampaignRequest::all(Command::config(quick));
     request.only = only;
     request.seed = seed;
+    let mut config = client::ClientConfig::default();
+    if let Some(secs) = timeout {
+        config.timeout = std::time::Duration::from_secs_f64(secs);
+    }
+    if let Some(n) = retries {
+        config.retries = n;
+    }
     eprintln!("submitting campaign to nvpd at {addr} ...");
-    let outcome = client::submit(addr, &request).map_err(|e| e.to_string())?;
+    let outcome = client::submit_with(addr, &request, &config).map_err(|e| e.to_string())?;
     let files = outcome.result.write(&out_dir).map_err(|e| e.to_string())?;
     for t in &outcome.result.tables {
         println!("{}", t.to_markdown());
     }
     eprintln!(
-        "nvpd job {} (queue depth {} at admission): {} unique simulations, {} deduplicated, \
-         {} served from the server's disk store",
+        "nvpd job {} (queue depth {} at admission{}): {} unique simulations, {} deduplicated, \
+         {} served from the server's disk store, {} shard(s) quarantined",
         outcome.job,
         outcome.queued,
+        if outcome.replayed { "; replayed from journal" } else { "" },
         outcome.result.cache.misses,
         outcome.result.cache.hits,
-        outcome.result.cache.disk_hits
+        outcome.result.cache.disk_hits,
+        outcome.result.cache.quarantined
     );
     eprintln!("wrote {} files to {}", files.len(), out_dir.display());
     Ok(ExitCode::SUCCESS)

@@ -186,7 +186,10 @@ fn malformed_and_out_of_order_frames_draw_a_reject_frame() {
     let mut stream = TcpStream::connect(&addr).expect("connect");
     write_frame(&mut stream, &Message::Accepted { job: 9, queued: 0 }).expect("send frame");
     match read_frame(&mut stream).expect("reject frame") {
-        Message::Reject { reason } => assert!(reason.contains("Submit"), "{reason}"),
+        Message::Reject { reason, retryable } => {
+            assert!(reason.contains("Submit"), "{reason}");
+            assert!(!retryable, "a protocol violation is not retryable");
+        }
         other => panic!("expected Reject, got {other:?}"),
     }
 
@@ -199,7 +202,10 @@ fn malformed_and_out_of_order_frames_draw_a_reject_frame() {
         stream.write_all(&[4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4]).expect("send bytes");
     }
     match read_frame(&mut stream).expect("reject frame") {
-        Message::Reject { reason } => assert!(reason.contains("malformed"), "{reason}"),
+        Message::Reject { reason, retryable } => {
+            assert!(reason.contains("malformed"), "{reason}");
+            assert!(!retryable, "a malformed frame is not retryable");
+        }
         other => panic!("expected Reject, got {other:?}"),
     }
 
@@ -209,4 +215,124 @@ fn malformed_and_out_of_order_frames_draw_a_reject_frame() {
     let stats = handle.join().expect("server thread").expect("server run");
     assert_eq!((stats.accepted, stats.completed, stats.rejected), (1, 1, 2));
     reset_sim_cache();
+}
+
+#[test]
+fn slow_loris_submit_times_out_without_wedging_admission() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+
+    // A short submit window so the test stays fast; real deployments
+    // keep the 30 s default.
+    let cfg = ServerConfig {
+        max_jobs: Some(1),
+        submit_timeout: std::time::Duration::from_millis(250),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_server(cfg);
+    let addr = addr.to_string();
+
+    // The slow loris: opens a connection, dribbles half a frame header,
+    // and then stalls forever. Keep the socket alive for the whole test.
+    let mut loris = TcpStream::connect(&addr).expect("connect loris");
+    {
+        use io::Write;
+        loris.write_all(&[12, 0]).expect("partial header");
+        loris.flush().expect("flush");
+    }
+
+    // A well-behaved client right behind it must still be served: the
+    // acceptor's read timeout trips, the stalled connection is dropped,
+    // and admission moves on.
+    let ok = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+    let outcome = client::submit(&addr, &ok).expect("valid job behind a stalled client");
+    assert_eq!(outcome.result.tables.len(), 1);
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    // The loris is Dropped — neither accepted nor rejected.
+    assert_eq!((stats.accepted, stats.completed, stats.rejected), (1, 1, 0));
+    drop(loris);
+    reset_sim_cache();
+}
+
+#[test]
+fn journal_replays_pending_jobs_after_a_crash() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+    let state_dir = scratch("state");
+
+    // Simulate the moment after a crash: a journal holding one job that
+    // was admitted (durably promised) but never completed.
+    let mut request = CampaignRequest::only(ExpConfig::quick(), &["t1"]);
+    request.seed = Some(3);
+    let key = nvp_experiments::wire::request_key(&request);
+    {
+        let (journal, recovery) =
+            nvpd::journal::Journal::open(&state_dir, nvpd::faultplan::ServiceFaultPlan::none())
+                .expect("open journal");
+        assert_eq!(recovery.pending.len(), 0);
+        journal.admitted(0, &key, &request).expect("journal the admission");
+        // Process "crashes" here: the journal is simply dropped.
+    }
+
+    // The restarted server replays the journal, runs the orphaned job
+    // (warming the result store), and answers our resubmission of the
+    // same request from that store: zero new simulations, flagged as a
+    // journal replay on the wire.
+    let cfg = ServerConfig {
+        max_jobs: Some(1),
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_server(cfg);
+    let outcome = client::submit(&addr.to_string(), &request).expect("resubmission");
+    assert!(outcome.replayed, "resubmission is served from the durable result store");
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!(stats.recovered, 1, "the admitted-but-unfinished job was re-enqueued");
+    assert_eq!(stats.replayed, 1, "the resubmission hit the idempotency key");
+    assert_eq!((stats.accepted, stats.completed), (1, 1));
+    assert_eq!(stats.quarantined, 0);
+
+    reset_sim_cache();
+    let _ = fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn identical_resubmission_replays_without_resimulation() {
+    let _guard = cache_lock();
+    reset_sim_cache();
+    let _ = set_cache_dir(None);
+    let state_dir = scratch("idem");
+
+    let mut request = CampaignRequest::only(ExpConfig::quick(), &["f3"]);
+    request.seed = Some(11);
+    let cfg = ServerConfig {
+        max_jobs: Some(2),
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (addr, handle) = start_server(cfg);
+    let addr = addr.to_string();
+
+    let first = client::submit(&addr, &request).expect("first submission");
+    assert!(!first.replayed, "a cold submission actually runs");
+    assert!(first.result.cache.misses > 0);
+
+    let second = client::submit(&addr, &request).expect("identical resubmission");
+    assert!(second.replayed, "the duplicate is answered from the result store");
+    // The replay is the *stored* result, byte-for-byte — including the
+    // original run's counters (which is why dedup is asserted via the
+    // `replayed` flag, not via `misses == 0`).
+    assert_eq!(first.result.tables, second.result.tables);
+    assert_eq!(first.result.cache, second.result.cache);
+    assert_eq!(first.result.results_markdown(), second.result.results_markdown());
+
+    let stats = handle.join().expect("server thread").expect("server run");
+    assert_eq!((stats.accepted, stats.completed, stats.replayed), (2, 2, 1));
+
+    reset_sim_cache();
+    let _ = fs::remove_dir_all(&state_dir);
 }
